@@ -1,0 +1,76 @@
+// Section 4 analysis: direct hits vs expansion factor `c`.
+//
+// Empirically traces Theorems 1-3: as c grows, the fraction of keys placed
+// exactly at their predicted position rises, until at
+// c >= 1/(a * min delta) every key is a direct hit (Theorem 1). Also
+// prints the theoretical Theorem-2 upper and approximate lower bounds next
+// to the measured count.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "containers/gapped_array.h"
+#include "datasets/dataset.h"
+#include "models/linear_model.h"
+
+namespace {
+using namespace alex;         // NOLINT
+using namespace alex::bench;  // NOLINT
+
+struct Bounds {
+  size_t upper;          // Theorem 2
+  size_t approx_lower;   // §4 approximate lower bound
+};
+
+Bounds TheoremBounds(const std::vector<double>& keys, double ca) {
+  const size_t n = keys.size();
+  Bounds b{2, 1};
+  for (size_t i = 0; i + 2 < n; ++i) {
+    if ((keys[i + 2] - keys[i]) > 1.0 / ca) ++b.upper;
+  }
+  for (size_t i = 0; i + 1 < n; ++i) {
+    if ((keys[i + 1] - keys[i]) >= 1.0 / ca) ++b.approx_lower;
+  }
+  b.upper = std::min(b.upper, n);
+  b.approx_lower = std::min(b.approx_lower, n);
+  return b;
+}
+
+}  // namespace
+
+int main() {
+  const size_t n = ScaledKeys(20000);
+  data::DatasetOptions options;
+  options.shuffle = false;
+  const auto keys = data::GenerateKeys(data::DatasetId::kLongitudes, n,
+                                       options);
+  std::vector<int64_t> payloads(n, 0);
+
+  std::printf("Section 4: direct hits vs expansion factor c (longitudes, "
+              "%zu keys, one leaf-style array)\n\n", n);
+  std::printf("| c | direct hits | measured %% | Thm2 upper bound | approx "
+              "lower bound |\n|---|---|---|---|---|\n");
+
+  for (const double c : {1.0, 1.2, 1.43, 2.0, 3.0, 5.0, 10.0}) {
+    const size_t capacity = static_cast<size_t>(
+        static_cast<double>(n) * c + 0.5);
+    const model::LinearModel model =
+        model::TrainCdfModel(keys.data(), n, capacity);
+    container::GappedArray<double, int64_t> ga;
+    ga.BuildFromSorted(keys.data(), payloads.data(), n, capacity, model);
+    size_t direct = 0;
+    for (const double k : keys) {
+      const size_t predicted = model.Predict(k, capacity);
+      if (ga.IsOccupied(predicted) && ga.key_at(predicted) == k) ++direct;
+    }
+    // ca = slope of the scaled model (positions per key unit).
+    const Bounds b = TheoremBounds(keys, model.slope());
+    std::printf("| %.2f | %zu | %.1f%% | %zu | %zu |\n", c, direct,
+                100.0 * static_cast<double>(direct) / static_cast<double>(n),
+                b.upper, b.approx_lower);
+  }
+  std::printf("\nExpected shape: direct hits grow monotonically with c and "
+              "stay within [approx lower, upper] (Theorems 2-3).\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Shared helpers for the per-figure benchmark binaries.
+//
+// Every binary prints the rows/series of one table or figure of the paper.
+// Defaults are laptop-scale (the repro target is the *shape* of each
+// result, not absolute numbers); two environment variables rescale runs:
+//
+//   ALEX_BENCH_SCALE    multiplies all key counts (default 1.0)
+//   ALEX_BENCH_SECONDS  seconds per timed workload run (default 0.5)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/config.h"
+#include "datasets/dataset.h"
+#include "workloads/workload.h"
+
+namespace alex::bench {
+
+inline double EnvScale() {
+  const char* s = std::getenv("ALEX_BENCH_SCALE");
+  if (s == nullptr) return 1.0;
+  const double v = std::atof(s);
+  return v > 0.0 ? v : 1.0;
+}
+
+inline double EnvSeconds() {
+  const char* s = std::getenv("ALEX_BENCH_SECONDS");
+  if (s == nullptr) return 0.5;
+  const double v = std::atof(s);
+  return v > 0.0 ? v : 0.5;
+}
+
+/// Scales a default key count by ALEX_BENCH_SCALE.
+inline size_t ScaledKeys(size_t base) {
+  return static_cast<size_t>(static_cast<double>(base) * EnvScale());
+}
+
+/// Millions-of-ops-per-second with 3 significant digits.
+inline std::string Mops(double ops_per_sec) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", ops_per_sec / 1e6);
+  return buf;
+}
+
+/// Human-readable byte count.
+inline std::string HumanBytes(size_t bytes) {
+  char buf[32];
+  if (bytes >= 1024ull * 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB",
+                  static_cast<double>(bytes) / (1024.0 * 1024 * 1024));
+  } else if (bytes >= 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB",
+                  static_cast<double>(bytes) / (1024.0 * 1024));
+  } else if (bytes >= 1024) {
+    std::snprintf(buf, sizeof(buf), "%.2f KiB",
+                  static_cast<double>(bytes) / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zu B", bytes);
+  }
+  return buf;
+}
+
+/// The paper's default ALEX configs per experiment family (§5.1-5.2).
+inline core::Config GaSrmiConfig() {
+  core::Config config;
+  config.layout = core::NodeLayout::kGappedArray;
+  config.rmi_mode = core::RmiMode::kStatic;
+  return config;
+}
+
+inline core::Config GaArmiConfig(bool splitting = false) {
+  core::Config config;
+  config.layout = core::NodeLayout::kGappedArray;
+  config.rmi_mode = core::RmiMode::kAdaptive;
+  config.allow_splitting = splitting;
+  return config;
+}
+
+inline core::Config PmaSrmiConfig() {
+  core::Config config;
+  config.layout = core::NodeLayout::kPackedMemoryArray;
+  config.rmi_mode = core::RmiMode::kStatic;
+  return config;
+}
+
+inline core::Config PmaArmiConfig(bool splitting = false) {
+  core::Config config;
+  config.layout = core::NodeLayout::kPackedMemoryArray;
+  config.rmi_mode = core::RmiMode::kAdaptive;
+  config.allow_splitting = splitting;
+  return config;
+}
+
+/// Header for a markdown table.
+inline void PrintRule(const char* title) {
+  std::printf("\n### %s\n\n", title);
+}
+
+}  // namespace alex::bench

@@ -1,0 +1,67 @@
+// Figure 10: Data storage space vs. throughput — read-heavy workload on
+// all four datasets while varying ALEX's space overhead: 20%, 43%
+// (B+Tree-comparable default), 2x and 3x allocated slots per key.
+//
+// Expected shape (§5.3.1): more space usually helps (fewer fully-packed
+// regions) with diminishing returns; easy-to-model datasets (lognormal,
+// YCSB) can get *worse* at 3x from cache effects; longlat barely improves.
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "datasets/dataset.h"
+#include "workloads/adapters.h"
+#include "workloads/runner.h"
+
+namespace {
+using namespace alex;         // NOLINT
+using namespace alex::bench;  // NOLINT
+using P8 = workload::Payload<8>;
+
+struct SpacePoint {
+  const char* label;
+  double expansion_factor;  // allocated slots per key (c of §3.3.1)
+};
+
+constexpr SpacePoint kSpacePoints[] = {
+    {"20% overhead", 1.2},
+    {"43% overhead (default)", 1.43},
+    {"2x space", 2.0},
+    {"3x space", 3.0},
+};
+
+}  // namespace
+
+int main() {
+  const size_t total = ScaledKeys(150000);
+  const size_t init = ScaledKeys(50000);
+
+  std::printf("Figure 10: Data space vs throughput (read-heavy), ALEX-GA-ARMI"
+              "\n\n");
+  std::printf("| dataset |");
+  for (const auto& p : kSpacePoints) std::printf(" %s |", p.label);
+  std::printf("\n|---|");
+  for (size_t i = 0; i < 4; ++i) std::printf("---|");
+  std::printf("\n");
+
+  for (const auto dataset : data::kAllDatasets) {
+    const auto keys = data::GenerateKeys(dataset, total);
+    const auto wdata = workload::SplitWorkloadData(keys, init);
+    std::printf("| %s |", data::DatasetName(dataset));
+    for (const auto& point : kSpacePoints) {
+      core::Config config = GaArmiConfig();
+      config.density_upper = core::SpaceBudgetToDensity(
+          point.expansion_factor);
+      config.density_lower = 0.0;  // isolate the space knob
+      workload::AlexAdapter<double, P8> index(config);
+      workload::PrepareIndex(index, wdata, P8{});
+      workload::WorkloadSpec spec;
+      spec.kind = workload::WorkloadKind::kReadHeavy;
+      spec.seconds = EnvSeconds();
+      const auto r = workload::RunWorkload(index, wdata, spec);
+      std::printf(" %s |", Mops(r.Throughput()).c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Figure 11: Exponential vs. bounded binary search (google-benchmark).
+//
+// Microbenchmark on 100M (scaled) perfectly uniform integers: search for
+// random values given a predicted position with a controlled synthetic
+// error. Exponential search time grows with log(error); bounded binary
+// search is flat at the cost of its fixed window (§5.3.2). ALEX wins with
+// exponential search exactly because model-based inserts keep errors tiny.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "bench/common.h"
+#include "util/random.h"
+#include "util/search.h"
+
+namespace {
+
+using alex::bench::ScaledKeys;
+using alex::util::BinarySearchLowerBound;
+using alex::util::ExponentialSearchLowerBound;
+using alex::util::Xoshiro256;
+
+const std::vector<uint64_t>& Data() {
+  static const std::vector<uint64_t>* data = [] {
+    auto* d = new std::vector<uint64_t>(ScaledKeys(10000000));
+    for (size_t i = 0; i < d->size(); ++i) (*d)[i] = i * 2;
+    return d;
+  }();
+  return *data;
+}
+
+// `state.range(0)` is the synthetic prediction error in positions.
+void BM_ExponentialSearch(benchmark::State& state) {
+  const auto& data = Data();
+  const size_t error = static_cast<size_t>(state.range(0));
+  Xoshiro256 rng(1);
+  for (auto _ : state) {
+    const size_t target = rng.NextUint64(data.size());
+    const uint64_t key = data[target];
+    const size_t predicted =
+        target >= error ? target - error : target + error;
+    benchmark::DoNotOptimize(ExponentialSearchLowerBound(
+        data.data(), data.size(), key, predicted));
+  }
+}
+
+// Bounded binary search with a fixed error-bound window of
+// `state.range(1)` positions around the prediction (the Learned Index
+// stores such bounds per model). Falls back to a full binary search when
+// the window misses, like the baseline must.
+void BM_BoundedBinarySearch(benchmark::State& state) {
+  const auto& data = Data();
+  const size_t error = static_cast<size_t>(state.range(0));
+  const size_t window = static_cast<size_t>(state.range(1));
+  Xoshiro256 rng(1);
+  for (auto _ : state) {
+    const size_t target = rng.NextUint64(data.size());
+    const uint64_t key = data[target];
+    const size_t predicted =
+        target >= error ? target - error : target + error;
+    const size_t lo = predicted >= window ? predicted - window : 0;
+    const size_t hi = std::min(data.size(), predicted + window + 1);
+    size_t pos = BinarySearchLowerBound(data.data(), lo, hi, key);
+    if ((pos == hi && hi != data.size()) ||
+        (pos < data.size() && data[pos] != key && pos == lo && lo != 0)) {
+      pos = BinarySearchLowerBound(data.data(), size_t{0}, data.size(), key);
+    }
+    benchmark::DoNotOptimize(pos);
+  }
+}
+
+BENCHMARK(BM_ExponentialSearch)->Arg(0)->Arg(1)->Arg(8)->Arg(64)->Arg(512)
+    ->Arg(4096)->Arg(32768);
+// Windows sized to the worst-case error of each series: binary search cost
+// is set by the window, not the actual error.
+BENCHMARK(BM_BoundedBinarySearch)
+    ->Args({0, 32768})
+    ->Args({1, 32768})
+    ->Args({8, 32768})
+    ->Args({64, 32768})
+    ->Args({512, 32768})
+    ->Args({4096, 32768})
+    ->Args({32768, 32768})
+    ->Args({8, 64})
+    ->Args({512, 1024});
+
+}  // namespace
+
+BENCHMARK_MAIN();

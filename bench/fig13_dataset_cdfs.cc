@@ -1,0 +1,59 @@
+// Figures 13 & 14 (Appendix C): dataset CDFs, global and zoomed. Prints
+// (key, cdf) series for each dataset at global scale, plus a zoomed window
+// around the median for longitudes vs longlat — showing the smooth
+// vs step-function local structure that drives ALEX's results.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "datasets/dataset.h"
+
+namespace {
+using namespace alex;         // NOLINT
+using namespace alex::bench;  // NOLINT
+}  // namespace
+
+int main() {
+  const size_t n = ScaledKeys(100000);
+
+  std::printf("Figure 13: dataset CDFs (global, 21 samples each)\n");
+  for (const auto id : data::kAllDatasets) {
+    const auto keys = data::GenerateKeys(id, n);
+    const auto cdf = data::SampleCdf(keys, 21);
+    std::printf("\n%s:\n| key | CDF |\n|---|---|\n", data::DatasetName(id));
+    for (const auto& [key, p] : cdf) {
+      std::printf("| %.6g | %.2f |\n", key, p);
+    }
+  }
+
+  // Figure 14: zoom into 10% of the CDF around the median for the two
+  // geographic datasets; report the local "steppiness" (max relative jump
+  // between adjacent sampled keys).
+  std::printf("\nFigure 14: zoomed CDFs (10%% of keys around the median)\n");
+  for (const auto id :
+       {data::DatasetId::kLongitudes, data::DatasetId::kLonglat}) {
+    auto keys = data::GenerateKeys(id, n);
+    std::sort(keys.begin(), keys.end());
+    const size_t lo = keys.size() / 2 - keys.size() / 20;
+    const size_t hi = keys.size() / 2 + keys.size() / 20;
+    std::vector<double> window(keys.begin() + lo, keys.begin() + hi);
+    const auto cdf = data::SampleCdf(window, 21);
+    std::printf("\n%s (window [%zu, %zu) of sorted keys):\n",
+                data::DatasetName(id), lo, hi);
+    std::printf("| key | window CDF |\n|---|---|\n");
+    for (const auto& [key, p] : cdf) {
+      std::printf("| %.8g | %.2f |\n", key, p);
+    }
+    // Steppiness: largest key jump between adjacent samples, relative to
+    // the window span. Longlat should dwarf longitudes here.
+    double max_jump = 0.0;
+    for (size_t i = 1; i < cdf.size(); ++i) {
+      max_jump = std::max(max_jump, cdf[i].first - cdf[i - 1].first);
+    }
+    const double span = cdf.back().first - cdf.front().first;
+    std::printf("max sample-to-sample key jump: %.1f%% of window span\n",
+                span > 0 ? 100.0 * max_jump / span : 0.0);
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 5a: Scalability — read-heavy workload on longitudes with a
+// growing number of initialization keys. The paper's observation: ALEX
+// maintains higher throughput than the B+Tree as the dataset grows, and
+// ALEX throughput decays surprisingly slowly because the gap proportion is
+// maintained and expansions recalibrate the models (§5.2.4).
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "datasets/dataset.h"
+#include "workloads/adapters.h"
+#include "workloads/runner.h"
+
+namespace {
+using namespace alex;         // NOLINT
+using namespace alex::bench;  // NOLINT
+using P8 = workload::Payload<8>;
+}  // namespace
+
+int main() {
+  std::printf("Figure 5a: Scalability (read-heavy, longitudes)\n\n");
+  std::printf("| init keys | ALEX Mops/s | B+Tree Mops/s | ALEX/B+Tree |\n");
+  std::printf("|---|---|---|---|\n");
+  const size_t sizes[] = {ScaledKeys(25000), ScaledKeys(50000),
+                          ScaledKeys(100000), ScaledKeys(200000),
+                          ScaledKeys(400000)};
+  for (const size_t init : sizes) {
+    // Extra 20% of keys feed the 5% insert stream.
+    const auto keys =
+        data::GenerateKeys(data::DatasetId::kLongitudes, init + init / 5);
+    const auto wdata = workload::SplitWorkloadData(keys, init);
+    workload::WorkloadSpec spec;
+    spec.kind = workload::WorkloadKind::kReadHeavy;
+    spec.seconds = EnvSeconds();
+
+    workload::AlexAdapter<double, P8> alex_index(GaArmiConfig());
+    workload::PrepareIndex(alex_index, wdata, P8{});
+    const auto ra = workload::RunWorkload(alex_index, wdata, spec);
+
+    workload::BTreeAdapter<double, P8> btree(64);
+    workload::PrepareIndex(btree, wdata, P8{});
+    const auto rb = workload::RunWorkload(btree, wdata, spec);
+
+    std::printf("| %zu | %s | %s | %.2fx |\n", init,
+                Mops(ra.Throughput()).c_str(), Mops(rb.Throughput()).c_str(),
+                ra.Throughput() / rb.Throughput());
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 5c: Sequential (adversarial) inserts — new keys always land in
+// the right-most leaf. The paper's finding: ALEX is NOT robust here (up to
+// 11x lower throughput than B+Tree); ALEX-PMA-ARMI is the best ALEX
+// variant because both the PMA and adaptive RMI are needed to fight the
+// persistent fully-packed region (§5.2.5).
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "bench/common.h"
+#include "workloads/adapters.h"
+#include "workloads/runner.h"
+
+namespace {
+using namespace alex;         // NOLINT
+using namespace alex::bench;  // NOLINT
+using P8 = workload::Payload<8>;
+
+workload::WorkloadData<double> MakeSequentialData(size_t init,
+                                                  size_t total) {
+  // Strictly increasing keys: init prefix bulk-loads, the rest insert in
+  // ascending order — always into the right-most leaf.
+  workload::WorkloadData<double> wdata;
+  wdata.init_keys.resize(init);
+  wdata.insert_keys.resize(total - init);
+  for (size_t i = 0; i < init; ++i) {
+    wdata.init_keys[i] = static_cast<double>(i);
+  }
+  for (size_t i = init; i < total; ++i) {
+    wdata.insert_keys[i - init] = static_cast<double>(i);
+  }
+  return wdata;
+}
+
+template <typename MakeIndex>
+double RunVariant(const workload::WorkloadData<double>& wdata,
+                  MakeIndex make_index) {
+  auto index = make_index();
+  workload::PrepareIndex(index, wdata, P8{});
+  workload::WorkloadSpec spec;
+  spec.kind = workload::WorkloadKind::kWriteHeavy;
+  spec.seconds = EnvSeconds();
+  return workload::RunWorkload(index, wdata, spec).Throughput();
+}
+
+}  // namespace
+
+int main() {
+  const size_t init = ScaledKeys(50000);
+  const size_t total = ScaledKeys(500000);
+  const auto wdata = MakeSequentialData(init, total);
+
+  std::printf("Figure 5c: Sequential inserts (write-heavy, ascending keys)\n");
+  std::printf("Expected shape: B+Tree wins; ALEX-PMA-ARMI is the best ALEX "
+              "variant (paper: B+Tree up to 11x over ALEX).\n\n");
+  std::printf("| index | Mops/s |\n|---|---|\n");
+
+  const double btree = RunVariant(wdata, [] {
+    return workload::BTreeAdapter<double, P8>(64);
+  });
+  std::printf("| B+Tree | %s |\n", Mops(btree).c_str());
+
+  const double ga_armi = RunVariant(wdata, [] {
+    return workload::AlexAdapter<double, P8>(GaArmiConfig(true));
+  });
+  std::printf("| ALEX-GA-ARMI | %s |\n", Mops(ga_armi).c_str());
+
+  const double pma_armi = RunVariant(wdata, [] {
+    return workload::AlexAdapter<double, P8>(PmaArmiConfig(true));
+  });
+  std::printf("| ALEX-PMA-ARMI | %s |\n", Mops(pma_armi).c_str());
+
+  std::printf("\nB+Tree/ALEX-PMA-ARMI = %.2fx, B+Tree/ALEX-GA-ARMI = %.2fx\n",
+              btree / pma_armi, btree / ga_armi);
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Figure 6: Lifetime studies — initialize with a small key count, insert
+// until the dataset is exhausted, pausing periodically to time lookups.
+// Reports average insert and lookup latency per checkpoint for
+// ALEX-PMA-SRMI, ALEX-GA-ARMI, ALEX-PMA-ARMI and B+Tree on longitudes and
+// longlat (ALEX-GA-SRMI is omitted, as in the paper: it does nothing to
+// avoid fully-packed regions).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "datasets/dataset.h"
+#include "util/random.h"
+#include "util/timer.h"
+#include "workloads/adapters.h"
+#include "workloads/runner.h"
+
+namespace {
+using namespace alex;         // NOLINT
+using namespace alex::bench;  // NOLINT
+using P8 = workload::Payload<8>;
+
+struct Series {
+  std::string name;
+  std::vector<double> insert_ns;  // per checkpoint
+  std::vector<double> lookup_ns;
+};
+
+template <typename Index>
+Series RunLifetime(const std::string& name, Index index,
+                   const workload::WorkloadData<double>& wdata,
+                   size_t batch, size_t lookups_per_pause) {
+  Series series;
+  series.name = name;
+  workload::PrepareIndex(index, wdata, P8{});
+  util::Xoshiro256 rng(3);
+  size_t next = 0;
+  const auto& inserts = wdata.insert_keys;
+  while (next < inserts.size()) {
+    const size_t end = std::min(inserts.size(), next + batch);
+    util::Timer timer;
+    for (; next < end; ++next) {
+      index.Insert(inserts[next], P8{});
+    }
+    series.insert_ns.push_back(static_cast<double>(timer.ElapsedNanos()) /
+                               static_cast<double>(batch));
+    // Pause and measure lookups of random existing keys (paper: 10k
+    // lookups every 100k inserts).
+    timer.Restart();
+    for (size_t i = 0; i < lookups_per_pause; ++i) {
+      const size_t pick = rng.NextUint64(next);
+      const double key = pick < wdata.init_keys.size()
+                             ? wdata.init_keys[pick]
+                             : inserts[pick - wdata.init_keys.size()];
+      index.Find(key);
+    }
+    series.lookup_ns.push_back(static_cast<double>(timer.ElapsedNanos()) /
+                               static_cast<double>(lookups_per_pause));
+  }
+  return series;
+}
+
+void RunDataset(data::DatasetId dataset) {
+  const size_t init = ScaledKeys(10000);
+  const size_t total = ScaledKeys(200000);
+  const size_t batch = ScaledKeys(19000);
+  const size_t lookups = ScaledKeys(5000);
+  const auto keys = data::GenerateKeys(dataset, total);
+  const auto wdata = workload::SplitWorkloadData(keys, init);
+
+  std::vector<Series> all;
+  all.push_back(RunLifetime(
+      "B+Tree", workload::BTreeAdapter<double, P8>(64), wdata, batch,
+      lookups));
+  all.push_back(RunLifetime(
+      "ALEX-PMA-SRMI",
+      workload::AlexAdapter<double, P8>(PmaSrmiConfig()), wdata, batch,
+      lookups));
+  all.push_back(RunLifetime(
+      "ALEX-GA-ARMI",
+      workload::AlexAdapter<double, P8>(GaArmiConfig(true)), wdata, batch,
+      lookups));
+  all.push_back(RunLifetime(
+      "ALEX-PMA-ARMI",
+      workload::AlexAdapter<double, P8>(PmaArmiConfig(true)), wdata, batch,
+      lookups));
+
+  std::printf("\nFigure 6 (%s): avg insert ns per key, by checkpoint\n\n",
+              data::DatasetName(dataset));
+  std::printf("| keys inserted |");
+  for (const auto& s : all) std::printf(" %s |", s.name.c_str());
+  std::printf("\n|---|");
+  for (size_t i = 0; i < all.size(); ++i) std::printf("---|");
+  std::printf("\n");
+  for (size_t cp = 0; cp < all.front().insert_ns.size(); ++cp) {
+    std::printf("| %zu |", init + (cp + 1) * batch);
+    for (const auto& s : all) std::printf(" %.0f |", s.insert_ns[cp]);
+    std::printf("\n");
+  }
+
+  std::printf("\nFigure 6 (%s): avg lookup ns, by checkpoint\n\n",
+              data::DatasetName(dataset));
+  std::printf("| keys inserted |");
+  for (const auto& s : all) std::printf(" %s |", s.name.c_str());
+  std::printf("\n|---|");
+  for (size_t i = 0; i < all.size(); ++i) std::printf("---|");
+  std::printf("\n");
+  for (size_t cp = 0; cp < all.front().lookup_ns.size(); ++cp) {
+    std::printf("| %zu |", init + (cp + 1) * batch);
+    for (const auto& s : all) std::printf(" %.0f |", s.lookup_ns[cp]);
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 6: Lifetime studies (insert & lookup latency as the "
+              "index grows)\n");
+  RunDataset(data::DatasetId::kLongitudes);
+  RunDataset(data::DatasetId::kLonglat);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 8: Shifts per insert — the average number of element moves per
+// insert for the Learned Index (single gap-less array) and the four ALEX
+// variants, on a write-only stream over longitudes.
+//
+// Expected shape (§5.3): Learned Index >> ALEX-GA-SRMI >> the variants
+// that avoid fully-packed regions (PMA layout or adaptive RMI), with
+// roughly an order of magnitude between each tier.
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "baselines/learned_index.h"
+#include "core/alex.h"
+#include "datasets/dataset.h"
+#include "workloads/runner.h"
+
+namespace {
+using namespace alex;         // NOLINT
+using namespace alex::bench;  // NOLINT
+
+double AlexShiftsPerInsert(const core::Config& config,
+                           const workload::WorkloadData<double>& wdata) {
+  core::Alex<double, int64_t> index(config);
+  std::vector<int64_t> payloads(wdata.init_keys.size(), 0);
+  index.BulkLoad(wdata.init_keys.data(), payloads.data(),
+                 wdata.init_keys.size());
+  const auto base = index.stats();
+  for (const double k : wdata.insert_keys) {
+    index.Insert(k, 0);
+  }
+  const auto& s = index.stats();
+  return static_cast<double>(s.num_shifts - base.num_shifts) /
+         static_cast<double>(s.num_inserts - base.num_inserts);
+}
+
+}  // namespace
+
+int main() {
+  const size_t init = ScaledKeys(50000);
+  const size_t inserts = ScaledKeys(50000);
+  const auto keys =
+      data::GenerateKeys(data::DatasetId::kLongitudes, init + inserts);
+  const auto wdata = workload::SplitWorkloadData(keys, init);
+
+  std::printf("Figure 8: Shifts per insert (longitudes, %zu init + %zu "
+              "inserts)\n\n", init, inserts);
+  std::printf("| index | shifts/insert |\n|---|---|\n");
+
+  {
+    baseline::LearnedIndex<double, int64_t> li(
+        std::max<size_t>(16, init / 2048));
+    std::vector<int64_t> payloads(wdata.init_keys.size(), 0);
+    li.BulkLoad(wdata.init_keys.data(), payloads.data(),
+                wdata.init_keys.size());
+    // The naive insert is O(n); bound the stream so the bench terminates
+    // quickly while the per-insert average stays representative.
+    const size_t li_inserts =
+        std::min<size_t>(wdata.insert_keys.size(), 2000);
+    for (size_t i = 0; i < li_inserts; ++i) {
+      li.Insert(wdata.insert_keys[i], 0);
+    }
+    std::printf("| Learned Index (gap-less array) | %.1f |\n",
+                static_cast<double>(li.num_shifts()) /
+                    static_cast<double>(li.num_inserts()));
+  }
+
+  std::printf("| ALEX-GA-SRMI | %.1f |\n",
+              AlexShiftsPerInsert(GaSrmiConfig(), wdata));
+  std::printf("| ALEX-PMA-SRMI | %.1f |\n",
+              AlexShiftsPerInsert(PmaSrmiConfig(), wdata));
+  std::printf("| ALEX-GA-ARMI | %.1f |\n",
+              AlexShiftsPerInsert(GaArmiConfig(), wdata));
+  std::printf("| ALEX-PMA-ARMI | %.1f |\n",
+              AlexShiftsPerInsert(PmaArmiConfig(), wdata));
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 9: Insert latency — a write-only stream over longitudes, with
+// latency measured per minibatch of 1000 inserts. Reports the median and
+// tail (p99, max) of minibatch latencies.
+//
+// Expected shape (§5.3): ALEX-PMA-SRMI has low median latency but up to
+// two orders of magnitude higher tail than ALEX-GA-ARMI (large static
+// nodes expand expensively); ALEX-GA-ARMI's tail is competitive with
+// B+Tree.
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "datasets/dataset.h"
+#include "util/histogram.h"
+#include "util/timer.h"
+#include "workloads/adapters.h"
+#include "workloads/runner.h"
+
+namespace {
+using namespace alex;         // NOLINT
+using namespace alex::bench;  // NOLINT
+using P8 = workload::Payload<8>;
+
+template <typename Index>
+void RunSeries(const char* name, Index index,
+               const workload::WorkloadData<double>& wdata) {
+  workload::PrepareIndex(index, wdata, P8{});
+  util::PercentileRecorder batches;
+  const size_t batch = 1000;
+  util::Timer timer;
+  size_t i = 0;
+  for (const double k : wdata.insert_keys) {
+    index.Insert(k, P8{});
+    if (++i % batch == 0) {
+      batches.Record(timer.ElapsedNanos());
+      timer.Restart();
+    }
+  }
+  std::printf("| %s | %.3f | %.3f | %.3f | %.1fx |\n", name,
+              static_cast<double>(batches.Percentile(0.5)) / 1e6,
+              static_cast<double>(batches.Percentile(0.99)) / 1e6,
+              static_cast<double>(batches.Max()) / 1e6,
+              static_cast<double>(batches.Max()) /
+                  static_cast<double>(batches.Percentile(0.5)));
+}
+
+}  // namespace
+
+int main() {
+  const size_t init = ScaledKeys(50000);
+  const size_t inserts = ScaledKeys(200000);
+  const auto keys =
+      data::GenerateKeys(data::DatasetId::kLongitudes, init + inserts);
+  const auto wdata = workload::SplitWorkloadData(keys, init);
+
+  std::printf("Figure 9: Insert latency per 1000-insert minibatch "
+              "(longitudes, write-only)\n\n");
+  std::printf("| index | median ms | p99 ms | max ms | max/median |\n");
+  std::printf("|---|---|---|---|---|\n");
+  RunSeries("B+Tree", workload::BTreeAdapter<double, P8>(64), wdata);
+  RunSeries("ALEX-PMA-SRMI",
+            workload::AlexAdapter<double, P8>(PmaSrmiConfig()), wdata);
+  RunSeries("ALEX-GA-ARMI",
+            workload::AlexAdapter<double, P8>(GaArmiConfig(true)), wdata);
+  RunSeries("ALEX-PMA-ARMI",
+            workload::AlexAdapter<double, P8>(PmaArmiConfig(true)), wdata);
+  return 0;
+}

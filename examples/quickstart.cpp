@@ -1,0 +1,79 @@
+// Quickstart: the core ALEX API in one page.
+//
+//   build/examples/quickstart
+//
+// Covers: bulk load, point lookup, insert, update, delete, lower-bound
+// iteration, range scan, and the index/data size metrics.
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "core/alex.h"
+
+int main() {
+  // An ALEX index mapping int64 keys to int64 payloads. The default
+  // configuration is ALEX-GA-ARMI with node splitting: the variant the
+  // paper recommends for general read-write use.
+  alex::core::Alex<int64_t, int64_t> index;
+
+  // Bulk load sorted, distinct keys (the fastest way to build).
+  std::vector<int64_t> keys;
+  std::vector<int64_t> payloads;
+  for (int64_t k = 0; k < 1000000; ++k) {
+    keys.push_back(k * 10);       // keys: 0, 10, 20, ...
+    payloads.push_back(k * 100);  // payload: anything copyable
+  }
+  index.BulkLoad(keys.data(), payloads.data(), keys.size());
+  std::printf("bulk-loaded %zu keys\n", index.size());
+
+  // Point lookup: returns a pointer to the payload (nullptr when absent).
+  if (const int64_t* payload = index.Find(5000)) {
+    std::printf("Find(5000) -> %lld\n", static_cast<long long>(*payload));
+  }
+  std::printf("Find(5001) -> %s\n",
+              index.Find(5001) == nullptr ? "not found" : "found");
+
+  // Inserts go where the model predicts (model-based insertion). Duplicate
+  // keys are rejected.
+  index.Insert(5001, 42);
+  std::printf("after Insert(5001): Find(5001) -> %lld\n",
+              static_cast<long long>(*index.Find(5001)));
+  std::printf("duplicate insert returns %s\n",
+              index.Insert(5001, 43) ? "true" : "false");
+
+  // Payload update and delete.
+  index.Update(5001, 99);
+  std::printf("after Update(5001, 99): %lld\n",
+              static_cast<long long>(*index.Find(5001)));
+  index.Erase(5001);
+  std::printf("after Erase(5001): %s\n",
+              index.Find(5001) == nullptr ? "gone" : "still there");
+
+  // Ordered iteration from a lower bound.
+  std::printf("first 5 keys >= 12345: ");
+  auto it = index.LowerBound(12345);
+  for (int i = 0; i < 5 && !it.IsEnd(); ++i, ++it) {
+    std::printf("%lld ", static_cast<long long>(it.key()));
+  }
+  std::printf("\n");
+
+  // Range scan into a buffer (what the YCSB-E workload does).
+  std::vector<std::pair<int64_t, int64_t>> window;
+  index.RangeScan(500000, 3, &window);
+  std::printf("RangeScan(500000, 3): ");
+  for (const auto& [k, v] : window) {
+    std::printf("(%lld -> %lld) ", static_cast<long long>(k),
+                static_cast<long long>(v));
+  }
+  std::printf("\n");
+
+  // The paper's headline: the learned index is tiny relative to the data.
+  std::printf("index size: %zu bytes, data size: %zu bytes (%.5f%%)\n",
+              index.IndexSizeBytes(), index.DataSizeBytes(),
+              100.0 * static_cast<double>(index.IndexSizeBytes()) /
+                  static_cast<double>(index.DataSizeBytes()));
+  std::printf("tree shape: %zu inner nodes, %zu data nodes, depth %zu\n",
+              index.Shape().num_inner_nodes, index.Shape().num_data_nodes,
+              index.Shape().max_depth);
+  return 0;
+}

@@ -1,0 +1,350 @@
+// In-memory B+Tree baseline (paper §5.1: "The first baseline is a standard
+// B+Tree, as implemented in the STX B+Tree"). Like STX, this is a plain
+// main-memory B+Tree: sorted key arrays per node, binary search within
+// nodes, leaf-level sibling links for range scans. Node capacity (the
+// paper's "page size") is a runtime parameter so benchmarks can grid-search
+// it exactly as the paper does.
+//
+// Deletes remove from the leaf without rebalancing (lazy deletion) — the
+// paper's benchmarks never delete; the simplification is documented in
+// DESIGN.md and covered by tests.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/search.h"
+
+namespace alex::baseline {
+
+/// A B+Tree map from arithmetic keys to payloads.
+template <typename K, typename P>
+class BPlusTree {
+ public:
+  /// `node_capacity` is the max keys per node (leaf and inner); the
+  /// paper's tunable "page size". Minimum 4.
+  explicit BPlusTree(size_t node_capacity = 64)
+      : node_capacity_(node_capacity < 4 ? 4 : node_capacity) {
+    root_ = NewLeaf();
+  }
+
+  ~BPlusTree() { DeleteSubtree(root_); }
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  BPlusTree(BPlusTree&& other) noexcept
+      : node_capacity_(other.node_capacity_),
+        root_(other.root_),
+        num_keys_(other.num_keys_) {
+    other.root_ = nullptr;
+    other.num_keys_ = 0;
+  }
+
+  size_t size() const { return num_keys_; }
+  bool empty() const { return num_keys_ == 0; }
+  size_t node_capacity() const { return node_capacity_; }
+
+  /// Bulk-loads from `n` strictly-increasing keys, replacing contents.
+  /// Leaves are filled to ~70% so subsequent inserts do not split
+  /// immediately (standard B+Tree bulk-load practice).
+  void BulkLoad(const K* keys, const P* payloads, size_t n) {
+    DeleteSubtree(root_);
+    root_ = nullptr;
+    num_keys_ = n;
+    const size_t fill = std::max<size_t>(2, node_capacity_ * 7 / 10);
+    // Build the leaf level.
+    std::vector<Node*> level;
+    std::vector<K> separators;
+    Leaf* prev = nullptr;
+    for (size_t i = 0; i < n;) {
+      const size_t take = std::min(fill, n - i);
+      Leaf* leaf = NewLeaf();
+      leaf->keys.assign(keys + i, keys + i + take);
+      leaf->payloads.assign(payloads + i, payloads + i + take);
+      if (prev != nullptr) prev->next = leaf;
+      prev = leaf;
+      if (!level.empty()) separators.push_back(keys[i]);
+      level.push_back(leaf);
+      i += take;
+    }
+    if (level.empty()) {
+      root_ = NewLeaf();
+      return;
+    }
+    // Build inner levels bottom-up. The separator between global children
+    // i and i+1 is separators[i]; a chunk [i, i+take) keeps its internal
+    // separators and promotes separators[i-1] (its left boundary) to the
+    // parent.
+    while (level.size() > 1) {
+      std::vector<Node*> parent_level;
+      std::vector<K> parent_separators;
+      size_t i = 0;
+      while (i < level.size()) {
+        const size_t take = std::min(fill + 1, level.size() - i);
+        Inner* inner = NewInner();
+        inner->children.assign(level.begin() + i, level.begin() + i + take);
+        inner->keys.assign(separators.begin() + i,
+                           separators.begin() + i + take - 1);
+        if (!parent_level.empty()) {
+          parent_separators.push_back(separators[i - 1]);
+        }
+        parent_level.push_back(inner);
+        i += take;
+      }
+      level = std::move(parent_level);
+      separators = std::move(parent_separators);
+    }
+    root_ = level.front();
+  }
+
+  /// Point lookup; returns payload pointer or nullptr.
+  P* Find(K key) {
+    Leaf* leaf = TraverseToLeaf(key);
+    const size_t pos = util::BinarySearchLowerBound(
+        leaf->keys.data(), 0, leaf->keys.size(), key);
+    if (pos < leaf->keys.size() && leaf->keys[pos] == key) {
+      return &leaf->payloads[pos];
+    }
+    return nullptr;
+  }
+
+  bool Contains(K key) { return Find(key) != nullptr; }
+
+  /// Inserts; returns false on duplicate key.
+  bool Insert(K key, const P& payload) {
+    K up_key{};
+    Node* up_node = nullptr;
+    const InsertStatus status =
+        InsertRecursive(root_, key, payload, &up_key, &up_node);
+    if (status == InsertStatus::kDuplicate) return false;
+    if (status == InsertStatus::kSplit) {
+      Inner* new_root = NewInner();
+      new_root->keys.push_back(up_key);
+      new_root->children.push_back(root_);
+      new_root->children.push_back(up_node);
+      root_ = new_root;
+    }
+    ++num_keys_;
+    return true;
+  }
+
+  /// Removes `key`; returns false when absent. Lazy deletion: the leaf is
+  /// not rebalanced or merged.
+  bool Erase(K key) {
+    Leaf* leaf = TraverseToLeaf(key);
+    const size_t pos = util::BinarySearchLowerBound(
+        leaf->keys.data(), 0, leaf->keys.size(), key);
+    if (pos >= leaf->keys.size() || !(leaf->keys[pos] == key)) return false;
+    leaf->keys.erase(leaf->keys.begin() + pos);
+    leaf->payloads.erase(leaf->payloads.begin() + pos);
+    --num_keys_;
+    return true;
+  }
+
+  /// Overwrites an existing payload; false when absent.
+  bool Update(K key, const P& payload) {
+    P* p = Find(key);
+    if (p == nullptr) return false;
+    *p = payload;
+    return true;
+  }
+
+  /// Reads up to `max_results` pairs with key >= `start` in key order.
+  size_t RangeScan(K start, size_t max_results,
+                   std::vector<std::pair<K, P>>* out) {
+    out->clear();
+    Leaf* leaf = TraverseToLeaf(start);
+    size_t pos = util::BinarySearchLowerBound(leaf->keys.data(), 0,
+                                              leaf->keys.size(), start);
+    while (leaf != nullptr && out->size() < max_results) {
+      if (pos >= leaf->keys.size()) {
+        leaf = leaf->next;
+        pos = 0;
+        continue;
+      }
+      out->emplace_back(leaf->keys[pos], leaf->payloads[pos]);
+      ++pos;
+    }
+    return out->size();
+  }
+
+  /// Index size = inner nodes only (paper §5.1: "The index size of B+Tree
+  /// is the sum of the sizes of all inner nodes").
+  size_t IndexSizeBytes() const {
+    size_t total = 0;
+    Visit(root_, [&](const Node* node) {
+      if (!node->is_leaf) {
+        const auto* inner = static_cast<const Inner*>(node);
+        total += sizeof(Inner) + inner->keys.capacity() * sizeof(K) +
+                 inner->children.capacity() * sizeof(Node*);
+      }
+    });
+    return total;
+  }
+
+  /// Data size = all leaf nodes (paper §5.1).
+  size_t DataSizeBytes() const {
+    size_t total = 0;
+    Visit(root_, [&](const Node* node) {
+      if (node->is_leaf) {
+        const auto* leaf = static_cast<const Leaf*>(node);
+        total += sizeof(Leaf) + leaf->keys.capacity() * sizeof(K) +
+                 leaf->payloads.capacity() * sizeof(P);
+      }
+    });
+    return total;
+  }
+
+  /// Tree height (leaf depth; 0 when the root is a leaf).
+  size_t Height() const {
+    size_t h = 0;
+    const Node* node = root_;
+    while (!node->is_leaf) {
+      node = static_cast<const Inner*>(node)->children.front();
+      ++h;
+    }
+    return h;
+  }
+
+  /// Verifies sortedness, separator consistency and key count. Test hook.
+  bool CheckInvariants() const {
+    size_t counted = 0;
+    bool ok = true;
+    bool have_prev = false;
+    K prev{};
+    // Walk the leaf chain.
+    const Node* node = root_;
+    while (!node->is_leaf) {
+      node = static_cast<const Inner*>(node)->children.front();
+    }
+    for (const Leaf* leaf = static_cast<const Leaf*>(node); leaf != nullptr;
+         leaf = leaf->next) {
+      for (const K& k : leaf->keys) {
+        if (have_prev && !(prev < k)) ok = false;
+        prev = k;
+        have_prev = true;
+        ++counted;
+      }
+      if (leaf->keys.size() != leaf->payloads.size()) ok = false;
+    }
+    return ok && counted == num_keys_;
+  }
+
+ private:
+  struct Node {
+    explicit Node(bool leaf) : is_leaf(leaf) {}
+    bool is_leaf;
+  };
+  struct Leaf : Node {
+    Leaf() : Node(true) {}
+    std::vector<K> keys;
+    std::vector<P> payloads;
+    Leaf* next = nullptr;
+  };
+  struct Inner : Node {
+    Inner() : Node(false) {}
+    // children.size() == keys.size() + 1; child i holds keys <
+    // keys[i], child i+1 holds keys >= keys[i].
+    std::vector<K> keys;
+    std::vector<Node*> children;
+  };
+
+  enum class InsertStatus { kOk, kDuplicate, kSplit };
+
+  Leaf* NewLeaf() { return new Leaf(); }
+  Inner* NewInner() { return new Inner(); }
+
+  Leaf* TraverseToLeaf(K key) const {
+    Node* node = root_;
+    while (!node->is_leaf) {
+      Inner* inner = static_cast<Inner*>(node);
+      const size_t pos = util::BinarySearchUpperBound(
+          inner->keys.data(), 0, inner->keys.size(), key);
+      node = inner->children[pos];
+    }
+    return static_cast<Leaf*>(node);
+  }
+
+  InsertStatus InsertRecursive(Node* node, K key, const P& payload,
+                               K* up_key, Node** up_node) {
+    if (node->is_leaf) {
+      Leaf* leaf = static_cast<Leaf*>(node);
+      const size_t pos = util::BinarySearchLowerBound(
+          leaf->keys.data(), 0, leaf->keys.size(), key);
+      if (pos < leaf->keys.size() && leaf->keys[pos] == key) {
+        return InsertStatus::kDuplicate;
+      }
+      leaf->keys.insert(leaf->keys.begin() + pos, key);
+      leaf->payloads.insert(leaf->payloads.begin() + pos, payload);
+      if (leaf->keys.size() <= node_capacity_) return InsertStatus::kOk;
+      // Split the leaf in half; the first key of the right half moves up.
+      const size_t mid = leaf->keys.size() / 2;
+      Leaf* right = NewLeaf();
+      right->keys.assign(leaf->keys.begin() + mid, leaf->keys.end());
+      right->payloads.assign(leaf->payloads.begin() + mid,
+                             leaf->payloads.end());
+      leaf->keys.resize(mid);
+      leaf->payloads.resize(mid);
+      right->next = leaf->next;
+      leaf->next = right;
+      *up_key = right->keys.front();
+      *up_node = right;
+      return InsertStatus::kSplit;
+    }
+    Inner* inner = static_cast<Inner*>(node);
+    const size_t pos = util::BinarySearchUpperBound(
+        inner->keys.data(), 0, inner->keys.size(), key);
+    K child_up_key{};
+    Node* child_up_node = nullptr;
+    const InsertStatus status = InsertRecursive(
+        inner->children[pos], key, payload, &child_up_key, &child_up_node);
+    if (status != InsertStatus::kSplit) return status;
+    inner->keys.insert(inner->keys.begin() + pos, child_up_key);
+    inner->children.insert(inner->children.begin() + pos + 1,
+                           child_up_node);
+    if (inner->keys.size() <= node_capacity_) return InsertStatus::kOk;
+    // Split the inner node; the middle key moves up (not copied).
+    const size_t mid = inner->keys.size() / 2;
+    Inner* right = NewInner();
+    *up_key = inner->keys[mid];
+    right->keys.assign(inner->keys.begin() + mid + 1, inner->keys.end());
+    right->children.assign(inner->children.begin() + mid + 1,
+                           inner->children.end());
+    inner->keys.resize(mid);
+    inner->children.resize(mid + 1);
+    *up_node = right;
+    return InsertStatus::kSplit;
+  }
+
+  template <typename F>
+  static void Visit(const Node* node, F&& fn) {
+    if (node == nullptr) return;
+    fn(node);
+    if (!node->is_leaf) {
+      for (const Node* child : static_cast<const Inner*>(node)->children) {
+        Visit(child, fn);
+      }
+    }
+  }
+
+  static void DeleteSubtree(Node* node) {
+    if (node == nullptr) return;
+    if (!node->is_leaf) {
+      for (Node* child : static_cast<Inner*>(node)->children) {
+        DeleteSubtree(child);
+      }
+    }
+    delete node;
+  }
+
+  size_t node_capacity_;
+  Node* root_ = nullptr;
+  size_t num_keys_ = 0;
+};
+
+}  // namespace alex::baseline

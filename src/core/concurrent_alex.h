@@ -1,0 +1,119 @@
+// Thread-safe wrapper around Alex (paper §7, "Concurrency Control").
+//
+// The paper sketches lock-coupling over the RMI; this wrapper implements
+// the coarser but correct end of that design space: a single
+// reader-writer lock over the whole index. Lookups and scans take shared
+// ownership and run concurrently; inserts, deletes and updates take
+// exclusive ownership (they may expand, split or retrain — i.e. modify
+// the RMI structure, which is exactly the case §7 says needs exclusive
+// protection). Fine-grained per-leaf locking is future work, as in the
+// paper.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <shared_mutex>
+#include <utility>
+#include <vector>
+
+#include "core/alex.h"
+#include "core/config.h"
+
+namespace alex::core {
+
+/// A reader-writer-locked ALEX. All methods are safe to call from any
+/// thread. Pointer-returning lookups are deliberately not exposed — a
+/// payload pointer would escape the lock — so reads copy the payload out.
+template <typename K, typename P>
+class ConcurrentAlex {
+ public:
+  explicit ConcurrentAlex(const Config& config = Config())
+      : index_(config) {}
+
+  /// Replaces the contents (exclusive).
+  void BulkLoad(const K* keys, const P* payloads, size_t n) {
+    std::unique_lock lock(mutex_);
+    index_.BulkLoad(keys, payloads, n);
+  }
+
+  /// Copies the payload of `key` into `*out`; returns false when absent
+  /// (shared — concurrent with other reads).
+  bool Get(K key, P* out) const {
+    std::shared_lock lock(mutex_);
+    const P* p = std::as_const(index_).Find(key);
+    if (p == nullptr) return false;
+    *out = *p;
+    return true;
+  }
+
+  /// True when `key` is present (shared).
+  bool Contains(K key) const {
+    std::shared_lock lock(mutex_);
+    return std::as_const(index_).Find(key) != nullptr;
+  }
+
+  /// Inserts; false on duplicate (exclusive).
+  bool Insert(K key, const P& payload) {
+    std::unique_lock lock(mutex_);
+    return index_.Insert(key, payload);
+  }
+
+  /// Removes `key`; false when absent (exclusive).
+  bool Erase(K key) {
+    std::unique_lock lock(mutex_);
+    return index_.Erase(key);
+  }
+
+  /// Overwrites an existing payload; false when absent (exclusive: the
+  /// write must not race shared readers copying the payload).
+  bool Update(K key, const P& payload) {
+    std::unique_lock lock(mutex_);
+    return index_.Update(key, payload);
+  }
+
+  /// Inserts or overwrites (exclusive).
+  void Put(K key, const P& payload) {
+    std::unique_lock lock(mutex_);
+    if (!index_.Insert(key, payload)) {
+      index_.Update(key, payload);
+    }
+  }
+
+  /// Range scan into `out` (shared).
+  size_t RangeScan(K start, size_t max_results,
+                   std::vector<std::pair<K, P>>* out) const {
+    std::shared_lock lock(mutex_);
+    // Alex::RangeScan is logically const but non-const qualified (it
+    // shares the traversal path with mutating ops); the shared lock makes
+    // this safe.
+    return const_cast<Alex<K, P>&>(index_).RangeScan(start, max_results,
+                                                     out);
+  }
+
+  size_t size() const {
+    std::shared_lock lock(mutex_);
+    return index_.size();
+  }
+
+  size_t IndexSizeBytes() const {
+    std::shared_lock lock(mutex_);
+    return index_.IndexSizeBytes();
+  }
+
+  size_t DataSizeBytes() const {
+    std::shared_lock lock(mutex_);
+    return index_.DataSizeBytes();
+  }
+
+  /// Snapshot of the operation counters (shared).
+  Stats GetStats() const {
+    std::shared_lock lock(mutex_);
+    return index_.stats();
+  }
+
+ private:
+  mutable std::shared_mutex mutex_;
+  Alex<K, P> index_;
+};
+
+}  // namespace alex::core

@@ -1,0 +1,391 @@
+// ALEX leaf data nodes (paper §3.3). A data node owns
+//
+//   * one storage array, either a Gapped Array or a PMA (Config::layout),
+//   * its own linear model, retrained on every expansion/contraction and
+//     rescaled to the array capacity (Alg. 3), and
+//   * sibling links so range scans stream across leaves (§5.2.3).
+//
+// Inserts follow Alg. 1 (GA) / Alg. 2 (PMA): predict the position, correct
+// it for sorted order, place the key; expand (and retrain) when the density
+// bound is hit (GA) or the PMA reports failure. When adaptive-RMI splitting
+// is enabled, a node that reaches the maximum key bound reports
+// kNeedsSplit and the index splits it (§3.4.2).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "containers/gapped_array.h"
+#include "containers/pma.h"
+#include "core/config.h"
+#include "core/node.h"
+#include "models/linear_model.h"
+
+namespace alex::core {
+
+/// Outcome of a data-node insert attempt.
+enum class InsertResult {
+  kOk,         ///< inserted
+  kDuplicate,  ///< key already present; ALEX rejects duplicates (§7)
+  kNeedsSplit  ///< node is at the ARMI max-keys bound; caller must split
+};
+
+/// Leaf node storing keys and payloads (paper Fig. 2, bottom layer).
+template <typename K, typename P>
+class DataNode : public Node {
+ public:
+  using GappedArrayT = container::GappedArray<K, P>;
+  using PmaT = container::Pma<K, P>;
+
+  DataNode(const Config& config, Stats* stats)
+      : Node(/*is_leaf=*/true), config_(&config), stats_(stats) {
+    if (config.layout == NodeLayout::kPackedMemoryArray) {
+      storage_.template emplace<PmaT>(config.pma_bounds);
+    }
+    BulkLoad(nullptr, nullptr, 0);
+  }
+
+  ~DataNode() override = default;
+
+  size_t num_keys() const { return Visit([](const auto& s) {
+    return s.num_keys();
+  }); }
+  size_t capacity() const { return Visit([](const auto& s) {
+    return s.capacity();
+  }); }
+  bool has_model() const { return has_model_; }
+  const model::LinearModel& model() const { return model_; }
+
+  DataNode* prev_leaf() const { return prev_leaf_; }
+  DataNode* next_leaf() const { return next_leaf_; }
+  void set_prev_leaf(DataNode* leaf) { prev_leaf_ = leaf; }
+  void set_next_leaf(DataNode* leaf) { next_leaf_ = leaf; }
+
+  /// Rebuilds the node from `n` sorted, distinct keys. Chooses capacity
+  /// c·n (c = expansion factor), trains the model when the node is warm
+  /// enough, and places keys model-based (Alg. 3).
+  void BulkLoad(const K* keys, const P* payloads, size_t n) {
+    RetireStorageCounters();
+    const double c = config_->ExpansionFactor();
+    size_t capacity = static_cast<size_t>(
+        static_cast<double>(n) * c + 0.5);
+    if (capacity < config_->min_node_capacity) {
+      capacity = config_->min_node_capacity;
+    }
+    if (capacity < n + 1) capacity = n + 1;  // always keep one gap
+    has_model_ = n >= config_->min_model_keys;
+    if (has_model_) {
+      model_ = model::TrainCdfModel(keys, n, capacity);
+    } else {
+      model_ = model::LinearModel();
+    }
+    const bool model_place = has_model_ && config_->model_based_placement;
+    if (auto* ga = std::get_if<GappedArrayT>(&storage_)) {
+      if (model_place) {
+        ga->BuildFromSorted(keys, payloads, n, capacity, model_);
+      } else {
+        ga->BuildFromSortedUniform(keys, payloads, n, capacity);
+      }
+    } else {
+      auto& pma = std::get<PmaT>(storage_);
+      // PMA capacities are powers of two; rescale the model to the actual
+      // capacity chosen.
+      const size_t pma_capacity = PmaT::RoundCapacity(capacity);
+      if (has_model_) {
+        model_ = model::TrainCdfModel(keys, n, pma_capacity);
+      }
+      if (model_place) {
+        pma.BuildFromSorted(keys, payloads, n, pma_capacity, model_);
+      } else {
+        pma.BuildFromSortedUniform(keys, payloads, n, pma_capacity);
+      }
+    }
+  }
+
+  /// Predicted slot for `key` — the model's prediction, or the array
+  /// midpoint during cold start (§3.3.3: binary search until warm).
+  size_t PredictSlot(K key) const {
+    const size_t cap = capacity();
+    if (!has_model_) return cap / 2;
+    return model_.Predict(static_cast<double>(key), cap);
+  }
+
+  /// Point lookup (Alg. 3, Lookup). Returns a pointer to the payload or
+  /// nullptr when absent. Single storage dispatch; the lookup counter is
+  /// maintained by the stats-aware wrapper paths, not here, to keep the
+  /// hot path free of read-modify-writes.
+  P* Find(K key) {
+    return Visit([&](auto& s) -> P* {
+      const size_t cap = s.capacity();
+      const size_t predicted =
+          has_model_ ? model_.Predict(static_cast<double>(key), cap)
+                     : cap / 2;
+      const size_t slot = s.FindSlot(key, predicted);
+      if (slot == cap) return nullptr;
+      return &s.mutable_payload_at(slot);
+    });
+  }
+
+  /// Slot of `key`, or capacity() when absent.
+  size_t FindSlotOf(K key) const {
+    return Visit([&](const auto& s) {
+      return s.FindSlot(key, PredictSlot(key));
+    });
+  }
+
+  /// First occupied slot with key >= `key`, or capacity().
+  size_t LowerBoundSlot(K key) const {
+    return Visit([&](const auto& s) {
+      return s.LowerBoundSlot(key, PredictSlot(key));
+    });
+  }
+
+  /// Inserts (Alg. 1 for GA, Alg. 2 for PMA). `allow_split_request` lets
+  /// the index bypass the max-keys bound when a split is impossible
+  /// (degenerate key distributions).
+  InsertResult Insert(K key, const P& payload,
+                      bool allow_split_request = true) {
+    // ARMI bound: a node at the maximum key bound must split, not expand
+    // (§3.4.2), so fully-packed regions stay small.
+    if (allow_split_request && config_->rmi_mode == RmiMode::kAdaptive &&
+        config_->allow_splitting &&
+        num_keys() >= config_->max_data_node_keys) {
+      // Reject duplicates before asking for a split.
+      if (FindSlotOf(key) != capacity()) return InsertResult::kDuplicate;
+      return InsertResult::kNeedsSplit;
+    }
+    if (auto* ga = std::get_if<GappedArrayT>(&storage_)) {
+      // Alg. 1 line 3: expand when the upper density limit would be hit.
+      if (static_cast<double>(ga->num_keys() + 1) >
+          config_->density_upper * static_cast<double>(ga->capacity())) {
+        Expand();
+        ga = &std::get<GappedArrayT>(storage_);
+      }
+      const bool ok = ga->Insert(key, payload, PredictSlot(key));
+      if (!ok) return InsertResult::kDuplicate;
+    } else {
+      auto& pma = std::get<PmaT>(storage_);
+      auto status = pma.Insert(key, payload, PredictSlot(key));
+      while (status == PmaT::InsertStatus::kFull) {
+        Expand();  // PMA expands by doubling (Alg. 3 line 12)
+        status = std::get<PmaT>(storage_).Insert(key, payload,
+                                                 PredictSlot(key));
+      }
+      if (status == PmaT::InsertStatus::kDuplicate) {
+        return InsertResult::kDuplicate;
+      }
+    }
+    if (stats_ != nullptr) ++stats_->num_inserts;
+    SyncShiftStats();
+    return InsertResult::kOk;
+  }
+
+  /// Removes `key`; contracts the node when it becomes sparse (§3.2:
+  /// "in the same way that ALEX nodes expand upon inserts, ALEX nodes can
+  /// also contract upon deletes").
+  bool Erase(K key) {
+    const bool erased = Visit([&](auto& s) {
+      return s.Erase(key, PredictSlot(key));
+    });
+    if (!erased) return false;
+    if (stats_ != nullptr) ++stats_->num_erases;
+    MaybeContract();
+    SyncShiftStats();
+    return true;
+  }
+
+  /// Overwrites the payload of `key`; returns false when absent (§3.2:
+  /// value-only updates are find + write).
+  bool UpdatePayload(K key, const P& payload) {
+    P* p = Find(key);
+    if (p == nullptr) return false;
+    *p = payload;
+    return true;
+  }
+
+  /// Expands the array and re-inserts model-based (Alg. 3, Expand).
+  /// GA grows by 1/d; PMA doubles.
+  void Expand() {
+    std::vector<K> keys;
+    std::vector<P> payloads;
+    ExtractAll(&keys, &payloads);
+    size_t new_capacity;
+    if (std::holds_alternative<GappedArrayT>(storage_)) {
+      new_capacity = static_cast<size_t>(
+          static_cast<double>(capacity()) / config_->density_upper + 0.5);
+      if (new_capacity <= capacity()) new_capacity = capacity() + 1;
+    } else {
+      new_capacity = capacity() * 2;
+    }
+    RebuildWithCapacity(keys, payloads, new_capacity);
+    if (stats_ != nullptr) ++stats_->num_expansions;
+  }
+
+  /// True when slot `i` holds a real key.
+  bool IsOccupied(size_t i) const {
+    return Visit([&](const auto& s) { return s.IsOccupied(i); });
+  }
+  K KeyAt(size_t i) const {
+    return Visit([&](const auto& s) { return s.key_at(i); });
+  }
+  const P& PayloadAt(size_t i) const {
+    if (const auto* ga = std::get_if<GappedArrayT>(&storage_)) {
+      return ga->payload_at(i);
+    }
+    return std::get<PmaT>(storage_).payload_at(i);
+  }
+  size_t FirstOccupiedSlot() const {
+    return Visit([&](const auto& s) { return s.FirstOccupied(); });
+  }
+  size_t NextOccupiedSlot(size_t i) const {
+    return Visit([&](const auto& s) { return s.NextOccupied(i); });
+  }
+  /// Last occupied slot, or capacity() when empty.
+  size_t LastOccupiedSlot() const {
+    return Visit([&](const auto& s) {
+      return s.capacity() == 0 ? size_t{0}
+                               : s.bitmap().PrevSet(s.capacity() - 1);
+    });
+  }
+  /// Last occupied slot strictly before `i`, or capacity() when none.
+  size_t PrevOccupiedSlot(size_t i) const {
+    return Visit([&](const auto& s) {
+      return i == 0 ? s.capacity() : s.bitmap().PrevSet(i - 1);
+    });
+  }
+
+  /// Appends up to `max_results` pairs from the first occupied slot >=
+  /// `slot` to `out`; returns the count. Range-scan hot path.
+  size_t ScanFrom(size_t slot, size_t max_results,
+                  std::vector<std::pair<K, P>>* out) const {
+    return Visit([&](const auto& s) {
+      return s.ScanFrom(slot, max_results, out);
+    });
+  }
+
+  /// Copies out all pairs in sorted order.
+  void ExtractAll(std::vector<K>* keys, std::vector<P>* payloads) const {
+    Visit([&](const auto& s) {
+      s.ExtractAll(keys, payloads);
+      return 0;
+    });
+  }
+
+  /// Index-size contribution: the model (2 doubles) + node metadata
+  /// (paper §5.1 counts "models ... as well as pointers and metadata").
+  size_t IndexSizeBytes() const {
+    return model::LinearModel::SizeBytes() + kNodeMetadataBytes;
+  }
+
+  /// Data-size contribution: allocated arrays + bitmap (§5.1).
+  size_t DataSizeBytes() const {
+    return Visit([](const auto& s) { return s.DataSizeBytes(); });
+  }
+
+  /// Cumulative element moves, surviving rebuilds.
+  uint64_t TotalShifts() const {
+    return retired_shifts_ + Visit([](const auto& s) {
+      return s.num_shifts();
+    });
+  }
+
+  /// Publishes shift counts into `stats` deltas; called by the index after
+  /// each mutating operation.
+  void SyncShiftStats() {
+    if (stats_ == nullptr) return;
+    const uint64_t total = TotalShifts();
+    stats_->num_shifts += total - last_synced_shifts_;
+    last_synced_shifts_ = total;
+  }
+
+  /// Storage-level invariant check plus model sanity. Test hook.
+  bool CheckInvariants() const {
+    return Visit([](const auto& s) { return s.CheckInvariants(); });
+  }
+
+ private:
+  template <typename F>
+  auto Visit(F&& f) const {
+    if (const auto* ga = std::get_if<GappedArrayT>(&storage_)) {
+      return f(*ga);
+    }
+    return f(std::get<PmaT>(storage_));
+  }
+  template <typename F>
+  auto Visit(F&& f) {
+    if (auto* ga = std::get_if<GappedArrayT>(&storage_)) {
+      return f(*ga);
+    }
+    return f(std::get<PmaT>(storage_));
+  }
+
+  void MaybeContract() {
+    if (config_->density_lower <= 0.0) return;
+    const size_t cap = capacity();
+    if (cap <= config_->min_node_capacity) return;
+    if (static_cast<double>(num_keys()) >=
+        config_->density_lower * static_cast<double>(cap)) {
+      return;
+    }
+    std::vector<K> keys;
+    std::vector<P> payloads;
+    ExtractAll(&keys, &payloads);
+    BulkLoad(keys.data(), payloads.data(), keys.size());
+    if (stats_ != nullptr) ++stats_->num_contractions;
+  }
+
+  void RebuildWithCapacity(const std::vector<K>& keys,
+                           const std::vector<P>& payloads,
+                           size_t new_capacity) {
+    RetireStorageCounters();
+    const size_t n = keys.size();
+    if (new_capacity < n + 1) new_capacity = n + 1;
+    has_model_ = n >= config_->min_model_keys;
+    const bool model_place = has_model_ && config_->model_based_placement;
+    if (auto* ga = std::get_if<GappedArrayT>(&storage_)) {
+      // Alg. 3: retrain on the keys, scaled to the expanded array, then
+      // model-based insert.
+      model_ = has_model_
+                   ? model::TrainCdfModel(keys.data(), n, new_capacity)
+                   : model::LinearModel();
+      if (model_place) {
+        ga->BuildFromSorted(keys.data(), payloads.data(), n, new_capacity,
+                            model_);
+      } else {
+        ga->BuildFromSortedUniform(keys.data(), payloads.data(), n,
+                                   new_capacity);
+      }
+    } else {
+      auto& pma = std::get<PmaT>(storage_);
+      const size_t cap = PmaT::RoundCapacity(new_capacity);
+      model_ = has_model_ ? model::TrainCdfModel(keys.data(), n, cap)
+                          : model::LinearModel();
+      if (model_place) {
+        pma.BuildFromSorted(keys.data(), payloads.data(), n, cap, model_);
+      } else {
+        pma.BuildFromSortedUniform(keys.data(), payloads.data(), n, cap);
+      }
+    }
+  }
+
+  // Accumulates the storage's shift counter before the storage is rebuilt
+  // (rebuilds reset the embedded counter).
+  void RetireStorageCounters() {
+    retired_shifts_ += Visit([](const auto& s) { return s.num_shifts(); });
+  }
+
+  const Config* config_;
+  Stats* stats_;
+  std::variant<GappedArrayT, PmaT> storage_;
+  model::LinearModel model_;
+  bool has_model_ = false;
+  uint64_t retired_shifts_ = 0;
+  uint64_t last_synced_shifts_ = 0;
+  DataNode* prev_leaf_ = nullptr;
+  DataNode* next_leaf_ = nullptr;
+};
+
+}  // namespace alex::core

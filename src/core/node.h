@@ -1,0 +1,83 @@
+// RMI node base types. The RMI (paper Fig. 2) is a tree of inner nodes —
+// each a linear model over a child-pointer array — above leaf data nodes.
+// Consecutive child pointers may reference the same child ("merged
+// partitions", Alg. 4), so a child lookup is one model inference plus one
+// pointer dereference, with no search (paper §6: "We use a model to split
+// the key space, similar to a trie, but no search is required until we
+// reach the leaf level").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "models/linear_model.h"
+
+namespace alex::core {
+
+/// Bytes charged per node for header/metadata when accounting index size
+/// (paper §5.1 includes "pointers and metadata").
+inline constexpr size_t kNodeMetadataBytes = 32;
+
+/// Common base for inner and data nodes. No virtual dispatch on the hot
+/// path: traversal branches on `is_leaf` and casts.
+class Node {
+ public:
+  explicit Node(bool is_leaf) : is_leaf_(is_leaf) {}
+  virtual ~Node() = default;
+
+  bool is_leaf() const { return is_leaf_; }
+
+ private:
+  bool is_leaf_;
+};
+
+/// Inner RMI node: a linear model that maps a key to one of
+/// `children().size()` pointers. The model *defines* the partitioning: the
+/// child for `key` is `children[model.Predict(key, children.size())]`, so
+/// routing is exact by construction and never requires key comparisons.
+class InnerNode : public Node {
+ public:
+  InnerNode() : Node(/*is_leaf=*/false) {}
+
+  model::LinearModel& model() { return model_; }
+  const model::LinearModel& model() const { return model_; }
+  void set_model(const model::LinearModel& m) { model_ = m; }
+
+  std::vector<Node*>& children() { return children_; }
+  const std::vector<Node*>& children() const { return children_; }
+
+  /// Child responsible for `key`.
+  Node* ChildFor(double key) const {
+    return children_[model_.Predict(key, children_.size())];
+  }
+
+  /// Index of the child slot responsible for `key`.
+  size_t ChildSlotFor(double key) const {
+    return model_.Predict(key, children_.size());
+  }
+
+  /// Replaces every pointer to `old_child` with `new_child`. Returns the
+  /// number of replaced slots (>= 1 for merged partitions).
+  size_t ReplaceChild(const Node* old_child, Node* new_child) {
+    size_t replaced = 0;
+    for (auto& child : children_) {
+      if (child == old_child) {
+        child = new_child;
+        ++replaced;
+      }
+    }
+    return replaced;
+  }
+
+  /// Index-size contribution: model + child pointers + metadata (§5.1).
+  size_t IndexSizeBytes() const {
+    return model::LinearModel::SizeBytes() +
+           children_.size() * sizeof(Node*) + kNodeMetadataBytes;
+  }
+
+ private:
+  model::LinearModel model_;
+  std::vector<Node*> children_;
+};
+
+}  // namespace alex::core

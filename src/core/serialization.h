@@ -1,0 +1,112 @@
+// Index persistence (paper §7, "Secondary Storage": ALEX's node-per-leaf
+// layout maps naturally to pages; this module provides the simplest sound
+// form of that — whole-index snapshots).
+//
+// Format: a fixed header, then the sorted key array, then the payload
+// array. Models and node structure are NOT serialized: loading bulk-loads
+// the pairs, which deterministically retrains models for the *loader's*
+// configuration. That keeps snapshots portable across config changes and
+// is exactly the paper's bulk-load path.
+//
+// Payloads must be trivially copyable (they are written byte-wise).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "core/alex.h"
+
+namespace alex::core {
+
+namespace internal {
+
+// "ALEXSNAP" in ASCII.
+inline constexpr uint64_t kSnapshotMagic = 0x414C4558534E4150ULL;
+
+}  // namespace internal
+
+/// On-disk snapshot header.
+struct SnapshotHeader {
+  uint64_t magic = 0;
+  uint32_t version = 1;
+  uint32_t key_size = 0;
+  uint32_t payload_size = 0;
+  uint32_t reserved = 0;
+  uint64_t num_keys = 0;
+};
+
+/// Writes a snapshot of `index` to `path`. Returns false on I/O failure.
+template <typename K, typename P>
+bool SaveIndex(const Alex<K, P>& index, const std::string& path) {
+  static_assert(std::is_trivially_copyable_v<K>,
+                "keys must be trivially copyable");
+  static_assert(std::is_trivially_copyable_v<P>,
+                "payloads must be trivially copyable");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  // Gather pairs in key order through the leaf chain.
+  std::vector<K> keys;
+  std::vector<P> payloads;
+  keys.reserve(index.size());
+  payloads.reserve(index.size());
+  index.ForEachLeaf([&](const DataNode<K, P>& leaf) {
+    std::vector<K> k;
+    std::vector<P> p;
+    leaf.ExtractAll(&k, &p);
+    keys.insert(keys.end(), k.begin(), k.end());
+    payloads.insert(payloads.end(), p.begin(), p.end());
+  });
+  SnapshotHeader header;
+  header.magic = internal::kSnapshotMagic;
+  header.key_size = sizeof(K);
+  header.payload_size = sizeof(P);
+  header.num_keys = keys.size();
+  bool ok = std::fwrite(&header, sizeof(header), 1, f) == 1;
+  if (ok && !keys.empty()) {
+    ok = std::fwrite(keys.data(), sizeof(K), keys.size(), f) == keys.size();
+    ok = ok && std::fwrite(payloads.data(), sizeof(P), payloads.size(),
+                           f) == payloads.size();
+  }
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+/// Loads a snapshot from `path` into `index` (replacing its contents, and
+/// rebuilding models under the index's current Config). Returns false on
+/// I/O failure, bad magic, or key/payload size mismatch.
+template <typename K, typename P>
+bool LoadIndex(Alex<K, P>* index, const std::string& path) {
+  static_assert(std::is_trivially_copyable_v<K>,
+                "keys must be trivially copyable");
+  static_assert(std::is_trivially_copyable_v<P>,
+                "payloads must be trivially copyable");
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  SnapshotHeader header;
+  bool ok = std::fread(&header, sizeof(header), 1, f) == 1 &&
+            header.magic == internal::kSnapshotMagic &&
+            header.version == 1 && header.key_size == sizeof(K) &&
+            header.payload_size == sizeof(P);
+  std::vector<K> keys;
+  std::vector<P> payloads;
+  if (ok) {
+    keys.resize(header.num_keys);
+    payloads.resize(header.num_keys);
+    if (header.num_keys > 0) {
+      ok = std::fread(keys.data(), sizeof(K), keys.size(), f) ==
+               keys.size() &&
+           std::fread(payloads.data(), sizeof(P), payloads.size(), f) ==
+               payloads.size();
+    }
+  }
+  std::fclose(f);
+  if (!ok) return false;
+  index->BulkLoad(keys.data(), payloads.data(), keys.size());
+  return true;
+}
+
+}  // namespace alex::core

@@ -1,0 +1,56 @@
+// The four evaluation datasets of the paper (Table 1, Appendix C), as
+// synthetic substitutes. The real OSM extracts are unavailable offline;
+// what ALEX is sensitive to is the *shape* of each CDF (globally
+// non-uniform vs. locally-linear vs. step-function vs. uniform), which the
+// generators reproduce. See DESIGN.md §3 for the substitution rationale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace alex::data {
+
+/// Identifies one of the paper's four datasets.
+enum class DatasetId {
+  kLongitudes,  ///< doubles; smooth, globally non-uniform, locally linear
+  kLonglat,     ///< doubles; compound 180*round(lon)+lat; step-function CDF
+  kLognormal,   ///< int64; floor(1e9 * exp(N(0,2))); heavy right skew
+  kYcsb,        ///< uint64-as-int64; uniform (YCSB user IDs)
+};
+
+/// All four datasets, in the order of Table 1.
+inline constexpr DatasetId kAllDatasets[] = {
+    DatasetId::kLongitudes, DatasetId::kLonglat, DatasetId::kLognormal,
+    DatasetId::kYcsb};
+
+/// Human-readable dataset name (matches the paper's figure labels).
+const char* DatasetName(DatasetId id);
+
+/// Generation knobs. Defaults mirror the paper where applicable.
+struct DatasetOptions {
+  uint64_t seed = 42;
+  /// When true (paper default, §5.1.1) keys are randomly shuffled "to
+  /// simulate a uniform dataset distribution over time"; when false keys
+  /// come out sorted (used by the distribution-shift experiment, §5.2.5).
+  bool shuffle = true;
+};
+
+/// Generates `n` distinct keys of dataset `id` as doubles.
+///
+/// All four datasets are representable exactly in double (longitudes and
+/// longlat are doubles natively; lognormal and YCSB integer keys are
+/// generated below 2^53). Keys contain no duplicates (paper §5.1.1).
+std::vector<double> GenerateKeys(DatasetId id, size_t n,
+                                 const DatasetOptions& options = {});
+
+/// Payload sizes from Table 1: 8 bytes for all datasets except YCSB (80B).
+size_t PayloadSizeBytes(DatasetId id);
+
+/// Returns `count` evenly spaced (key, cdf) samples of the empirical CDF of
+/// `keys` (which need not be sorted). Used by the Fig. 13/14 bench and by
+/// dataset tests.
+std::vector<std::pair<double, double>> SampleCdf(std::vector<double> keys,
+                                                 size_t count);
+
+}  // namespace alex::data

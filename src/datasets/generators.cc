@@ -1,0 +1,168 @@
+#include "datasets/dataset.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+#include "util/random.h"
+
+namespace alex::data {
+namespace {
+
+using util::Xoshiro256;
+
+// Mixture of Gaussians over longitude degrees, weighted toward the
+// populated longitude bands (Europe/Africa ~ 10°E, South & East Asia
+// ~ 80–120°E, Americas ~ -100–-50°W). Produces the smooth but globally
+// non-uniform CDF of the OSM longitudes dataset (paper Fig. 13) that is
+// locally near-linear (paper Fig. 14, left column).
+struct LongitudeComponent {
+  double mean;
+  double stddev;
+  double weight;  // cumulative weights normalized below
+};
+
+constexpr LongitudeComponent kLongitudeMixture[] = {
+    {10.0, 12.0, 0.28},    // Europe / West Africa
+    {78.0, 10.0, 0.22},    // India
+    {112.0, 12.0, 0.20},   // China / SE Asia
+    {139.0, 4.0, 0.05},    // Japan
+    {-75.0, 10.0, 0.12},   // US East / South America
+    {-100.0, 12.0, 0.10},  // US Central / Mexico
+    {25.0, 40.0, 0.03},    // broad background
+};
+
+double SampleLongitude(Xoshiro256& rng) {
+  double total = 0.0;
+  for (const auto& c : kLongitudeMixture) total += c.weight;
+  while (true) {
+    double pick = rng.NextDouble() * total;
+    const LongitudeComponent* chosen = &kLongitudeMixture[0];
+    for (const auto& c : kLongitudeMixture) {
+      if (pick < c.weight) {
+        chosen = &c;
+        break;
+      }
+      pick -= c.weight;
+    }
+    const double lon = chosen->mean + chosen->stddev * rng.NextGaussian();
+    if (lon >= -180.0 && lon < 180.0) return lon;
+  }
+}
+
+// Latitudes cluster in the temperate bands; a two-component mixture is
+// enough to make each longlat "strip" non-uniform internally.
+double SampleLatitude(Xoshiro256& rng) {
+  while (true) {
+    const double lat = rng.NextUint64(2) == 0
+                           ? 40.0 + 12.0 * rng.NextGaussian()
+                           : -5.0 + 18.0 * rng.NextGaussian();
+    if (lat >= -90.0 && lat < 90.0) return lat;
+  }
+}
+
+void ShuffleKeys(std::vector<double>* keys, Xoshiro256& rng) {
+  for (size_t i = keys->size(); i > 1; --i) {
+    const size_t j = rng.NextUint64(i);
+    std::swap((*keys)[i - 1], (*keys)[j]);
+  }
+}
+
+// Generates candidates until `n` distinct keys survive deduplication (the
+// datasets contain no duplicates, §5.1.1). Surplus keys are dropped at
+// random, never from one end, so the distribution's tails are preserved.
+template <typename NextKey>
+std::vector<double> GenerateDistinct(size_t n, Xoshiro256& rng,
+                                     NextKey next_key) {
+  std::vector<double> keys;
+  keys.reserve(n + n / 8);
+  while (true) {
+    while (keys.size() < n + n / 8) keys.push_back(next_key());
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    if (keys.size() >= n) {
+      ShuffleKeys(&keys, rng);
+      keys.resize(n);
+      std::sort(keys.begin(), keys.end());
+      return keys;  // sorted
+    }
+  }
+}
+
+}  // namespace
+
+const char* DatasetName(DatasetId id) {
+  switch (id) {
+    case DatasetId::kLongitudes:
+      return "longitudes";
+    case DatasetId::kLonglat:
+      return "longlat";
+    case DatasetId::kLognormal:
+      return "lognormal";
+    case DatasetId::kYcsb:
+      return "YCSB";
+  }
+  return "unknown";
+}
+
+size_t PayloadSizeBytes(DatasetId id) {
+  return id == DatasetId::kYcsb ? 80 : 8;
+}
+
+std::vector<double> GenerateKeys(DatasetId id, size_t n,
+                                 const DatasetOptions& options) {
+  Xoshiro256 rng(options.seed ^ (static_cast<uint64_t>(id) << 32));
+  std::vector<double> keys;
+  switch (id) {
+    case DatasetId::kLongitudes:
+      keys = GenerateDistinct(n, rng, [&] { return SampleLongitude(rng); });
+      break;
+    case DatasetId::kLonglat:
+      // Appendix C: round the longitude to the nearest integer degree,
+      // multiply by 180 (size of the latitude domain) and add the
+      // latitude. Iterating keys in order walks the world one longitude
+      // strip at a time -> step-function CDF.
+      keys = GenerateDistinct(n, rng, [&] {
+        const double lon = std::round(SampleLongitude(rng));
+        const double lat = SampleLatitude(rng);
+        return 180.0 * lon + lat;
+      });
+      break;
+    case DatasetId::kLognormal:
+      // Appendix C: lognormal with mu=0, sigma=2, times 1e9, floored.
+      keys = GenerateDistinct(n, rng, [&] {
+        const double v = std::exp(2.0 * rng.NextGaussian());
+        return std::floor(v * 1e9);
+      });
+      break;
+    case DatasetId::kYcsb:
+      // Uniform 64-bit user IDs, kept below 2^53 so the double key type is
+      // exact.
+      keys = GenerateDistinct(n, rng, [&] {
+        return static_cast<double>(rng() >> 11);
+      });
+      break;
+  }
+  if (options.shuffle) {
+    ShuffleKeys(&keys, rng);
+  }
+  return keys;
+}
+
+std::vector<std::pair<double, double>> SampleCdf(std::vector<double> keys,
+                                                 size_t count) {
+  std::vector<std::pair<double, double>> samples;
+  if (keys.empty() || count == 0) return samples;
+  std::sort(keys.begin(), keys.end());
+  samples.reserve(count);
+  const size_t n = keys.size();
+  for (size_t s = 0; s < count; ++s) {
+    const size_t idx = count == 1 ? 0 : s * (n - 1) / (count - 1);
+    samples.emplace_back(keys[idx], static_cast<double>(idx + 1) /
+                                        static_cast<double>(n));
+  }
+  return samples;
+}
+
+}  // namespace alex::data

@@ -1,0 +1,152 @@
+// Linear regression models — the only model family ALEX uses (paper §7:
+// "ALEX uses simple linear regression models, at all levels of the RMI. We
+// found linear regression models to strike the right balance between
+// computation overhead vs. prediction accuracy").
+//
+// A model is y = a*x + b mapping a key to a (fractional) position. Storage
+// is exactly two doubles (paper §5.1: "each model consists of two
+// double-precision floating point numbers").
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace alex::model {
+
+/// A linear model `position = slope * key + intercept`.
+///
+/// Inference is one multiply, one add and one rounding — the property that
+/// makes learned traversal faster than B+Tree comparisons on modern CPUs
+/// (paper §2.2). Models are trained by `LinearModelBuilder` and rescaled in
+/// place when a node expands (paper Alg. 3: `model *= expansion_factor`).
+class LinearModel {
+ public:
+  LinearModel() = default;
+  LinearModel(double slope, double intercept)
+      : slope_(slope), intercept_(intercept) {}
+
+  double slope() const { return slope_; }
+  double intercept() const { return intercept_; }
+
+  /// Raw (unrounded, unclamped) predicted position.
+  double PredictDouble(double key) const {
+    return slope_ * key + intercept_;
+  }
+
+  /// Predicted array position, floored and clamped to [0, n).
+  /// `n` must be > 0.
+  size_t Predict(double key, size_t n) const {
+    const double pos = PredictDouble(key);
+    if (!(pos > 0.0)) return 0;  // also catches NaN
+    const double max_pos = static_cast<double>(n - 1);
+    if (pos >= max_pos) return n - 1;
+    return static_cast<size_t>(pos);
+  }
+
+  /// Rescales the model so that positions stretch by `factor`
+  /// (Alg. 3 line 18, used on node expansion: both slope and intercept
+  /// scale because position = a*x + b maps to factor*(a*x + b)).
+  void ExpandBy(double factor) {
+    slope_ *= factor;
+    intercept_ *= factor;
+  }
+
+  /// Composes with a shift: predictions become `predict(key) - offset`.
+  /// Used when a node split hands a key sub-range to a child whose array
+  /// starts at `offset` in the parent's position space.
+  void ShiftBy(double offset) { intercept_ -= offset; }
+
+  /// Number of bytes this model contributes to index size (paper §5.1).
+  static constexpr size_t SizeBytes() { return 2 * sizeof(double); }
+
+  bool operator==(const LinearModel& other) const {
+    return slope_ == other.slope_ && intercept_ == other.intercept_;
+  }
+
+ private:
+  double slope_ = 0.0;
+  double intercept_ = 0.0;
+};
+
+/// Streaming least-squares fit of position-vs-key.
+///
+/// Feed `(key, position)` pairs in any order, then call Build(). Handles
+/// the degenerate cases that arise in index nodes: zero points (zero
+/// model), one point or all-equal keys (horizontal line through the mean
+/// position).
+class LinearModelBuilder {
+ public:
+  /// Adds one training pair.
+  void Add(double key, double position) {
+    ++count_;
+    sum_x_ += key;
+    sum_y_ += position;
+    sum_xx_ += key * key;
+    sum_xy_ += key * position;
+    if (count_ == 1) {
+      min_key_ = max_key_ = key;
+    } else {
+      if (key < min_key_) min_key_ = key;
+      if (key > max_key_) max_key_ = key;
+    }
+  }
+
+  size_t count() const { return count_; }
+  double min_key() const { return min_key_; }
+  double max_key() const { return max_key_; }
+
+  /// Returns the least-squares linear model over the added pairs.
+  LinearModel Build() const {
+    if (count_ == 0) return LinearModel(0.0, 0.0);
+    const double n = static_cast<double>(count_);
+    const double mean_x = sum_x_ / n;
+    const double mean_y = sum_y_ / n;
+    const double var_x = sum_xx_ / n - mean_x * mean_x;
+    if (count_ == 1 || var_x <= 0.0 || !std::isfinite(var_x)) {
+      // All keys equal (or a single key): predict the mean position.
+      return LinearModel(0.0, mean_y);
+    }
+    const double cov_xy = sum_xy_ / n - mean_x * mean_y;
+    const double slope = cov_xy / var_x;
+    const double intercept = mean_y - slope * mean_x;
+    if (!std::isfinite(slope) || !std::isfinite(intercept)) {
+      return LinearModel(0.0, mean_y);
+    }
+    return LinearModel(slope, intercept);
+  }
+
+ private:
+  size_t count_ = 0;
+  double sum_x_ = 0.0;
+  double sum_y_ = 0.0;
+  double sum_xx_ = 0.0;
+  double sum_xy_ = 0.0;
+  double min_key_ = 0.0;
+  double max_key_ = 0.0;
+};
+
+/// Trains the CDF model for a sorted key range: pair i maps to position i.
+///
+/// `target_positions` stretches predictions so the last key maps near
+/// `target_positions - 1`; pass the node's array capacity to train a model
+/// that spreads n keys over a capacity-c array (the model-based insert
+/// layout of §3.3.1). Keys must be sorted ascending.
+template <typename K>
+LinearModel TrainCdfModel(const K* keys, size_t n, size_t target_positions) {
+  LinearModelBuilder builder;
+  for (size_t i = 0; i < n; ++i) {
+    builder.Add(static_cast<double>(keys[i]), static_cast<double>(i));
+  }
+  LinearModel m = builder.Build();
+  if (n > 1 && target_positions != n) {
+    // Rescale from position space [0, n) to [0, target_positions) — up for
+    // gapped leaf arrays, down for inner nodes with few partitions.
+    m.ExpandBy(static_cast<double>(target_positions) /
+               static_cast<double>(n));
+  }
+  return m;
+}
+
+}  // namespace alex::model

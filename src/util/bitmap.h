@@ -1,0 +1,129 @@
+// Occupancy bitmap for ALEX data nodes (paper §5.2.3: "ALEX maintains a
+// bitmap for each leaf node, so that each bit tracks whether its
+// corresponding location in the node is occupied by a key or is a gap. The
+// bitmap is fast to query and has low space overhead").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace alex::util {
+
+/// Fixed-capacity bitset with fast next-set / next-clear scans.
+///
+/// Used by data nodes to distinguish real keys from gap-fill copies, by
+/// range scans to skip gaps, and by model-based (re)insertion to find the
+/// first gap to the right of a predicted position.
+class Bitmap {
+ public:
+  Bitmap() = default;
+
+  /// Creates a bitmap of `size` bits, all clear.
+  explicit Bitmap(size_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  size_t size() const { return size_; }
+
+  /// Heap bytes used by the bitmap (counted in ALEX's data size, §5.1).
+  size_t SizeBytes() const { return words_.size() * sizeof(uint64_t); }
+
+  bool Get(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  void Set(size_t i) { words_[i >> 6] |= 1ULL << (i & 63); }
+
+  void Clear(size_t i) { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+
+  /// Clears all bits, keeping the size.
+  void Reset() {
+    for (auto& w : words_) w = 0;
+  }
+
+  /// Index of the first set bit at or after `from`, or `size()` if none.
+  size_t NextSet(size_t from) const {
+    if (from >= size_) return size_;
+    size_t word_idx = from >> 6;
+    uint64_t word = words_[word_idx] & (~0ULL << (from & 63));
+    while (true) {
+      if (word != 0) {
+        const size_t bit =
+            (word_idx << 6) + static_cast<size_t>(__builtin_ctzll(word));
+        return bit < size_ ? bit : size_;
+      }
+      if (++word_idx >= words_.size()) return size_;
+      word = words_[word_idx];
+    }
+  }
+
+  /// Index of the first clear bit at or after `from`, or `size()` if none.
+  size_t NextClear(size_t from) const {
+    if (from >= size_) return size_;
+    size_t word_idx = from >> 6;
+    uint64_t word = ~words_[word_idx] & (~0ULL << (from & 63));
+    while (true) {
+      if (word != 0) {
+        const size_t bit =
+            (word_idx << 6) + static_cast<size_t>(__builtin_ctzll(word));
+        return bit < size_ ? bit : size_;
+      }
+      if (++word_idx >= words_.size()) return size_;
+      word = ~words_[word_idx];
+    }
+  }
+
+  /// Index of the last set bit at or before `from`, or `size()` if none.
+  size_t PrevSet(size_t from) const {
+    if (size_ == 0) return size_;
+    if (from >= size_) from = size_ - 1;
+    size_t word_idx = from >> 6;
+    uint64_t word = words_[word_idx] & (~0ULL >> (63 - (from & 63)));
+    while (true) {
+      if (word != 0) {
+        return (word_idx << 6) + 63 -
+               static_cast<size_t>(__builtin_clzll(word));
+      }
+      if (word_idx == 0) return size_;
+      word = words_[--word_idx];
+    }
+  }
+
+  /// Index of the last clear bit at or before `from`, or `size()` if none.
+  size_t PrevClear(size_t from) const {
+    if (size_ == 0) return size_;
+    if (from >= size_) from = size_ - 1;
+    size_t word_idx = from >> 6;
+    uint64_t word = ~words_[word_idx] & (~0ULL >> (63 - (from & 63)));
+    while (true) {
+      if (word != 0) {
+        return (word_idx << 6) + 63 -
+               static_cast<size_t>(__builtin_clzll(word));
+      }
+      if (word_idx == 0) return size_;
+      word = ~words_[--word_idx];
+    }
+  }
+
+  /// Number of set bits in [0, size).
+  size_t PopCount() const {
+    size_t total = 0;
+    for (uint64_t w : words_) {
+      total += static_cast<size_t>(__builtin_popcountll(w));
+    }
+    return total;
+  }
+
+  /// Number of set bits in [lo, hi).
+  size_t PopCountRange(size_t lo, size_t hi) const {
+    size_t total = 0;
+    for (size_t i = NextSet(lo); i < hi; i = NextSet(i + 1)) ++total;
+    return total;
+  }
+
+ private:
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace alex::util

@@ -1,0 +1,146 @@
+// Latency/error histograms. Figure 7 plots prediction-error histograms with
+// power-of-two buckets; Figure 9 reports median and tail insert latencies.
+// This header provides both: a log2-bucketed histogram for error
+// distributions and a reservoir-free exact percentile recorder for
+// latency minibatches.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace alex::util {
+
+/// Histogram over non-negative integer values with power-of-two buckets:
+/// bucket 0 counts value 0, bucket k (k>=1) counts values in
+/// [2^(k-1), 2^k). This matches the x-axis of the paper's Figure 7
+/// ("prediction error" with buckets 0, 1, 2, 4, 8, ... positions).
+class Log2Histogram {
+ public:
+  static constexpr int kNumBuckets = 65;  // value 0 + 64 power buckets
+
+  /// Records one observation.
+  void Record(uint64_t value) {
+    ++counts_[BucketOf(value)];
+    ++total_;
+  }
+
+  /// Bucket index for `value` (see class comment).
+  static int BucketOf(uint64_t value) {
+    if (value == 0) return 0;
+    return 64 - __builtin_clzll(value);
+  }
+
+  /// Inclusive lower edge of bucket `b`.
+  static uint64_t BucketLo(int b) {
+    return b == 0 ? 0 : (1ULL << (b - 1));
+  }
+
+  uint64_t count(int bucket) const { return counts_[bucket]; }
+  uint64_t total() const { return total_; }
+
+  /// Fraction of observations equal to zero (direct model hits in Fig. 7b).
+  double FractionZero() const {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(counts_[0]) /
+                             static_cast<double>(total_);
+  }
+
+  /// Index of the highest non-empty bucket, or -1 when empty.
+  int MaxBucket() const {
+    for (int b = kNumBuckets - 1; b >= 0; --b) {
+      if (counts_[b] > 0) return b;
+    }
+    return -1;
+  }
+
+  /// Smallest value v such that at least `q` (in [0,1]) of the mass lies in
+  /// buckets whose lower edge is <= v. Approximate (bucket resolution).
+  uint64_t Quantile(double q) const {
+    if (total_ == 0) return 0;
+    const auto target = static_cast<uint64_t>(
+        q * static_cast<double>(total_));
+    uint64_t cumulative = 0;
+    for (int b = 0; b < kNumBuckets; ++b) {
+      cumulative += counts_[b];
+      if (cumulative >= target) return BucketLo(b);
+    }
+    return BucketLo(kNumBuckets - 1);
+  }
+
+  /// Mean of bucket lower edges weighted by counts (a lower bound on the
+  /// true mean; adequate for comparing error distributions).
+  double ApproxMean() const {
+    if (total_ == 0) return 0.0;
+    double sum = 0.0;
+    for (int b = 0; b < kNumBuckets; ++b) {
+      sum += static_cast<double>(counts_[b]) *
+             static_cast<double>(BucketLo(b));
+    }
+    return sum / static_cast<double>(total_);
+  }
+
+ private:
+  std::array<uint64_t, kNumBuckets> counts_{};
+  uint64_t total_ = 0;
+};
+
+/// Exact percentile recorder. Stores every observation; suitable for the
+/// minibatch sizes used in Figure 9 (thousands of samples per batch).
+class PercentileRecorder {
+ public:
+  void Record(uint64_t value) {
+    values_.push_back(value);
+    sorted_ = false;
+  }
+
+  void Clear() {
+    values_.clear();
+    sorted_ = false;
+  }
+
+  size_t count() const { return values_.size(); }
+
+  /// Exact q-quantile (q in [0,1]) by nearest-rank. Returns 0 when empty.
+  uint64_t Percentile(double q) {
+    if (values_.empty()) return 0;
+    EnsureSorted();
+    const auto rank = static_cast<size_t>(
+        q * static_cast<double>(values_.size() - 1) + 0.5);
+    return values_[std::min(rank, values_.size() - 1)];
+  }
+
+  uint64_t Min() {
+    if (values_.empty()) return 0;
+    EnsureSorted();
+    return values_.front();
+  }
+
+  uint64_t Max() {
+    if (values_.empty()) return 0;
+    EnsureSorted();
+    return values_.back();
+  }
+
+  double Mean() const {
+    if (values_.empty()) return 0.0;
+    double sum = 0.0;
+    for (uint64_t v : values_) sum += static_cast<double>(v);
+    return sum / static_cast<double>(values_.size());
+  }
+
+ private:
+  void EnsureSorted() {
+    if (!sorted_) {
+      std::sort(values_.begin(), values_.end());
+      sorted_ = true;
+    }
+  }
+
+  std::vector<uint64_t> values_;
+  bool sorted_ = false;
+};
+
+}  // namespace alex::util

@@ -1,0 +1,36 @@
+// Lightweight wall-clock timing helpers used by the workload runner and the
+// per-figure benchmark binaries.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace alex::util {
+
+/// Monotonic stopwatch with nanosecond resolution.
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Nanoseconds elapsed since construction or the last Restart().
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace alex::util

@@ -1,0 +1,109 @@
+// Zipfian rank generator used to select lookup keys (paper §5.1.2: "keys to
+// look up are selected randomly from the set of existing keys in the index
+// according to a Zipfian distribution").
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace alex::util {
+
+/// Generates Zipf-distributed ranks in [0, n) with skew parameter `theta`,
+/// using the Gray et al. rejection-free method popularized by the YCSB
+/// workload generator.
+///
+/// The generator supports growing `n` cheaply (needed when a workload
+/// interleaves inserts with Zipfian lookups over the *current* key set):
+/// instead of recomputing the harmonic number zeta(n) from scratch on every
+/// insert, zeta is extended incrementally.
+class ZipfGenerator {
+ public:
+  /// `n` is the initial number of items; `theta` in (0,1) is the skew
+  /// (YCSB's default is 0.99; the paper's workloads use the YCSB style).
+  explicit ZipfGenerator(uint64_t n, double theta = 0.99)
+      : n_(n), theta_(theta) {
+    zeta_ = ComputeZeta(0.0, 0, n, theta_);
+    zeta2_ = ComputeZeta(0.0, 0, 2, theta_);
+    UpdateConstants();
+  }
+
+  /// Number of items currently covered by the distribution.
+  uint64_t n() const { return n_; }
+
+  /// Extends the distribution to cover `new_n >= n()` items. O(new_n - n).
+  void Grow(uint64_t new_n) {
+    if (new_n <= n_) return;
+    zeta_ = ComputeZeta(zeta_, n_, new_n, theta_);
+    n_ = new_n;
+    UpdateConstants();
+  }
+
+  /// Draws a rank in [0, n). Rank 0 is the most popular item.
+  uint64_t Next(Xoshiro256& rng) {
+    const double u = rng.NextDouble();
+    const double uz = u * zeta_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    return static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+ private:
+  static double ComputeZeta(double base, uint64_t from, uint64_t to,
+                            double theta) {
+    double z = base;
+    for (uint64_t i = from; i < to; ++i) {
+      z += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    }
+    return z;
+  }
+
+  void UpdateConstants() {
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zeta_);
+  }
+
+  uint64_t n_;
+  double theta_;
+  double zeta_;   // zeta(n, theta)
+  double zeta2_;  // zeta(2, theta)
+  double alpha_ = 0.0;
+  double eta_ = 0.0;
+};
+
+/// Scrambled Zipfian: composes ZipfGenerator with a hash so that popular
+/// ranks are spread over the key space (YCSB's "scrambled zipfian"). The
+/// paper selects lookup keys Zipfian-over-existing-keys; scrambling avoids
+/// always hammering the smallest keys, matching YCSB behaviour.
+class ScrambledZipfGenerator {
+ public:
+  explicit ScrambledZipfGenerator(uint64_t n, double theta = 0.99)
+      : zipf_(n, theta) {}
+
+  void Grow(uint64_t new_n) { zipf_.Grow(new_n); }
+  uint64_t n() const { return zipf_.n(); }
+
+  /// Draws a scrambled rank in [0, n).
+  uint64_t Next(Xoshiro256& rng) {
+    const uint64_t rank = zipf_.Next(rng);
+    return Fnv64(rank) % zipf_.n();
+  }
+
+ private:
+  static uint64_t Fnv64(uint64_t v) {
+    uint64_t hash = 0xcbf29ce484222325ULL;
+    for (int i = 0; i < 8; ++i) {
+      hash ^= v & 0xff;
+      hash *= 0x100000001b3ULL;
+      v >>= 8;
+    }
+    return hash;
+  }
+
+  ZipfGenerator zipf_;
+};
+
+}  // namespace alex::util

@@ -1,0 +1,120 @@
+// Uniform adapter interface over the three indexes (ALEX, B+Tree, Learned
+// Index) so the workload runner and benches are index-agnostic. Adapters
+// are thin: they forward calls and expose the paper's two size metrics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baselines/btree.h"
+#include "baselines/learned_index.h"
+#include "core/alex.h"
+
+namespace alex::workload {
+
+/// Fixed-size opaque payload; Table 1 uses 8-byte payloads for three
+/// datasets and 80-byte payloads for YCSB.
+template <size_t N>
+struct Payload {
+  char bytes[N] = {};
+};
+
+/// Adapter over core::Alex.
+template <typename K, typename P>
+class AlexAdapter {
+ public:
+  using key_type = K;
+  using payload_type = P;
+
+  explicit AlexAdapter(const core::Config& config = core::Config())
+      : index_(config) {}
+
+  static const char* Name() { return "ALEX"; }
+
+  void BulkLoad(const K* keys, const P* payloads, size_t n) {
+    index_.BulkLoad(keys, payloads, n);
+  }
+  bool Insert(K key, const P& payload) { return index_.Insert(key, payload); }
+  bool Find(K key) { return index_.Find(key) != nullptr; }
+  bool Erase(K key) { return index_.Erase(key); }
+  size_t RangeScan(K start, size_t max_results,
+                   std::vector<std::pair<K, P>>* out) {
+    return index_.RangeScan(start, max_results, out);
+  }
+  size_t IndexSizeBytes() const { return index_.IndexSizeBytes(); }
+  size_t DataSizeBytes() const { return index_.DataSizeBytes(); }
+  size_t size() const { return index_.size(); }
+
+  core::Alex<K, P>& index() { return index_; }
+
+ private:
+  core::Alex<K, P> index_;
+};
+
+/// Adapter over baseline::BPlusTree.
+template <typename K, typename P>
+class BTreeAdapter {
+ public:
+  using key_type = K;
+  using payload_type = P;
+
+  explicit BTreeAdapter(size_t node_capacity = 64) : tree_(node_capacity) {}
+
+  static const char* Name() { return "B+Tree"; }
+
+  void BulkLoad(const K* keys, const P* payloads, size_t n) {
+    tree_.BulkLoad(keys, payloads, n);
+  }
+  bool Insert(K key, const P& payload) { return tree_.Insert(key, payload); }
+  bool Find(K key) { return tree_.Find(key) != nullptr; }
+  bool Erase(K key) { return tree_.Erase(key); }
+  size_t RangeScan(K start, size_t max_results,
+                   std::vector<std::pair<K, P>>* out) {
+    return tree_.RangeScan(start, max_results, out);
+  }
+  size_t IndexSizeBytes() const { return tree_.IndexSizeBytes(); }
+  size_t DataSizeBytes() const { return tree_.DataSizeBytes(); }
+  size_t size() const { return tree_.size(); }
+
+  baseline::BPlusTree<K, P>& index() { return tree_; }
+
+ private:
+  baseline::BPlusTree<K, P> tree_;
+};
+
+/// Adapter over baseline::LearnedIndex.
+template <typename K, typename P>
+class LearnedIndexAdapter {
+ public:
+  using key_type = K;
+  using payload_type = P;
+
+  explicit LearnedIndexAdapter(size_t num_models = 1024)
+      : index_(num_models) {}
+
+  static const char* Name() { return "Learned Index"; }
+
+  void BulkLoad(const K* keys, const P* payloads, size_t n) {
+    index_.BulkLoad(keys, payloads, n);
+  }
+  bool Insert(K key, const P& payload) { return index_.Insert(key, payload); }
+  bool Find(K key) { return index_.Find(key) != nullptr; }
+  bool Erase(K key) { return index_.Erase(key); }
+  size_t RangeScan(K start, size_t max_results,
+                   std::vector<std::pair<K, P>>* out) {
+    return index_.RangeScan(start, max_results, out);
+  }
+  size_t IndexSizeBytes() const { return index_.IndexSizeBytes(); }
+  size_t DataSizeBytes() const { return index_.DataSizeBytes(); }
+  size_t size() const { return index_.size(); }
+
+  baseline::LearnedIndex<K, P>& index() { return index_; }
+
+ private:
+  baseline::LearnedIndex<K, P> index_;
+};
+
+}  // namespace alex::workload

@@ -1,0 +1,36 @@
+#include "workloads/workload.h"
+
+namespace alex::workload {
+
+const char* WorkloadName(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kReadOnly:
+      return "read-only";
+    case WorkloadKind::kReadHeavy:
+      return "read-heavy";
+    case WorkloadKind::kWriteHeavy:
+      return "write-heavy";
+    case WorkloadKind::kRangeScan:
+      return "range-scan";
+  }
+  return "unknown";
+}
+
+size_t ReadsPerInsert(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kReadOnly:
+      return 0;  // never inserts
+    case WorkloadKind::kReadHeavy:
+    case WorkloadKind::kRangeScan:
+      return 19;
+    case WorkloadKind::kWriteHeavy:
+      return 1;
+  }
+  return 0;
+}
+
+bool IsScanWorkload(WorkloadKind kind) {
+  return kind == WorkloadKind::kRangeScan;
+}
+
+}  // namespace alex::workload

@@ -1,0 +1,77 @@
+// YCSB-style workload definitions (paper §5.1.2). Four workloads:
+//
+//   read-only   — 100% point lookups                 (~ YCSB C)
+//   read-heavy  — 95% lookups / 5% inserts           (~ YCSB B)
+//   write-heavy — 50% lookups / 50% inserts          (~ YCSB A)
+//   range-scan  — 95% scans (lookup + scan <=100) / 5% inserts (~ YCSB E)
+//
+// Lookup keys are drawn Zipfian from the *existing* keys so every lookup
+// finds a match; reads and inserts are interleaved in fixed cycles (19
+// reads : 1 insert for the 95/5 workloads, 1:1 for 50/50) to simulate
+// real-time usage.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace alex::workload {
+
+/// The four workloads of §5.1.2, in paper order.
+enum class WorkloadKind {
+  kReadOnly,
+  kReadHeavy,
+  kWriteHeavy,
+  kRangeScan,
+};
+
+inline constexpr WorkloadKind kAllWorkloads[] = {
+    WorkloadKind::kReadOnly, WorkloadKind::kReadHeavy,
+    WorkloadKind::kWriteHeavy, WorkloadKind::kRangeScan};
+
+/// Human-readable name matching the paper's figure captions.
+const char* WorkloadName(WorkloadKind kind);
+
+/// Reads per insert in the interleave cycle (paper: 19 reads then 1 insert
+/// for read-heavy/range-scan; 1 read then 1 insert for write-heavy;
+/// read-only never inserts).
+size_t ReadsPerInsert(WorkloadKind kind);
+
+/// True when the workload performs range scans instead of point lookups.
+bool IsScanWorkload(WorkloadKind kind);
+
+/// Runtime parameters for a workload execution.
+struct WorkloadSpec {
+  WorkloadKind kind = WorkloadKind::kReadOnly;
+  /// Zipfian skew for lookup-key selection (YCSB default).
+  double zipf_theta = 0.99;
+  /// Maximum range-scan length; actual lengths are uniform in [1, max]
+  /// (paper §5.1.2: "maximum scan length of 100").
+  size_t max_scan_length = 100;
+  /// Wall-clock budget; the run stops at whichever of time/ops comes
+  /// first. The paper runs 60 s; laptop-scale default is 1 s.
+  double seconds = 1.0;
+  /// Upper bound on operations (0 = unlimited). Keeps benches bounded even
+  /// on very fast configs.
+  uint64_t max_ops = 0;
+  uint64_t seed = 7;
+};
+
+/// Result of a workload execution.
+struct WorkloadResult {
+  uint64_t ops = 0;           ///< completed operations (reads + inserts)
+  uint64_t reads = 0;         ///< point lookups or scans
+  uint64_t inserts = 0;       ///< completed inserts
+  uint64_t scanned_keys = 0;  ///< total keys touched by scans
+  double elapsed_seconds = 0.0;
+  size_t index_size_bytes = 0;  ///< model/pointer/metadata bytes (§5.1)
+  size_t data_size_bytes = 0;   ///< key/payload arrays + bitmap bytes
+
+  double Throughput() const {
+    return elapsed_seconds > 0.0
+               ? static_cast<double>(ops) / elapsed_seconds
+               : 0.0;
+  }
+};
+
+}  // namespace alex::workload

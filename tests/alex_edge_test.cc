@@ -1,0 +1,218 @@
+// Edge-case and robustness tests for the ALEX index: degenerate key
+// distributions, extreme configurations, scan boundaries, and the
+// documented duplicate-key guard (§7).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/alex.h"
+#include "util/random.h"
+
+namespace alex::core {
+namespace {
+
+using AlexInt = Alex<int64_t, int64_t>;
+using AlexDouble = Alex<double, int64_t>;
+
+TEST(AlexEdgeTest, SingleKeyIndex) {
+  AlexInt index;
+  index.Insert(42, 1);
+  EXPECT_EQ(*index.Find(42), 1);
+  auto it = index.begin();
+  EXPECT_EQ(it.key(), 42);
+  ++it;
+  EXPECT_TRUE(it.IsEnd());
+  EXPECT_TRUE(index.Erase(42));
+  EXPECT_TRUE(index.empty());
+}
+
+TEST(AlexEdgeTest, NearlyIdenticalDoubleKeys) {
+  // Keys packed into a tiny range stress the model's slope and the
+  // degenerate-split fallback.
+  AlexDouble index;
+  const double base = 1.0;
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(index.Insert(base + static_cast<double>(i) * 1e-12, i));
+  }
+  EXPECT_EQ(index.size(), 3000u);
+  EXPECT_TRUE(index.CheckInvariants());
+  EXPECT_NE(index.Find(base + 1500 * 1e-12), nullptr);
+}
+
+TEST(AlexEdgeTest, HugeOutlierKeys) {
+  // One key at the far end of the domain makes the CDF almost a step
+  // function: most keys map to one partition.
+  AlexInt index;
+  ASSERT_TRUE(index.Insert(std::numeric_limits<int64_t>::max() / 2, 0));
+  for (int64_t i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(index.Insert(i, i));
+  }
+  EXPECT_EQ(index.size(), 5001u);
+  EXPECT_TRUE(index.CheckInvariants());
+  EXPECT_NE(index.Find(std::numeric_limits<int64_t>::max() / 2), nullptr);
+  EXPECT_NE(index.Find(2500), nullptr);
+}
+
+TEST(AlexEdgeTest, NegativeAndPositiveKeys) {
+  AlexDouble index;
+  for (int i = -2000; i < 2000; ++i) {
+    ASSERT_TRUE(index.Insert(static_cast<double>(i) * 0.5, i));
+  }
+  EXPECT_EQ(index.size(), 4000u);
+  EXPECT_EQ(*index.Find(-1000.0), -2000);
+  EXPECT_EQ(*index.Find(999.5), 1999);
+  auto it = index.begin();
+  EXPECT_DOUBLE_EQ(it.key(), -1000.0);
+}
+
+TEST(AlexEdgeTest, TinyNodeCapacityConfig) {
+  Config config;
+  config.min_node_capacity = 16;
+  config.max_data_node_keys = 32;  // forces very deep trees
+  config.split_fanout = 2;
+  AlexInt index(config);
+  for (int64_t i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(index.Insert(i * 3, i));
+  }
+  EXPECT_TRUE(index.CheckInvariants());
+  EXPECT_GT(index.Shape().max_depth, 2u);
+}
+
+TEST(AlexEdgeTest, LargeSplitFanout) {
+  Config config;
+  config.max_data_node_keys = 256;
+  config.split_fanout = 64;
+  AlexInt index(config);
+  for (int64_t i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(index.Insert(i * 7, i));
+  }
+  EXPECT_TRUE(index.CheckInvariants());
+  EXPECT_EQ(index.size(), 10000u);
+}
+
+TEST(AlexEdgeTest, ContractionDisabled) {
+  Config config;
+  config.density_lower = 0.0;
+  AlexInt index(config);
+  for (int64_t i = 0; i < 2000; ++i) index.Insert(i, i);
+  for (int64_t i = 0; i < 2000; ++i) index.Erase(i);
+  EXPECT_EQ(index.stats().num_contractions, 0u);
+  EXPECT_TRUE(index.CheckInvariants());
+}
+
+TEST(AlexEdgeTest, SplittingDisabledKeepsSingleLeafGrowing) {
+  Config config;
+  config.rmi_mode = RmiMode::kAdaptive;
+  config.allow_splitting = false;
+  AlexInt index(config);
+  for (int64_t i = 0; i < 20000; ++i) {
+    ASSERT_TRUE(index.Insert(i, i));
+  }
+  // Without splitting a cold-started index stays a single (big) leaf.
+  EXPECT_EQ(index.Shape().num_data_nodes, 1u);
+  EXPECT_EQ(index.stats().num_splits, 0u);
+  EXPECT_TRUE(index.CheckInvariants());
+}
+
+TEST(AlexEdgeTest, ModelBasedPlacementOffStillCorrect) {
+  Config config;
+  config.model_based_placement = false;  // rank-based ablation mode
+  AlexInt index(config);
+  std::vector<int64_t> keys, payloads;
+  for (int64_t i = 0; i < 5000; ++i) {
+    keys.push_back(i * 5);
+    payloads.push_back(i);
+  }
+  index.BulkLoad(keys.data(), payloads.data(), keys.size());
+  EXPECT_TRUE(index.CheckInvariants());
+  for (size_t i = 0; i < keys.size(); i += 97) {
+    ASSERT_NE(index.Find(keys[i]), nullptr);
+  }
+  for (int64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(index.Insert(i * 5 + 1, -1));
+  }
+  EXPECT_TRUE(index.CheckInvariants());
+}
+
+TEST(AlexEdgeTest, LowerBoundAtAllBoundaries) {
+  AlexInt index;
+  std::vector<int64_t> keys = {10, 20, 30};
+  std::vector<int64_t> payloads = {1, 2, 3};
+  index.BulkLoad(keys.data(), payloads.data(), keys.size());
+  EXPECT_EQ(index.LowerBound(5).key(), 10);
+  EXPECT_EQ(index.LowerBound(10).key(), 10);
+  EXPECT_EQ(index.LowerBound(11).key(), 20);
+  EXPECT_EQ(index.LowerBound(30).key(), 30);
+  EXPECT_TRUE(index.LowerBound(31).IsEnd());
+}
+
+TEST(AlexEdgeTest, RangeScanZeroResults) {
+  AlexInt index;
+  index.Insert(1, 1);
+  std::vector<std::pair<int64_t, int64_t>> out;
+  EXPECT_EQ(index.RangeScan(100, 10, &out), 0u);
+  EXPECT_EQ(index.RangeScan(0, 0, &out), 0u);
+}
+
+TEST(AlexEdgeTest, InterleavedInsertEraseSameKey) {
+  AlexInt index;
+  for (int round = 0; round < 500; ++round) {
+    ASSERT_TRUE(index.Insert(7, round));
+    ASSERT_EQ(*index.Find(7), round);
+    ASSERT_TRUE(index.Erase(7));
+    ASSERT_EQ(index.Find(7), nullptr);
+  }
+  EXPECT_TRUE(index.empty());
+}
+
+TEST(AlexEdgeTest, BulkLoadSingleAndZeroKeys) {
+  AlexInt index;
+  index.BulkLoad(nullptr, nullptr, 0);
+  EXPECT_TRUE(index.empty());
+  const int64_t key = 5;
+  const int64_t payload = 50;
+  index.BulkLoad(&key, &payload, 1);
+  EXPECT_EQ(index.size(), 1u);
+  EXPECT_EQ(*index.Find(5), 50);
+}
+
+TEST(AlexEdgeTest, StressZigzagInserts) {
+  // Alternate ends of the key space: each insert lands at the opposite
+  // extreme of the previous one.
+  AlexInt index;
+  int64_t lo = 0, hi = 1000000;
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(index.Insert(i % 2 == 0 ? lo++ : hi--, i));
+  }
+  EXPECT_EQ(index.size(), 5000u);
+  EXPECT_TRUE(index.CheckInvariants());
+}
+
+TEST(AlexEdgeTest, PayloadOnlyUpdatePreservesStructure) {
+  AlexInt index;
+  for (int64_t i = 0; i < 1000; ++i) index.Insert(i, 0);
+  const auto shape_before = index.Shape();
+  for (int64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(index.Update(i, i * i));
+  }
+  const auto shape_after = index.Shape();
+  EXPECT_EQ(shape_before.num_data_nodes, shape_after.num_data_nodes);
+  EXPECT_EQ(*index.Find(30), 900);
+}
+
+TEST(AlexEdgeTest, PmaLayoutZigzag) {
+  Config config;
+  config.layout = NodeLayout::kPackedMemoryArray;
+  AlexInt index(config);
+  int64_t lo = 0, hi = 1000000;
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(index.Insert(i % 2 == 0 ? lo++ : hi--, i));
+  }
+  EXPECT_TRUE(index.CheckInvariants());
+}
+
+}  // namespace
+}  // namespace alex::core

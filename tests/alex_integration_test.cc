@@ -1,0 +1,209 @@
+// Cross-module integration tests: the full ALEX index against the real
+// dataset generators and the baselines, parameterized over
+// (dataset x variant). These are the end-to-end paths the benchmark
+// binaries rely on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/btree.h"
+#include "baselines/learned_index.h"
+#include "core/alex.h"
+#include "datasets/dataset.h"
+#include "util/random.h"
+#include "workloads/runner.h"
+
+namespace alex {
+namespace {
+
+struct IntegrationParam {
+  data::DatasetId dataset;
+  core::NodeLayout layout;
+  core::RmiMode rmi;
+};
+
+std::string ParamName(
+    const ::testing::TestParamInfo<IntegrationParam>& info) {
+  std::string name = data::DatasetName(info.param.dataset);
+  name += info.param.layout == core::NodeLayout::kGappedArray ? "_GA"
+                                                              : "_PMA";
+  name += info.param.rmi == core::RmiMode::kStatic ? "_SRMI" : "_ARMI";
+  return name;
+}
+
+class AlexDatasetTest : public ::testing::TestWithParam<IntegrationParam> {
+ protected:
+  core::Config MakeConfig() const {
+    core::Config config;
+    config.layout = GetParam().layout;
+    config.rmi_mode = GetParam().rmi;
+    config.max_data_node_keys = 512;
+    return config;
+  }
+};
+
+TEST_P(AlexDatasetTest, BulkLoadLookupEraseOnRealDistribution) {
+  const auto keys = data::GenerateKeys(GetParam().dataset, 30000);
+  auto wdata = workload::SplitWorkloadData(keys, 20000);
+  std::vector<int64_t> payloads(wdata.init_keys.size());
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    payloads[i] = static_cast<int64_t>(i);
+  }
+  core::Alex<double, int64_t> index(MakeConfig());
+  index.BulkLoad(wdata.init_keys.data(), payloads.data(),
+                 wdata.init_keys.size());
+  ASSERT_TRUE(index.CheckInvariants());
+
+  // Every loaded key is found with the right payload.
+  for (size_t i = 0; i < wdata.init_keys.size(); i += 31) {
+    auto* p = index.Find(wdata.init_keys[i]);
+    ASSERT_NE(p, nullptr) << wdata.init_keys[i];
+    EXPECT_EQ(*p, static_cast<int64_t>(i));
+  }
+  // Insert the held-out keys.
+  for (const double k : wdata.insert_keys) {
+    ASSERT_TRUE(index.Insert(k, -1)) << k;
+  }
+  EXPECT_EQ(index.size(), keys.size());
+  ASSERT_TRUE(index.CheckInvariants());
+  // Erase the inserted keys again.
+  for (const double k : wdata.insert_keys) {
+    ASSERT_TRUE(index.Erase(k)) << k;
+  }
+  EXPECT_EQ(index.size(), wdata.init_keys.size());
+  ASSERT_TRUE(index.CheckInvariants());
+}
+
+TEST_P(AlexDatasetTest, AgreesWithBTreeOnRangeScans) {
+  const auto keys = data::GenerateKeys(GetParam().dataset, 20000);
+  auto sorted = keys;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<int64_t> payloads(sorted.size());
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    payloads[i] = static_cast<int64_t>(i);
+  }
+  core::Alex<double, int64_t> index(MakeConfig());
+  index.BulkLoad(sorted.data(), payloads.data(), sorted.size());
+  baseline::BPlusTree<double, int64_t> btree(64);
+  btree.BulkLoad(sorted.data(), payloads.data(), sorted.size());
+
+  util::Xoshiro256 rng(11);
+  std::vector<std::pair<double, int64_t>> a, b;
+  for (int probe = 0; probe < 200; ++probe) {
+    const double start = sorted[rng.NextUint64(sorted.size())] - 0.5;
+    const size_t len = 1 + rng.NextUint64(100);
+    index.RangeScan(start, len, &a);
+    btree.RangeScan(start, len, &b);
+    ASSERT_EQ(a, b) << "probe " << probe;
+  }
+}
+
+TEST_P(AlexDatasetTest, IndexSmallerThanBTreeWhenModelsFit) {
+  const auto keys = data::GenerateKeys(GetParam().dataset, 50000);
+  auto sorted = keys;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<int64_t> payloads(sorted.size(), 0);
+  // Default (paper-tuned) leaf sizing; the deliberately tiny leaves of
+  // MakeConfig() would trade index size for the depth tests above.
+  core::Config config;
+  config.layout = GetParam().layout;
+  config.rmi_mode = GetParam().rmi;
+  core::Alex<double, int64_t> index(config);
+  index.BulkLoad(sorted.data(), payloads.data(), sorted.size());
+  baseline::BPlusTree<double, int64_t> btree(64);
+  btree.BulkLoad(sorted.data(), payloads.data(), sorted.size());
+  // ALEX's index never exceeds the B+Tree's inner-node footprint on these
+  // datasets at this scale (usually it is far smaller).
+  EXPECT_LE(index.IndexSizeBytes(), btree.IndexSizeBytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DatasetsByVariant, AlexDatasetTest,
+    ::testing::Values(
+        IntegrationParam{data::DatasetId::kLongitudes,
+                         core::NodeLayout::kGappedArray,
+                         core::RmiMode::kAdaptive},
+        IntegrationParam{data::DatasetId::kLonglat,
+                         core::NodeLayout::kGappedArray,
+                         core::RmiMode::kAdaptive},
+        IntegrationParam{data::DatasetId::kLognormal,
+                         core::NodeLayout::kGappedArray,
+                         core::RmiMode::kAdaptive},
+        IntegrationParam{data::DatasetId::kYcsb,
+                         core::NodeLayout::kGappedArray,
+                         core::RmiMode::kAdaptive},
+        IntegrationParam{data::DatasetId::kLongitudes,
+                         core::NodeLayout::kPackedMemoryArray,
+                         core::RmiMode::kAdaptive},
+        IntegrationParam{data::DatasetId::kLognormal,
+                         core::NodeLayout::kPackedMemoryArray,
+                         core::RmiMode::kStatic},
+        IntegrationParam{data::DatasetId::kLonglat,
+                         core::NodeLayout::kGappedArray,
+                         core::RmiMode::kStatic},
+        IntegrationParam{data::DatasetId::kYcsb,
+                         core::NodeLayout::kPackedMemoryArray,
+                         core::RmiMode::kAdaptive}),
+    ParamName);
+
+// ---- cross-index equivalence on a mixed random workload ----
+
+TEST(CrossIndexTest, AllThreeIndexesAgreeUnderMixedWorkload) {
+  util::Xoshiro256 rng(2025);
+  core::Alex<int64_t, int64_t> alex_index;
+  baseline::BPlusTree<int64_t, int64_t> btree(16);
+  baseline::LearnedIndex<int64_t, int64_t> learned(64);
+  std::map<int64_t, int64_t> reference;
+
+  // Start all four structures from the same bulk load.
+  std::vector<int64_t> keys;
+  std::vector<int64_t> payloads;
+  for (int64_t i = 0; i < 2000; ++i) {
+    keys.push_back(i * 11);
+    payloads.push_back(i);
+    reference[i * 11] = i;
+  }
+  alex_index.BulkLoad(keys.data(), payloads.data(), keys.size());
+  btree.BulkLoad(keys.data(), payloads.data(), keys.size());
+  learned.BulkLoad(keys.data(), payloads.data(), keys.size());
+
+  for (int iter = 0; iter < 4000; ++iter) {
+    const int64_t key = static_cast<int64_t>(rng.NextUint64(30000));
+    const uint64_t op = rng.NextUint64(10);
+    if (op < 5) {
+      const bool expected = reference.emplace(key, iter).second;
+      ASSERT_EQ(alex_index.Insert(key, iter), expected) << iter;
+      ASSERT_EQ(btree.Insert(key, iter), expected) << iter;
+      ASSERT_EQ(learned.Insert(key, iter), expected) << iter;
+    } else if (op < 7) {
+      const bool expected = reference.erase(key) > 0;
+      ASSERT_EQ(alex_index.Erase(key), expected) << iter;
+      ASSERT_EQ(btree.Erase(key), expected) << iter;
+      ASSERT_EQ(learned.Erase(key), expected) << iter;
+    } else {
+      auto it = reference.find(key);
+      const bool expected = it != reference.end();
+      auto* pa = alex_index.Find(key);
+      auto* pb = btree.Find(key);
+      auto* pl = learned.Find(key);
+      ASSERT_EQ(pa != nullptr, expected) << iter;
+      ASSERT_EQ(pb != nullptr, expected) << iter;
+      ASSERT_EQ(pl != nullptr, expected) << iter;
+      if (expected) {
+        ASSERT_EQ(*pa, it->second);
+        ASSERT_EQ(*pb, it->second);
+        ASSERT_EQ(*pl, it->second);
+      }
+    }
+  }
+  EXPECT_EQ(alex_index.size(), reference.size());
+  EXPECT_EQ(btree.size(), reference.size());
+  EXPECT_EQ(learned.size(), reference.size());
+}
+
+}  // namespace
+}  // namespace alex

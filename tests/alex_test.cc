@@ -1,0 +1,501 @@
+#include "core/alex.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace alex::core {
+namespace {
+
+using AlexInt = Alex<int64_t, int64_t>;
+
+std::vector<int64_t> SortedKeys(size_t n, int64_t stride = 2) {
+  std::vector<int64_t> keys(n);
+  for (size_t i = 0; i < n; ++i) keys[i] = static_cast<int64_t>(i) * stride;
+  return keys;
+}
+
+std::vector<int64_t> Payloads(size_t n) {
+  std::vector<int64_t> p(n);
+  for (size_t i = 0; i < n; ++i) p[i] = static_cast<int64_t>(i) + 7;
+  return p;
+}
+
+Config MakeConfig(NodeLayout layout, RmiMode mode) {
+  Config config;
+  config.layout = layout;
+  config.rmi_mode = mode;
+  config.max_data_node_keys = 256;  // small bound so tests exercise depth
+  config.inner_node_partitions = 8;
+  return config;
+}
+
+// ---------- basic operations, default config ----------
+
+TEST(AlexTest, EmptyIndex) {
+  AlexInt index;
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_TRUE(index.empty());
+  EXPECT_EQ(index.Find(42), nullptr);
+  EXPECT_FALSE(index.Erase(42));
+  EXPECT_TRUE(index.begin().IsEnd());
+  EXPECT_TRUE(index.CheckInvariants());
+}
+
+TEST(AlexTest, InsertAndFind) {
+  AlexInt index;
+  EXPECT_TRUE(index.Insert(10, 100));
+  EXPECT_TRUE(index.Insert(20, 200));
+  EXPECT_TRUE(index.Insert(5, 50));
+  EXPECT_EQ(index.size(), 3u);
+  ASSERT_NE(index.Find(10), nullptr);
+  EXPECT_EQ(*index.Find(10), 100);
+  EXPECT_EQ(*index.Find(20), 200);
+  EXPECT_EQ(*index.Find(5), 50);
+  EXPECT_EQ(index.Find(15), nullptr);
+}
+
+TEST(AlexTest, InsertRejectsDuplicates) {
+  AlexInt index;
+  EXPECT_TRUE(index.Insert(1, 1));
+  EXPECT_FALSE(index.Insert(1, 2));
+  EXPECT_EQ(index.size(), 1u);
+  EXPECT_EQ(*index.Find(1), 1);
+}
+
+TEST(AlexTest, EraseRemovesKey) {
+  AlexInt index;
+  index.Insert(1, 10);
+  index.Insert(2, 20);
+  EXPECT_TRUE(index.Erase(1));
+  EXPECT_EQ(index.size(), 1u);
+  EXPECT_EQ(index.Find(1), nullptr);
+  EXPECT_NE(index.Find(2), nullptr);
+  EXPECT_FALSE(index.Erase(1));
+}
+
+TEST(AlexTest, UpdatePayload) {
+  AlexInt index;
+  index.Insert(1, 10);
+  EXPECT_TRUE(index.Update(1, 99));
+  EXPECT_EQ(*index.Find(1), 99);
+  EXPECT_FALSE(index.Update(2, 0));
+}
+
+TEST(AlexTest, UpdateKeyMovesEntry) {
+  AlexInt index;
+  index.Insert(1, 10);
+  index.Insert(2, 20);
+  EXPECT_TRUE(index.UpdateKey(1, 5));
+  EXPECT_EQ(index.Find(1), nullptr);
+  ASSERT_NE(index.Find(5), nullptr);
+  EXPECT_EQ(*index.Find(5), 10);
+  // Target collision fails and leaves both entries intact.
+  EXPECT_FALSE(index.UpdateKey(5, 2));
+  EXPECT_NE(index.Find(5), nullptr);
+  EXPECT_NE(index.Find(2), nullptr);
+  // Absent source fails.
+  EXPECT_FALSE(index.UpdateKey(100, 200));
+  // Same-key update succeeds iff present.
+  EXPECT_TRUE(index.UpdateKey(5, 5));
+  EXPECT_FALSE(index.UpdateKey(42, 42));
+}
+
+TEST(AlexTest, BulkLoadThenFindAll) {
+  const auto keys = SortedKeys(10000);
+  const auto payloads = Payloads(10000);
+  AlexInt index;
+  index.BulkLoad(keys.data(), payloads.data(), keys.size());
+  EXPECT_EQ(index.size(), keys.size());
+  EXPECT_TRUE(index.CheckInvariants());
+  for (size_t i = 0; i < keys.size(); i += 37) {
+    ASSERT_NE(index.Find(keys[i]), nullptr) << keys[i];
+    EXPECT_EQ(*index.Find(keys[i]), payloads[i]);
+  }
+  // Keys between the stored ones are absent.
+  EXPECT_EQ(index.Find(1), nullptr);
+  EXPECT_EQ(index.Find(keys.back() + 1), nullptr);
+}
+
+TEST(AlexTest, BulkLoadReplacesContents) {
+  AlexInt index;
+  index.Insert(999, 1);
+  const auto keys = SortedKeys(100);
+  const auto payloads = Payloads(100);
+  index.BulkLoad(keys.data(), payloads.data(), keys.size());
+  EXPECT_EQ(index.size(), 100u);
+  EXPECT_EQ(index.Find(999), nullptr);
+}
+
+TEST(AlexTest, BulkLoadPairsOverload) {
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  for (int64_t i = 0; i < 500; ++i) pairs.emplace_back(i * 3, i);
+  AlexInt index;
+  index.BulkLoad(pairs);
+  EXPECT_EQ(index.size(), 500u);
+  EXPECT_EQ(*index.Find(3 * 250), 250);
+}
+
+TEST(AlexTest, IterationVisitsKeysInOrder) {
+  const auto keys = SortedKeys(2000, 3);
+  const auto payloads = Payloads(2000);
+  AlexInt index;
+  index.BulkLoad(keys.data(), payloads.data(), keys.size());
+  size_t i = 0;
+  for (auto it = index.begin(); !it.IsEnd(); ++it, ++i) {
+    ASSERT_LT(i, keys.size());
+    EXPECT_EQ(it.key(), keys[i]);
+    EXPECT_EQ(it.payload(), payloads[i]);
+  }
+  EXPECT_EQ(i, keys.size());
+}
+
+TEST(AlexTest, LowerBoundFindsFirstNotLess) {
+  const auto keys = SortedKeys(1000, 10);  // 0, 10, ..., 9990
+  const auto payloads = Payloads(1000);
+  AlexInt index;
+  index.BulkLoad(keys.data(), payloads.data(), keys.size());
+  auto it = index.LowerBound(25);
+  ASSERT_FALSE(it.IsEnd());
+  EXPECT_EQ(it.key(), 30);
+  it = index.LowerBound(30);
+  EXPECT_EQ(it.key(), 30);
+  it = index.LowerBound(-5);
+  EXPECT_EQ(it.key(), 0);
+  it = index.LowerBound(99999);
+  EXPECT_TRUE(it.IsEnd());
+}
+
+TEST(AlexTest, RangeScanReturnsOrderedSlice) {
+  const auto keys = SortedKeys(1000, 5);
+  const auto payloads = Payloads(1000);
+  AlexInt index;
+  index.BulkLoad(keys.data(), payloads.data(), keys.size());
+  std::vector<std::pair<int64_t, int64_t>> out;
+  const size_t got = index.RangeScan(102, 10, &out);
+  EXPECT_EQ(got, 10u);
+  ASSERT_EQ(out.size(), 10u);
+  EXPECT_EQ(out.front().first, 105);
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].first, out[i - 1].first + 5);
+  }
+}
+
+TEST(AlexTest, RangeScanPastEndTruncates) {
+  const auto keys = SortedKeys(100);
+  const auto payloads = Payloads(100);
+  AlexInt index;
+  index.BulkLoad(keys.data(), payloads.data(), keys.size());
+  std::vector<std::pair<int64_t, int64_t>> out;
+  EXPECT_EQ(index.RangeScan(keys[95], 100, &out), 5u);
+  EXPECT_EQ(index.RangeScan(keys.back() + 1, 10, &out), 0u);
+}
+
+TEST(AlexTest, MoveConstructionTransfersOwnership) {
+  AlexInt a;
+  a.Insert(1, 10);
+  a.Insert(2, 20);
+  AlexInt b(std::move(a));
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(*b.Find(1), 10);
+  b.Insert(3, 30);  // config/stats pointers must still be valid
+  EXPECT_EQ(b.size(), 3u);
+}
+
+TEST(AlexTest, MoveAssignmentReplacesContents) {
+  AlexInt a, b;
+  a.Insert(1, 10);
+  b.Insert(2, 20);
+  b = std::move(a);
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_NE(b.Find(1), nullptr);
+  EXPECT_EQ(b.Find(2), nullptr);
+}
+
+// ---------- model-based insert & stats ----------
+
+TEST(AlexTest, StatsCountOperations) {
+  AlexInt index;
+  for (int64_t k = 0; k < 100; ++k) index.Insert(k, k);
+  index.Find(50);
+  index.Erase(50);
+  const Stats& s = index.stats();
+  EXPECT_EQ(s.num_inserts, 100u);
+  EXPECT_GE(s.num_lookups, 1u);
+  EXPECT_EQ(s.num_erases, 1u);
+}
+
+TEST(AlexTest, ExpansionHappensUnderInserts) {
+  Config config;
+  config.min_node_capacity = 16;
+  config.allow_splitting = false;
+  AlexInt index(config);
+  for (int64_t k = 0; k < 1000; ++k) index.Insert(k * 7, k);
+  EXPECT_GT(index.stats().num_expansions, 0u);
+  EXPECT_TRUE(index.CheckInvariants());
+}
+
+TEST(AlexTest, ContractionHappensUnderDeletes) {
+  Config config;
+  config.allow_splitting = false;
+  AlexInt index(config);
+  const auto keys = SortedKeys(5000);
+  const auto payloads = Payloads(5000);
+  index.BulkLoad(keys.data(), payloads.data(), keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (i % 50 != 0) index.Erase(keys[i]);
+  }
+  EXPECT_GT(index.stats().num_contractions, 0u);
+  EXPECT_EQ(index.size(), 100u);
+  EXPECT_TRUE(index.CheckInvariants());
+}
+
+TEST(AlexTest, SplittingGrowsTree) {
+  Config config = MakeConfig(NodeLayout::kGappedArray, RmiMode::kAdaptive);
+  config.allow_splitting = true;
+  config.max_data_node_keys = 128;
+  AlexInt index(config);
+  for (int64_t k = 0; k < 5000; ++k) index.Insert(k * 3, k);
+  EXPECT_GT(index.stats().num_splits, 0u);
+  const auto shape = index.Shape();
+  EXPECT_GT(shape.num_inner_nodes, 0u);
+  EXPECT_GT(shape.num_data_nodes, 1u);
+  EXPECT_TRUE(index.CheckInvariants());
+  for (int64_t k = 0; k < 5000; k += 13) {
+    ASSERT_NE(index.Find(k * 3), nullptr) << k;
+  }
+}
+
+TEST(AlexTest, ColdStartGrowsFromSingleNode) {
+  // §3.4.2: "the adaptive RMI will begin as only a single node and will
+  // grow deeper through splitting as more keys are inserted."
+  Config config = MakeConfig(NodeLayout::kGappedArray, RmiMode::kAdaptive);
+  config.max_data_node_keys = 64;
+  AlexInt index(config);
+  EXPECT_EQ(index.Shape().num_data_nodes, 1u);
+  util::Xoshiro256 rng(5);
+  std::map<int64_t, int64_t> reference;
+  for (int i = 0; i < 3000; ++i) {
+    const int64_t k = static_cast<int64_t>(rng.NextUint64(1000000));
+    const bool inserted = index.Insert(k, i);
+    const bool expected = reference.emplace(k, i).second;
+    ASSERT_EQ(inserted, expected);
+  }
+  EXPECT_GT(index.Shape().max_depth, 0u);
+  EXPECT_EQ(index.size(), reference.size());
+  EXPECT_TRUE(index.CheckInvariants());
+}
+
+TEST(AlexTest, IndexSizeMuchSmallerThanDataSize) {
+  const auto keys = SortedKeys(50000);
+  const auto payloads = Payloads(50000);
+  AlexInt index;
+  index.BulkLoad(keys.data(), payloads.data(), keys.size());
+  EXPECT_GT(index.DataSizeBytes(), keys.size() * sizeof(int64_t));
+  // On easily-modeled data the index is orders of magnitude smaller than
+  // the data (the paper's headline result).
+  EXPECT_LT(index.IndexSizeBytes() * 100, index.DataSizeBytes());
+}
+
+TEST(AlexTest, ShapeCountsNodes) {
+  Config config = MakeConfig(NodeLayout::kGappedArray, RmiMode::kAdaptive);
+  const auto keys = SortedKeys(10000);
+  const auto payloads = Payloads(10000);
+  AlexInt index(config);
+  index.BulkLoad(keys.data(), payloads.data(), keys.size());
+  const auto shape = index.Shape();
+  // 10000 keys with a 256-key bound needs at least 40 leaves.
+  EXPECT_GE(shape.num_data_nodes, 40u);
+  EXPECT_GE(shape.num_inner_nodes, 1u);
+  EXPECT_GE(shape.max_depth, 1u);
+}
+
+TEST(AlexTest, SrmiUsesConfiguredModelCount) {
+  Config config;
+  config.rmi_mode = RmiMode::kStatic;
+  config.num_models = 16;
+  const auto keys = SortedKeys(10000);
+  const auto payloads = Payloads(10000);
+  AlexInt index(config);
+  index.BulkLoad(keys.data(), payloads.data(), keys.size());
+  const auto shape = index.Shape();
+  EXPECT_EQ(shape.num_data_nodes, 16u);
+  EXPECT_EQ(shape.num_inner_nodes, 1u);
+  EXPECT_EQ(shape.max_depth, 1u);
+  for (size_t i = 0; i < keys.size(); i += 97) {
+    ASSERT_NE(index.Find(keys[i]), nullptr);
+  }
+}
+
+TEST(AlexTest, PredictionErrorsSmallAfterBulkLoad) {
+  // §5.3 / Fig. 7b: model-based inserts give mostly direct hits.
+  const auto keys = SortedKeys(20000, 2);
+  const auto payloads = Payloads(20000);
+  AlexInt index;
+  index.BulkLoad(keys.data(), payloads.data(), keys.size());
+  uint64_t direct = 0, total = 0;
+  index.ForEachLeaf([&](const AlexInt::DataNodeT& leaf) {
+    for (size_t i = leaf.FirstOccupiedSlot(); i < leaf.capacity();
+         i = leaf.NextOccupiedSlot(i)) {
+      const size_t predicted = leaf.PredictSlot(leaf.KeyAt(i));
+      if (predicted == i) ++direct;
+      ++total;
+    }
+  });
+  ASSERT_EQ(total, keys.size());
+  EXPECT_GT(static_cast<double>(direct) / static_cast<double>(total), 0.5);
+}
+
+// ---------- parameterized sweep over all four variants ----------
+
+struct VariantParam {
+  NodeLayout layout;
+  RmiMode rmi;
+  const char* name;
+};
+
+class AlexVariantTest : public ::testing::TestWithParam<VariantParam> {
+ protected:
+  Config VariantConfig() const {
+    Config config = MakeConfig(GetParam().layout, GetParam().rmi);
+    return config;
+  }
+};
+
+TEST_P(AlexVariantTest, BulkLoadLookup) {
+  const auto keys = SortedKeys(20000, 3);
+  const auto payloads = Payloads(20000);
+  Alex<int64_t, int64_t> index(VariantConfig());
+  index.BulkLoad(keys.data(), payloads.data(), keys.size());
+  EXPECT_TRUE(index.CheckInvariants());
+  for (size_t i = 0; i < keys.size(); i += 41) {
+    ASSERT_NE(index.Find(keys[i]), nullptr) << keys[i];
+    EXPECT_EQ(*index.Find(keys[i]), payloads[i]);
+    EXPECT_EQ(index.Find(keys[i] + 1), nullptr);
+  }
+}
+
+TEST_P(AlexVariantTest, RandomizedMirrorOfStdMap) {
+  util::Xoshiro256 rng(31337);
+  Alex<int64_t, int64_t> index(VariantConfig());
+  std::map<int64_t, int64_t> reference;
+  for (int iter = 0; iter < 20000; ++iter) {
+    const int64_t key = static_cast<int64_t>(rng.NextUint64(30000));
+    const uint64_t op = rng.NextUint64(10);
+    if (op < 6) {
+      const bool inserted = index.Insert(key, iter);
+      const bool expected = reference.emplace(key, iter).second;
+      ASSERT_EQ(inserted, expected) << "iter " << iter << " key " << key;
+    } else if (op < 8) {
+      const bool erased = index.Erase(key);
+      ASSERT_EQ(erased, reference.erase(key) > 0)
+          << "iter " << iter << " key " << key;
+    } else {
+      auto* found = index.Find(key);
+      auto it = reference.find(key);
+      ASSERT_EQ(found != nullptr, it != reference.end())
+          << "iter " << iter << " key " << key;
+      if (found != nullptr) {
+        ASSERT_EQ(*found, it->second);
+      }
+    }
+  }
+  ASSERT_EQ(index.size(), reference.size());
+  ASSERT_TRUE(index.CheckInvariants());
+  // Full-order comparison.
+  auto it = index.begin();
+  for (const auto& [k, v] : reference) {
+    ASSERT_FALSE(it.IsEnd());
+    ASSERT_EQ(it.key(), k);
+    ASSERT_EQ(it.payload(), v);
+    ++it;
+  }
+  ASSERT_TRUE(it.IsEnd());
+}
+
+TEST_P(AlexVariantTest, BulkLoadThenHeavyInsertsKeepOrder) {
+  const auto keys = SortedKeys(5000, 10);
+  const auto payloads = Payloads(5000);
+  Alex<int64_t, int64_t> index(VariantConfig());
+  index.BulkLoad(keys.data(), payloads.data(), keys.size());
+  util::Xoshiro256 rng(99);
+  size_t inserted = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const int64_t key = static_cast<int64_t>(rng.NextUint64(50000));
+    if (index.Insert(key, i)) ++inserted;
+  }
+  EXPECT_EQ(index.size(), 5000 + inserted);
+  EXPECT_TRUE(index.CheckInvariants());
+  // Iteration must remain globally sorted.
+  int64_t prev = -1;
+  for (auto it = index.begin(); !it.IsEnd(); ++it) {
+    ASSERT_GT(it.key(), prev);
+    prev = it.key();
+  }
+}
+
+TEST_P(AlexVariantTest, SequentialAppendInserts) {
+  // Fig. 5c's adversarial pattern, at test scale: always insert at the
+  // right edge. Correctness must hold for every variant even where
+  // performance differs.
+  Alex<int64_t, int64_t> index(VariantConfig());
+  for (int64_t k = 0; k < 20000; ++k) {
+    ASSERT_TRUE(index.Insert(k, k));
+  }
+  EXPECT_EQ(index.size(), 20000u);
+  EXPECT_TRUE(index.CheckInvariants());
+  EXPECT_EQ(*index.Find(19999), 19999);
+}
+
+TEST_P(AlexVariantTest, EraseEverything) {
+  const auto keys = SortedKeys(3000);
+  const auto payloads = Payloads(3000);
+  Alex<int64_t, int64_t> index(VariantConfig());
+  index.BulkLoad(keys.data(), payloads.data(), keys.size());
+  for (const auto k : keys) {
+    ASSERT_TRUE(index.Erase(k)) << k;
+  }
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_TRUE(index.CheckInvariants());
+  // The index remains usable after total erasure.
+  EXPECT_TRUE(index.Insert(5, 5));
+  EXPECT_NE(index.Find(5), nullptr);
+}
+
+TEST_P(AlexVariantTest, RangeScansAcrossLeaves) {
+  const auto keys = SortedKeys(10000, 2);
+  const auto payloads = Payloads(10000);
+  Alex<int64_t, int64_t> index(VariantConfig());
+  index.BulkLoad(keys.data(), payloads.data(), keys.size());
+  std::vector<std::pair<int64_t, int64_t>> out;
+  // A scan of 1000 keys necessarily crosses multiple 256-key leaves.
+  const size_t got = index.RangeScan(keys[4000], 1000, &out);
+  ASSERT_EQ(got, 1000u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].first, keys[4000 + i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, AlexVariantTest,
+    ::testing::Values(
+        VariantParam{NodeLayout::kGappedArray, RmiMode::kStatic,
+                     "GA_SRMI"},
+        VariantParam{NodeLayout::kGappedArray, RmiMode::kAdaptive,
+                     "GA_ARMI"},
+        VariantParam{NodeLayout::kPackedMemoryArray, RmiMode::kStatic,
+                     "PMA_SRMI"},
+        VariantParam{NodeLayout::kPackedMemoryArray, RmiMode::kAdaptive,
+                     "PMA_ARMI"}),
+    [](const ::testing::TestParamInfo<VariantParam>& info) {
+      return std::string(info.param.name);
+    });
+
+}  // namespace
+}  // namespace alex::core

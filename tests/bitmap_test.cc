@@ -1,0 +1,146 @@
+#include "util/bitmap.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/random.h"
+
+namespace alex::util {
+namespace {
+
+TEST(BitmapTest, StartsAllClear) {
+  Bitmap bm(130);
+  EXPECT_EQ(bm.size(), 130u);
+  for (size_t i = 0; i < bm.size(); ++i) {
+    EXPECT_FALSE(bm.Get(i)) << i;
+  }
+  EXPECT_EQ(bm.PopCount(), 0u);
+}
+
+TEST(BitmapTest, SetGetClear) {
+  Bitmap bm(200);
+  bm.Set(0);
+  bm.Set(63);
+  bm.Set(64);
+  bm.Set(199);
+  EXPECT_TRUE(bm.Get(0));
+  EXPECT_TRUE(bm.Get(63));
+  EXPECT_TRUE(bm.Get(64));
+  EXPECT_TRUE(bm.Get(199));
+  EXPECT_FALSE(bm.Get(1));
+  EXPECT_EQ(bm.PopCount(), 4u);
+  bm.Clear(63);
+  EXPECT_FALSE(bm.Get(63));
+  EXPECT_EQ(bm.PopCount(), 3u);
+}
+
+TEST(BitmapTest, NextSetFindsAcrossWordBoundaries) {
+  Bitmap bm(256);
+  bm.Set(70);
+  bm.Set(130);
+  EXPECT_EQ(bm.NextSet(0), 70u);
+  EXPECT_EQ(bm.NextSet(70), 70u);
+  EXPECT_EQ(bm.NextSet(71), 130u);
+  EXPECT_EQ(bm.NextSet(131), 256u);  // none -> size()
+}
+
+TEST(BitmapTest, NextClearSkipsSetRuns) {
+  Bitmap bm(128);
+  for (size_t i = 0; i < 100; ++i) bm.Set(i);
+  EXPECT_EQ(bm.NextClear(0), 100u);
+  EXPECT_EQ(bm.NextClear(99), 100u);
+  EXPECT_EQ(bm.NextClear(100), 100u);
+  bm.Set(100);
+  EXPECT_EQ(bm.NextClear(50), 101u);
+}
+
+TEST(BitmapTest, NextClearAllSetReturnsSize) {
+  Bitmap bm(64);
+  for (size_t i = 0; i < 64; ++i) bm.Set(i);
+  EXPECT_EQ(bm.NextClear(0), 64u);
+}
+
+TEST(BitmapTest, PrevSetScansBackwards) {
+  Bitmap bm(256);
+  bm.Set(5);
+  bm.Set(128);
+  EXPECT_EQ(bm.PrevSet(255), 128u);
+  EXPECT_EQ(bm.PrevSet(128), 128u);
+  EXPECT_EQ(bm.PrevSet(127), 5u);
+  EXPECT_EQ(bm.PrevSet(4), 256u);  // none -> size()
+}
+
+TEST(BitmapTest, PrevClearScansBackwards) {
+  Bitmap bm(128);
+  for (size_t i = 0; i < 128; ++i) bm.Set(i);
+  bm.Clear(60);
+  EXPECT_EQ(bm.PrevClear(127), 60u);
+  EXPECT_EQ(bm.PrevClear(60), 60u);
+  EXPECT_EQ(bm.PrevClear(59), 128u);  // none below
+}
+
+TEST(BitmapTest, PrevSetFromBeyondSizeClamps) {
+  Bitmap bm(100);
+  bm.Set(99);
+  EXPECT_EQ(bm.PrevSet(1000), 99u);
+}
+
+TEST(BitmapTest, ResetClearsEverything) {
+  Bitmap bm(77);
+  bm.Set(3);
+  bm.Set(76);
+  bm.Reset();
+  EXPECT_EQ(bm.PopCount(), 0u);
+  EXPECT_EQ(bm.size(), 77u);
+}
+
+TEST(BitmapTest, SizeBytesCoversAllBits) {
+  EXPECT_EQ(Bitmap(64).SizeBytes(), 8u);
+  EXPECT_EQ(Bitmap(65).SizeBytes(), 16u);
+  EXPECT_EQ(Bitmap(1).SizeBytes(), 8u);
+}
+
+TEST(BitmapTest, PopCountRangeCountsHalfOpenInterval) {
+  Bitmap bm(64);
+  bm.Set(10);
+  bm.Set(20);
+  bm.Set(30);
+  EXPECT_EQ(bm.PopCountRange(10, 30), 2u);  // 30 excluded
+  EXPECT_EQ(bm.PopCountRange(0, 64), 3u);
+  EXPECT_EQ(bm.PopCountRange(11, 20), 0u);
+}
+
+TEST(BitmapTest, RandomizedAgainstReferenceSet) {
+  Xoshiro256 rng(42);
+  const size_t n = 700;
+  Bitmap bm(n);
+  std::set<size_t> reference;
+  for (int iter = 0; iter < 4000; ++iter) {
+    const size_t i = rng.NextUint64(n);
+    if (rng.NextUint64(2) == 0) {
+      bm.Set(i);
+      reference.insert(i);
+    } else {
+      bm.Clear(i);
+      reference.erase(i);
+    }
+  }
+  EXPECT_EQ(bm.PopCount(), reference.size());
+  for (int probe = 0; probe < 200; ++probe) {
+    const size_t from = rng.NextUint64(n);
+    auto it = reference.lower_bound(from);
+    const size_t expected = it == reference.end() ? n : *it;
+    EXPECT_EQ(bm.NextSet(from), expected) << "from=" << from;
+    auto rit = reference.upper_bound(from);
+    size_t expected_prev = n;
+    if (rit != reference.begin()) {
+      --rit;
+      expected_prev = *rit;
+    }
+    EXPECT_EQ(bm.PrevSet(from), expected_prev) << "from=" << from;
+  }
+}
+
+}  // namespace
+}  // namespace alex::util

@@ -1,0 +1,205 @@
+#include "baselines/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "util/random.h"
+
+namespace alex::baseline {
+namespace {
+
+using Tree = BPlusTree<int64_t, int64_t>;
+
+std::vector<int64_t> SortedKeys(size_t n, int64_t stride = 2) {
+  std::vector<int64_t> keys(n);
+  for (size_t i = 0; i < n; ++i) keys[i] = static_cast<int64_t>(i) * stride;
+  return keys;
+}
+
+TEST(BPlusTreeTest, EmptyTree) {
+  Tree tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.Find(5), nullptr);
+  EXPECT_FALSE(tree.Erase(5));
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BPlusTreeTest, InsertFind) {
+  Tree tree(8);
+  for (int64_t k = 0; k < 1000; ++k) {
+    ASSERT_TRUE(tree.Insert(k * 3, k));
+  }
+  EXPECT_EQ(tree.size(), 1000u);
+  EXPECT_TRUE(tree.CheckInvariants());
+  for (int64_t k = 0; k < 1000; ++k) {
+    ASSERT_NE(tree.Find(k * 3), nullptr);
+    EXPECT_EQ(*tree.Find(k * 3), k);
+    EXPECT_EQ(tree.Find(k * 3 + 1), nullptr);
+  }
+  EXPECT_GT(tree.Height(), 1u);
+}
+
+TEST(BPlusTreeTest, InsertRejectsDuplicates) {
+  Tree tree;
+  EXPECT_TRUE(tree.Insert(1, 1));
+  EXPECT_FALSE(tree.Insert(1, 2));
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(BPlusTreeTest, ReverseInserts) {
+  Tree tree(6);
+  for (int64_t k = 5000; k > 0; --k) {
+    ASSERT_TRUE(tree.Insert(k, k));
+  }
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_EQ(*tree.Find(1), 1);
+  EXPECT_EQ(*tree.Find(5000), 5000);
+}
+
+TEST(BPlusTreeTest, BulkLoadFindAll) {
+  const auto keys = SortedKeys(10000, 5);
+  std::vector<int64_t> payloads(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) payloads[i] = -keys[i];
+  Tree tree(32);
+  tree.BulkLoad(keys.data(), payloads.data(), keys.size());
+  EXPECT_EQ(tree.size(), keys.size());
+  EXPECT_TRUE(tree.CheckInvariants());
+  for (size_t i = 0; i < keys.size(); i += 13) {
+    ASSERT_NE(tree.Find(keys[i]), nullptr) << keys[i];
+    EXPECT_EQ(*tree.Find(keys[i]), payloads[i]);
+  }
+  EXPECT_EQ(tree.Find(keys.back() + 1), nullptr);
+  EXPECT_EQ(tree.Find(-1), nullptr);
+}
+
+TEST(BPlusTreeTest, BulkLoadThenInsertMore) {
+  const auto keys = SortedKeys(5000, 4);
+  std::vector<int64_t> payloads(keys.size(), 0);
+  Tree tree(16);
+  tree.BulkLoad(keys.data(), payloads.data(), keys.size());
+  // Insert between the loaded keys.
+  for (int64_t k = 0; k < 2000; ++k) {
+    ASSERT_TRUE(tree.Insert(k * 4 + 1, k));
+  }
+  EXPECT_EQ(tree.size(), 7000u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BPlusTreeTest, BulkLoadEmpty) {
+  Tree tree;
+  tree.BulkLoad(nullptr, nullptr, 0);
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.Insert(1, 1));
+}
+
+TEST(BPlusTreeTest, EraseRemoves) {
+  Tree tree(8);
+  for (int64_t k = 0; k < 500; ++k) tree.Insert(k, k);
+  for (int64_t k = 0; k < 500; k += 2) {
+    ASSERT_TRUE(tree.Erase(k));
+  }
+  EXPECT_EQ(tree.size(), 250u);
+  EXPECT_TRUE(tree.CheckInvariants());
+  for (int64_t k = 0; k < 500; ++k) {
+    EXPECT_EQ(tree.Find(k) != nullptr, k % 2 == 1);
+  }
+}
+
+TEST(BPlusTreeTest, UpdateOverwritesPayload) {
+  Tree tree;
+  tree.Insert(7, 1);
+  EXPECT_TRUE(tree.Update(7, 99));
+  EXPECT_EQ(*tree.Find(7), 99);
+  EXPECT_FALSE(tree.Update(8, 0));
+}
+
+TEST(BPlusTreeTest, RangeScanAcrossLeaves) {
+  const auto keys = SortedKeys(2000, 3);
+  std::vector<int64_t> payloads(keys.size(), 1);
+  Tree tree(8);  // tiny nodes force scans across many leaves
+  tree.BulkLoad(keys.data(), payloads.data(), keys.size());
+  std::vector<std::pair<int64_t, int64_t>> out;
+  const size_t got = tree.RangeScan(keys[500] + 1, 300, &out);
+  ASSERT_EQ(got, 300u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].first, keys[501 + i]);
+  }
+  // Scan beyond the end truncates.
+  EXPECT_EQ(tree.RangeScan(keys.back(), 10, &out), 1u);
+  EXPECT_EQ(tree.RangeScan(keys.back() + 1, 10, &out), 0u);
+}
+
+TEST(BPlusTreeTest, IndexSizeGrowsWithTreeAndDataSizeWithKeys) {
+  Tree small(64), large(64);
+  const auto keys = SortedKeys(20000);
+  std::vector<int64_t> payloads(keys.size(), 0);
+  small.BulkLoad(keys.data(), payloads.data(), 1000);
+  large.BulkLoad(keys.data(), payloads.data(), 20000);
+  EXPECT_GT(large.IndexSizeBytes(), small.IndexSizeBytes());
+  EXPECT_GT(large.DataSizeBytes(), small.DataSizeBytes());
+  // Data dominates index.
+  EXPECT_GT(large.DataSizeBytes(), large.IndexSizeBytes());
+}
+
+TEST(BPlusTreeTest, NodeCapacityIsRespectedQualitatively) {
+  // Smaller capacity -> taller tree.
+  Tree narrow(4), wide(256);
+  const auto keys = SortedKeys(20000);
+  std::vector<int64_t> payloads(keys.size(), 0);
+  narrow.BulkLoad(keys.data(), payloads.data(), keys.size());
+  wide.BulkLoad(keys.data(), payloads.data(), keys.size());
+  EXPECT_GT(narrow.Height(), wide.Height());
+}
+
+TEST(BPlusTreeTest, RandomizedMirrorOfStdMap) {
+  util::Xoshiro256 rng(2024);
+  Tree tree(10);
+  std::map<int64_t, int64_t> reference;
+  for (int iter = 0; iter < 20000; ++iter) {
+    const int64_t key = static_cast<int64_t>(rng.NextUint64(30000));
+    const uint64_t op = rng.NextUint64(10);
+    if (op < 6) {
+      ASSERT_EQ(tree.Insert(key, iter),
+                reference.emplace(key, iter).second)
+          << "iter " << iter;
+    } else if (op < 8) {
+      ASSERT_EQ(tree.Erase(key), reference.erase(key) > 0)
+          << "iter " << iter;
+    } else {
+      auto* found = tree.Find(key);
+      auto it = reference.find(key);
+      ASSERT_EQ(found != nullptr, it != reference.end()) << "iter " << iter;
+      if (found != nullptr) {
+        ASSERT_EQ(*found, it->second);
+      }
+    }
+  }
+  EXPECT_EQ(tree.size(), reference.size());
+  EXPECT_TRUE(tree.CheckInvariants());
+  // Order check via full scan.
+  std::vector<std::pair<int64_t, int64_t>> out;
+  tree.RangeScan(std::numeric_limits<int64_t>::min(), reference.size() + 1,
+                 &out);
+  ASSERT_EQ(out.size(), reference.size());
+  size_t i = 0;
+  for (const auto& [k, v] : reference) {
+    ASSERT_EQ(out[i].first, k);
+    ASSERT_EQ(out[i].second, v);
+    ++i;
+  }
+}
+
+TEST(BPlusTreeTest, MoveConstruction) {
+  Tree a(8);
+  a.Insert(1, 10);
+  Tree b(std::move(a));
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(*b.Find(1), 10);
+}
+
+}  // namespace
+}  // namespace alex::baseline

@@ -1,0 +1,146 @@
+#include "core/concurrent_alex.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "util/random.h"
+
+namespace alex::core {
+namespace {
+
+using Index = ConcurrentAlex<int64_t, int64_t>;
+
+TEST(ConcurrentAlexTest, SingleThreadedSemanticsMatchAlex) {
+  Index index;
+  EXPECT_TRUE(index.Insert(1, 10));
+  EXPECT_FALSE(index.Insert(1, 11));
+  int64_t v = 0;
+  EXPECT_TRUE(index.Get(1, &v));
+  EXPECT_EQ(v, 10);
+  EXPECT_TRUE(index.Update(1, 20));
+  EXPECT_TRUE(index.Get(1, &v));
+  EXPECT_EQ(v, 20);
+  index.Put(1, 30);  // overwrite path
+  index.Put(2, 40);  // insert path
+  EXPECT_TRUE(index.Get(2, &v));
+  EXPECT_EQ(v, 40);
+  EXPECT_TRUE(index.Erase(1));
+  EXPECT_FALSE(index.Contains(1));
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST(ConcurrentAlexTest, BulkLoadAndScan) {
+  Index index;
+  std::vector<int64_t> keys, payloads;
+  for (int64_t i = 0; i < 10000; ++i) {
+    keys.push_back(i * 2);
+    payloads.push_back(i);
+  }
+  index.BulkLoad(keys.data(), payloads.data(), keys.size());
+  std::vector<std::pair<int64_t, int64_t>> out;
+  EXPECT_EQ(index.RangeScan(100, 5, &out), 5u);
+  EXPECT_EQ(out.front().first, 100);
+  EXPECT_GT(index.IndexSizeBytes(), 0u);
+  EXPECT_GT(index.DataSizeBytes(), 0u);
+}
+
+TEST(ConcurrentAlexTest, ParallelReadersSeeConsistentData) {
+  Index index;
+  std::vector<int64_t> keys, payloads;
+  for (int64_t i = 0; i < 50000; ++i) {
+    keys.push_back(i);
+    payloads.push_back(i * 3);
+  }
+  index.BulkLoad(keys.data(), payloads.data(), keys.size());
+  std::atomic<int> errors{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&index, &errors, t] {
+      util::Xoshiro256 rng(t + 1);
+      for (int i = 0; i < 20000; ++i) {
+        const auto key = static_cast<int64_t>(rng.NextUint64(50000));
+        int64_t v = -1;
+        if (!index.Get(key, &v) || v != key * 3) {
+          errors.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(errors.load(), 0);
+}
+
+TEST(ConcurrentAlexTest, MixedReadersAndWritersStayConsistent) {
+  Index index;
+  // Pre-load a disjoint key range readers will hammer.
+  std::vector<int64_t> keys, payloads;
+  for (int64_t i = 0; i < 20000; ++i) {
+    keys.push_back(i);
+    payloads.push_back(i);
+  }
+  index.BulkLoad(keys.data(), payloads.data(), keys.size());
+
+  std::atomic<int> errors{0};
+  std::atomic<bool> stop{false};
+  // Writers insert keys >= 1e6; splits/expansions run under the exclusive
+  // lock while readers keep validating the stable range.
+  std::thread writer([&] {
+    for (int64_t i = 0; i < 30000; ++i) {
+      if (!index.Insert(1000000 + i, i)) {
+        errors.fetch_add(1);
+      }
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&index, &errors, &stop, t] {
+      util::Xoshiro256 rng(100 + t);
+      while (!stop.load()) {
+        const auto key = static_cast<int64_t>(rng.NextUint64(20000));
+        int64_t v = -1;
+        if (!index.Get(key, &v) || v != key) {
+          errors.fetch_add(1);
+        }
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(index.size(), 50000u);
+}
+
+TEST(ConcurrentAlexTest, ConcurrentWritersDisjointRangesAllLand) {
+  Index index;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&index, t] {
+      const int64_t base = static_cast<int64_t>(t) * 1000000;
+      for (int64_t i = 0; i < 10000; ++i) {
+        index.Insert(base + i, i);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  EXPECT_EQ(index.size(), 40000u);
+  int64_t v;
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_TRUE(index.Get(static_cast<int64_t>(t) * 1000000 + 9999, &v));
+    EXPECT_EQ(v, 9999);
+  }
+}
+
+TEST(ConcurrentAlexTest, StatsSnapshotIsCoherent) {
+  Index index;
+  for (int64_t i = 0; i < 100; ++i) index.Insert(i, i);
+  const Stats stats = index.GetStats();
+  EXPECT_EQ(stats.num_inserts, 100u);
+}
+
+}  // namespace
+}  // namespace alex::core

@@ -1,0 +1,169 @@
+#include "datasets/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace alex::data {
+namespace {
+
+class DatasetTest : public ::testing::TestWithParam<DatasetId> {};
+
+TEST_P(DatasetTest, GeneratesExactlyNDistinctKeys) {
+  const auto keys = GenerateKeys(GetParam(), 20000);
+  EXPECT_EQ(keys.size(), 20000u);
+  std::set<double> unique(keys.begin(), keys.end());
+  EXPECT_EQ(unique.size(), keys.size());  // no duplicates (§5.1.1)
+}
+
+TEST_P(DatasetTest, DeterministicForSameSeed) {
+  DatasetOptions options;
+  options.seed = 99;
+  const auto a = GenerateKeys(GetParam(), 5000, options);
+  const auto b = GenerateKeys(GetParam(), 5000, options);
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(DatasetTest, DifferentSeedsDiffer) {
+  DatasetOptions a_opts, b_opts;
+  a_opts.seed = 1;
+  b_opts.seed = 2;
+  const auto a = GenerateKeys(GetParam(), 1000, a_opts);
+  const auto b = GenerateKeys(GetParam(), 1000, b_opts);
+  EXPECT_NE(a, b);
+}
+
+TEST_P(DatasetTest, ShuffleOffYieldsSortedKeys) {
+  DatasetOptions options;
+  options.shuffle = false;
+  const auto keys = GenerateKeys(GetParam(), 5000, options);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST_P(DatasetTest, ShuffleOnYieldsUnsortedKeys) {
+  const auto keys = GenerateKeys(GetParam(), 5000);
+  EXPECT_FALSE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST_P(DatasetTest, AllKeysFinite) {
+  const auto keys = GenerateKeys(GetParam(), 10000);
+  for (const double k : keys) {
+    ASSERT_TRUE(std::isfinite(k));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetTest,
+                         ::testing::ValuesIn(kAllDatasets),
+                         [](const ::testing::TestParamInfo<DatasetId>& info) {
+                           return std::string(DatasetName(info.param));
+                         });
+
+TEST(DatasetPropertiesTest, LongitudesWithinDomain) {
+  const auto keys = GenerateKeys(DatasetId::kLongitudes, 20000);
+  for (const double k : keys) {
+    ASSERT_GE(k, -180.0);
+    ASSERT_LT(k, 180.0);
+  }
+}
+
+TEST(DatasetPropertiesTest, LongitudesConcentratedInPopulatedBands) {
+  // The CDF should be globally non-uniform: the middle half of the key
+  // domain must not hold ~half the mass.
+  const auto keys = GenerateKeys(DatasetId::kLongitudes, 50000);
+  size_t in_east_band = 0;  // 60..140 East: India/China/SE Asia band
+  for (const double k : keys) {
+    if (k >= 60.0 && k < 140.0) ++in_east_band;
+  }
+  const double fraction =
+      static_cast<double>(in_east_band) / static_cast<double>(keys.size());
+  // The band is 22% of the domain but should carry much more mass.
+  EXPECT_GT(fraction, 0.35);
+}
+
+TEST(DatasetPropertiesTest, LonglatIsStepFunctionLocally) {
+  // Appendix C: longlat groups keys into per-degree "strips" of width 180;
+  // consecutive strips leave large gaps, producing a step-function CDF.
+  auto keys = GenerateKeys(DatasetId::kLonglat, 50000);
+  std::sort(keys.begin(), keys.end());
+  size_t large_jumps = 0;
+  for (size_t i = 1; i < keys.size(); ++i) {
+    if (keys[i] - keys[i - 1] > 90.0) ++large_jumps;
+  }
+  // Many distinct strips -> many large jumps.
+  EXPECT_GT(large_jumps, 50u);
+}
+
+TEST(DatasetPropertiesTest, LonglatStripStructure) {
+  // Every key k = 180*round(lon) + lat with lat in [-90, 90): the residual
+  // against the strip center must stay within the latitude domain.
+  const auto keys = GenerateKeys(DatasetId::kLonglat, 20000);
+  for (const double k : keys) {
+    const double strip = std::round(k / 180.0);
+    const double lat = k - 180.0 * strip;
+    ASSERT_GE(lat, -90.0 - 1e-9);
+    ASSERT_LE(lat, 90.0 + 1e-9);
+  }
+}
+
+TEST(DatasetPropertiesTest, LognormalIsIntegerAndHeavySkewed) {
+  auto keys = GenerateKeys(DatasetId::kLognormal, 50000);
+  for (const double k : keys) {
+    ASSERT_EQ(k, std::floor(k));  // integer keys (Table 1)
+    ASSERT_GE(k, 0.0);
+  }
+  std::sort(keys.begin(), keys.end());
+  // Heavy right skew: the max should dwarf the median.
+  const double median = keys[keys.size() / 2];
+  EXPECT_GT(keys.back(), median * 100.0);
+}
+
+TEST(DatasetPropertiesTest, YcsbIsRoughlyUniform) {
+  auto keys = GenerateKeys(DatasetId::kYcsb, 50000);
+  std::sort(keys.begin(), keys.end());
+  // Quartiles of a uniform distribution are evenly spaced.
+  const double q1 = keys[keys.size() / 4];
+  const double q2 = keys[keys.size() / 2];
+  const double q3 = keys[3 * keys.size() / 4];
+  const double spacing1 = q2 - q1;
+  const double spacing2 = q3 - q2;
+  EXPECT_NEAR(spacing1 / spacing2, 1.0, 0.1);
+}
+
+TEST(DatasetPropertiesTest, PayloadSizesMatchTable1) {
+  EXPECT_EQ(PayloadSizeBytes(DatasetId::kLongitudes), 8u);
+  EXPECT_EQ(PayloadSizeBytes(DatasetId::kLonglat), 8u);
+  EXPECT_EQ(PayloadSizeBytes(DatasetId::kLognormal), 8u);
+  EXPECT_EQ(PayloadSizeBytes(DatasetId::kYcsb), 80u);
+}
+
+TEST(DatasetPropertiesTest, NamesMatchPaper) {
+  EXPECT_STREQ(DatasetName(DatasetId::kLongitudes), "longitudes");
+  EXPECT_STREQ(DatasetName(DatasetId::kLonglat), "longlat");
+  EXPECT_STREQ(DatasetName(DatasetId::kLognormal), "lognormal");
+  EXPECT_STREQ(DatasetName(DatasetId::kYcsb), "YCSB");
+}
+
+TEST(SampleCdfTest, ReturnsMonotoneSamples) {
+  const auto keys = GenerateKeys(DatasetId::kLongitudes, 10000);
+  const auto cdf = SampleCdf(keys, 100);
+  ASSERT_EQ(cdf.size(), 100u);
+  for (size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+    EXPECT_GE(cdf[i].second, cdf[i - 1].second);
+  }
+  EXPECT_NEAR(cdf.back().second, 1.0, 1e-9);
+}
+
+TEST(SampleCdfTest, EmptyAndDegenerateInputs) {
+  EXPECT_TRUE(SampleCdf({}, 10).empty());
+  EXPECT_TRUE(SampleCdf({1.0, 2.0}, 0).empty());
+  const auto one = SampleCdf({5.0}, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one[0].first, 5.0);
+}
+
+}  // namespace
+}  // namespace alex::data

@@ -1,0 +1,95 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace alex::util {
+namespace {
+
+TEST(Log2HistogramTest, BucketOfMatchesPowersOfTwo) {
+  EXPECT_EQ(Log2Histogram::BucketOf(0), 0);
+  EXPECT_EQ(Log2Histogram::BucketOf(1), 1);
+  EXPECT_EQ(Log2Histogram::BucketOf(2), 2);
+  EXPECT_EQ(Log2Histogram::BucketOf(3), 2);
+  EXPECT_EQ(Log2Histogram::BucketOf(4), 3);
+  EXPECT_EQ(Log2Histogram::BucketOf(7), 3);
+  EXPECT_EQ(Log2Histogram::BucketOf(8), 4);
+  EXPECT_EQ(Log2Histogram::BucketOf(1ULL << 40), 41);
+}
+
+TEST(Log2HistogramTest, BucketLoIsInverseOfBucketOf) {
+  for (int b = 0; b < 50; ++b) {
+    const uint64_t lo = Log2Histogram::BucketLo(b);
+    EXPECT_EQ(Log2Histogram::BucketOf(lo), b) << "bucket " << b;
+  }
+}
+
+TEST(Log2HistogramTest, RecordsAndCounts) {
+  Log2Histogram h;
+  h.Record(0);
+  h.Record(0);
+  h.Record(1);
+  h.Record(5);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(3), 1u);  // 5 -> [4,8)
+  EXPECT_DOUBLE_EQ(h.FractionZero(), 0.5);
+}
+
+TEST(Log2HistogramTest, MaxBucketTracksLargestValue) {
+  Log2Histogram h;
+  EXPECT_EQ(h.MaxBucket(), -1);
+  h.Record(3);
+  EXPECT_EQ(h.MaxBucket(), 2);
+  h.Record(100);
+  EXPECT_EQ(h.MaxBucket(), 7);  // 100 -> [64,128)
+}
+
+TEST(Log2HistogramTest, QuantileFindsMassBoundary) {
+  Log2Histogram h;
+  for (int i = 0; i < 90; ++i) h.Record(0);
+  for (int i = 0; i < 10; ++i) h.Record(1024);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+  EXPECT_EQ(h.Quantile(0.99), 1024u);
+}
+
+TEST(PercentileRecorderTest, ExactPercentiles) {
+  PercentileRecorder rec;
+  for (uint64_t v = 1; v <= 100; ++v) rec.Record(v);
+  EXPECT_EQ(rec.count(), 100u);
+  EXPECT_EQ(rec.Min(), 1u);
+  EXPECT_EQ(rec.Max(), 100u);
+  EXPECT_EQ(rec.Percentile(0.0), 1u);
+  EXPECT_EQ(rec.Percentile(1.0), 100u);
+  EXPECT_NEAR(static_cast<double>(rec.Percentile(0.5)), 50.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(rec.Percentile(0.99)), 99.0, 1.0);
+  EXPECT_DOUBLE_EQ(rec.Mean(), 50.5);
+}
+
+TEST(PercentileRecorderTest, RecordAfterQueryResorts) {
+  PercentileRecorder rec;
+  rec.Record(10);
+  EXPECT_EQ(rec.Percentile(0.5), 10u);
+  rec.Record(1);
+  EXPECT_EQ(rec.Min(), 1u);
+  EXPECT_EQ(rec.Max(), 10u);
+}
+
+TEST(PercentileRecorderTest, EmptyIsZero) {
+  PercentileRecorder rec;
+  EXPECT_EQ(rec.Percentile(0.5), 0u);
+  EXPECT_EQ(rec.Min(), 0u);
+  EXPECT_EQ(rec.Max(), 0u);
+  EXPECT_DOUBLE_EQ(rec.Mean(), 0.0);
+}
+
+TEST(PercentileRecorderTest, ClearResets) {
+  PercentileRecorder rec;
+  rec.Record(5);
+  rec.Clear();
+  EXPECT_EQ(rec.count(), 0u);
+  EXPECT_EQ(rec.Percentile(0.5), 0u);
+}
+
+}  // namespace
+}  // namespace alex::util

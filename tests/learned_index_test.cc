@@ -1,0 +1,174 @@
+#include "baselines/learned_index.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "util/random.h"
+
+namespace alex::baseline {
+namespace {
+
+using Index = LearnedIndex<int64_t, int64_t>;
+
+std::vector<int64_t> SortedKeys(size_t n, int64_t stride = 3) {
+  std::vector<int64_t> keys(n);
+  for (size_t i = 0; i < n; ++i) keys[i] = static_cast<int64_t>(i) * stride;
+  return keys;
+}
+
+TEST(LearnedIndexTest, EmptyIndex) {
+  Index index;
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_EQ(index.Find(1), nullptr);
+  EXPECT_FALSE(index.Erase(1));
+}
+
+TEST(LearnedIndexTest, BulkLoadFindAll) {
+  const auto keys = SortedKeys(50000);
+  std::vector<int64_t> payloads(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) payloads[i] = -keys[i];
+  Index index(128);
+  index.BulkLoad(keys.data(), payloads.data(), keys.size());
+  EXPECT_EQ(index.size(), keys.size());
+  for (size_t i = 0; i < keys.size(); i += 17) {
+    ASSERT_NE(index.Find(keys[i]), nullptr) << keys[i];
+    EXPECT_EQ(*index.Find(keys[i]), payloads[i]);
+    EXPECT_EQ(index.Find(keys[i] + 1), nullptr);
+  }
+}
+
+TEST(LearnedIndexTest, BoundedSearchIsExactOnLinearData) {
+  // On perfectly linear data the models are exact: error bounds are 0 and
+  // prediction error vanishes.
+  const auto keys = SortedKeys(10000, 4);
+  std::vector<int64_t> payloads(keys.size(), 0);
+  Index index(64);
+  index.BulkLoad(keys.data(), payloads.data(), keys.size());
+  for (size_t i = 0; i < keys.size(); i += 111) {
+    EXPECT_EQ(index.PredictionError(keys[i]), 0u) << keys[i];
+  }
+}
+
+TEST(LearnedIndexTest, PredictionErrorNonzeroOnSkewedData) {
+  // Lognormal-ish data with a single model forces visible error (§5.3).
+  util::Xoshiro256 rng(8);
+  std::vector<int64_t> keys;
+  keys.reserve(20000);
+  while (keys.size() < 20000) {
+    const double v = __builtin_exp(2.0 * rng.NextGaussian()) * 1e6;
+    keys.push_back(static_cast<int64_t>(v));
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  std::vector<int64_t> payloads(keys.size(), 0);
+  Index index(2);
+  index.BulkLoad(keys.data(), payloads.data(), keys.size());
+  size_t with_error = 0;
+  for (size_t i = 0; i < keys.size(); i += 10) {
+    if (index.PredictionError(keys[i]) > 0) ++with_error;
+    ASSERT_NE(index.Find(keys[i]), nullptr);
+  }
+  EXPECT_GT(with_error, 0u);
+}
+
+TEST(LearnedIndexTest, InsertShiftsTail) {
+  const auto keys = SortedKeys(1000, 10);
+  std::vector<int64_t> payloads(keys.size(), 0);
+  Index index(16);
+  index.BulkLoad(keys.data(), payloads.data(), keys.size());
+  const uint64_t shifts_before = index.num_shifts();
+  // Insert at the front: worst case, shifts the whole array.
+  EXPECT_TRUE(index.Insert(-5, 1));
+  EXPECT_EQ(index.num_shifts() - shifts_before, 1000u);
+  ASSERT_NE(index.Find(-5), nullptr);
+}
+
+TEST(LearnedIndexTest, InsertRejectsDuplicates) {
+  Index index(4);
+  const auto keys = SortedKeys(100);
+  std::vector<int64_t> payloads(keys.size(), 0);
+  index.BulkLoad(keys.data(), payloads.data(), keys.size());
+  EXPECT_FALSE(index.Insert(keys[50], 1));
+  EXPECT_EQ(index.size(), 100u);
+}
+
+TEST(LearnedIndexTest, LookupsStayCorrectAcrossInsertsAndRetrains) {
+  util::Xoshiro256 rng(77);
+  Index index(32);
+  std::map<int64_t, int64_t> reference;
+  const auto keys = SortedKeys(2000, 7);
+  std::vector<int64_t> payloads(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    payloads[i] = static_cast<int64_t>(i);
+    reference[keys[i]] = static_cast<int64_t>(i);
+  }
+  index.BulkLoad(keys.data(), payloads.data(), keys.size());
+  for (int iter = 0; iter < 3000; ++iter) {
+    const int64_t key = static_cast<int64_t>(rng.NextUint64(20000));
+    if (rng.NextUint64(2) == 0) {
+      ASSERT_EQ(index.Insert(key, iter),
+                reference.emplace(key, iter).second)
+          << "iter " << iter;
+    } else {
+      auto* found = index.Find(key);
+      auto it = reference.find(key);
+      ASSERT_EQ(found != nullptr, it != reference.end()) << "iter " << iter;
+      if (found != nullptr) {
+        ASSERT_EQ(*found, it->second);
+      }
+    }
+  }
+  EXPECT_EQ(index.size(), reference.size());
+}
+
+TEST(LearnedIndexTest, EraseShiftsAndStaysCorrect) {
+  const auto keys = SortedKeys(500);
+  std::vector<int64_t> payloads(keys.size(), 9);
+  Index index(8);
+  index.BulkLoad(keys.data(), payloads.data(), keys.size());
+  for (size_t i = 0; i < keys.size(); i += 3) {
+    ASSERT_TRUE(index.Erase(keys[i]));
+  }
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(index.Find(keys[i]) != nullptr, i % 3 != 0) << i;
+  }
+}
+
+TEST(LearnedIndexTest, RangeScanInOrder) {
+  const auto keys = SortedKeys(1000, 2);
+  std::vector<int64_t> payloads(keys.size(), 0);
+  Index index(16);
+  index.BulkLoad(keys.data(), payloads.data(), keys.size());
+  std::vector<std::pair<int64_t, int64_t>> out;
+  EXPECT_EQ(index.RangeScan(keys[100] + 1, 50, &out), 50u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].first, keys[101 + i]);
+  }
+}
+
+TEST(LearnedIndexTest, IndexSizeScalesWithModelCount) {
+  const auto keys = SortedKeys(10000);
+  std::vector<int64_t> payloads(keys.size(), 0);
+  Index few(16), many(4096);
+  few.BulkLoad(keys.data(), payloads.data(), keys.size());
+  many.BulkLoad(keys.data(), payloads.data(), keys.size());
+  EXPECT_GT(many.IndexSizeBytes(), few.IndexSizeBytes());
+  // Paper §5.1: Learned Index models cost 2 doubles + 2 ints each.
+  EXPECT_EQ(few.IndexSizeBytes(), 16u + 16u * (16u + 8u));
+}
+
+TEST(LearnedIndexTest, DenseArrayHasNoSpaceOverheadVsAlexStyle) {
+  // The Learned Index packs keys densely: data size ~= n * entry size.
+  const auto keys = SortedKeys(10000);
+  std::vector<int64_t> payloads(keys.size(), 0);
+  Index index(64);
+  index.BulkLoad(keys.data(), payloads.data(), keys.size());
+  EXPECT_LE(index.DataSizeBytes(), keys.size() * 16 * 11 / 10);
+}
+
+}  // namespace
+}  // namespace alex::baseline

@@ -1,0 +1,141 @@
+#include "models/linear_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace alex::model {
+namespace {
+
+TEST(LinearModelTest, PredictDoubleIsAffine) {
+  LinearModel m(2.0, 3.0);
+  EXPECT_DOUBLE_EQ(m.PredictDouble(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(m.PredictDouble(10.0), 23.0);
+}
+
+TEST(LinearModelTest, PredictClampsToArray) {
+  LinearModel m(1.0, 0.0);
+  EXPECT_EQ(m.Predict(-5.0, 10), 0u);
+  EXPECT_EQ(m.Predict(3.4, 10), 3u);
+  EXPECT_EQ(m.Predict(9.9, 10), 9u);
+  EXPECT_EQ(m.Predict(100.0, 10), 9u);
+}
+
+TEST(LinearModelTest, PredictHandlesNan) {
+  LinearModel m(0.0, 0.0);
+  // slope 0, intercept 0 is the zero model; NaN inputs must not crash.
+  EXPECT_EQ(m.Predict(std::numeric_limits<double>::quiet_NaN(), 8), 0u);
+}
+
+TEST(LinearModelTest, ExpandByScalesBothTerms) {
+  LinearModel m(2.0, 4.0);
+  m.ExpandBy(3.0);
+  EXPECT_DOUBLE_EQ(m.slope(), 6.0);
+  EXPECT_DOUBLE_EQ(m.intercept(), 12.0);
+  // Position triples: expansion by factor f maps y -> f*y (Alg. 3).
+  EXPECT_DOUBLE_EQ(m.PredictDouble(5.0), 3.0 * (2.0 * 5.0 + 4.0));
+}
+
+TEST(LinearModelTest, ShiftBySubtractsOffset) {
+  LinearModel m(1.0, 10.0);
+  m.ShiftBy(4.0);
+  EXPECT_DOUBLE_EQ(m.PredictDouble(0.0), 6.0);
+}
+
+TEST(LinearModelTest, SizeBytesIsTwoDoubles) {
+  EXPECT_EQ(LinearModel::SizeBytes(), 16u);
+}
+
+TEST(LinearModelBuilderTest, EmptyBuildsZeroModel) {
+  LinearModelBuilder b;
+  const LinearModel m = b.Build();
+  EXPECT_DOUBLE_EQ(m.slope(), 0.0);
+  EXPECT_DOUBLE_EQ(m.intercept(), 0.0);
+}
+
+TEST(LinearModelBuilderTest, SinglePointIsHorizontal) {
+  LinearModelBuilder b;
+  b.Add(5.0, 7.0);
+  const LinearModel m = b.Build();
+  EXPECT_DOUBLE_EQ(m.slope(), 0.0);
+  EXPECT_DOUBLE_EQ(m.intercept(), 7.0);
+}
+
+TEST(LinearModelBuilderTest, AllEqualKeysIsHorizontalThroughMean) {
+  LinearModelBuilder b;
+  b.Add(5.0, 0.0);
+  b.Add(5.0, 10.0);
+  const LinearModel m = b.Build();
+  EXPECT_DOUBLE_EQ(m.slope(), 0.0);
+  EXPECT_DOUBLE_EQ(m.intercept(), 5.0);
+}
+
+TEST(LinearModelBuilderTest, RecoversExactLine) {
+  LinearModelBuilder b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = static_cast<double>(i);
+    b.Add(x, 3.0 * x - 7.0);
+  }
+  const LinearModel m = b.Build();
+  EXPECT_NEAR(m.slope(), 3.0, 1e-9);
+  EXPECT_NEAR(m.intercept(), -7.0, 1e-7);
+}
+
+TEST(LinearModelBuilderTest, LeastSquaresMinimizesResidualOnNoisyData) {
+  util::Xoshiro256 rng(17);
+  LinearModelBuilder b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = static_cast<double>(i);
+    b.Add(x, 0.5 * x + 20.0 + rng.NextGaussian());
+  }
+  const LinearModel m = b.Build();
+  EXPECT_NEAR(m.slope(), 0.5, 0.01);
+  EXPECT_NEAR(m.intercept(), 20.0, 2.0);
+}
+
+TEST(LinearModelBuilderTest, TracksMinMaxKeys) {
+  LinearModelBuilder b;
+  b.Add(4.0, 0.0);
+  b.Add(-3.0, 1.0);
+  b.Add(9.0, 2.0);
+  EXPECT_DOUBLE_EQ(b.min_key(), -3.0);
+  EXPECT_DOUBLE_EQ(b.max_key(), 9.0);
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(TrainCdfModelTest, UniformKeysGiveExactPositions) {
+  std::vector<int64_t> keys(64);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = static_cast<int64_t>(i) * 10;
+  }
+  const LinearModel m = TrainCdfModel(keys.data(), keys.size(), keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(m.Predict(static_cast<double>(keys[i]), keys.size()), i);
+  }
+}
+
+TEST(TrainCdfModelTest, TargetPositionsStretchesPredictions) {
+  std::vector<int64_t> keys(100);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = static_cast<int64_t>(i);
+  }
+  // Train onto an array 2x the key count: predictions roughly double.
+  const LinearModel stretched =
+      TrainCdfModel(keys.data(), keys.size(), 2 * keys.size());
+  const LinearModel plain =
+      TrainCdfModel(keys.data(), keys.size(), keys.size());
+  EXPECT_NEAR(stretched.PredictDouble(50.0), 2.0 * plain.PredictDouble(50.0),
+              1e-6);
+}
+
+TEST(TrainCdfModelTest, SingleKey) {
+  const int64_t key = 42;
+  const LinearModel m = TrainCdfModel(&key, 1, 8);
+  EXPECT_EQ(m.Predict(42.0, 8), 0u);
+}
+
+}  // namespace
+}  // namespace alex::model

@@ -1,0 +1,82 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace alex::util {
+namespace {
+
+TEST(Xoshiro256Test, DeterministicForSameSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Xoshiro256Test, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro256Test, BoundedStaysInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextUint64(17), 17u);
+  }
+}
+
+TEST(Xoshiro256Test, BoundedRoughlyUniform) {
+  Xoshiro256 rng(11);
+  const uint64_t buckets = 8;
+  std::vector<int> counts(buckets, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.NextUint64(buckets)];
+  }
+  const double expected = static_cast<double>(n) / buckets;
+  for (uint64_t b = 0; b < buckets; ++b) {
+    EXPECT_NEAR(counts[b], expected, expected * 0.1) << "bucket " << b;
+  }
+}
+
+TEST(Xoshiro256Test, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro256Test, NextDoubleRangeRespectsBounds) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble(-180.0, 180.0);
+    EXPECT_GE(d, -180.0);
+    EXPECT_LT(d, 180.0);
+  }
+}
+
+TEST(Xoshiro256Test, GaussianMomentsApproximatelyStandard) {
+  Xoshiro256 rng(9);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+}  // namespace
+}  // namespace alex::util

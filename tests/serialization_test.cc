@@ -1,0 +1,178 @@
+#include "core/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/alex.h"
+#include "util/random.h"
+
+namespace alex::core {
+namespace {
+
+using AlexInt = Alex<int64_t, int64_t>;
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(SerializationTest, RoundTripPreservesAllPairs) {
+  AlexInt index;
+  util::Xoshiro256 rng(5);
+  for (int i = 0; i < 20000; ++i) {
+    index.Insert(static_cast<int64_t>(rng.NextUint64(1000000)), i);
+  }
+  const std::string path = TempPath("roundtrip.alex");
+  ASSERT_TRUE(SaveIndex(index, path));
+
+  AlexInt loaded;
+  ASSERT_TRUE(LoadIndex(&loaded, path));
+  ASSERT_EQ(loaded.size(), index.size());
+  ASSERT_TRUE(loaded.CheckInvariants());
+  auto a = index.begin();
+  auto b = loaded.begin();
+  while (!a.IsEnd()) {
+    ASSERT_FALSE(b.IsEnd());
+    ASSERT_EQ(a.key(), b.key());
+    ASSERT_EQ(a.payload(), b.payload());
+    ++a;
+    ++b;
+  }
+  EXPECT_TRUE(b.IsEnd());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, EmptyIndexRoundTrips) {
+  AlexInt index;
+  const std::string path = TempPath("empty.alex");
+  ASSERT_TRUE(SaveIndex(index, path));
+  AlexInt loaded;
+  loaded.Insert(1, 1);  // overwritten by the load
+  ASSERT_TRUE(LoadIndex(&loaded, path));
+  EXPECT_TRUE(loaded.empty());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, LoadIntoDifferentConfigRebuildsModels) {
+  // Snapshots are config-portable: a GA-ARMI snapshot loads into a
+  // PMA-SRMI index, which retrains its own models on bulk load.
+  AlexInt ga_index;
+  for (int64_t i = 0; i < 5000; ++i) ga_index.Insert(i * 3, i);
+  const std::string path = TempPath("crossconfig.alex");
+  ASSERT_TRUE(SaveIndex(ga_index, path));
+
+  Config pma;
+  pma.layout = NodeLayout::kPackedMemoryArray;
+  pma.rmi_mode = RmiMode::kStatic;
+  AlexInt loaded(pma);
+  ASSERT_TRUE(LoadIndex(&loaded, path));
+  EXPECT_EQ(loaded.size(), 5000u);
+  EXPECT_TRUE(loaded.CheckInvariants());
+  EXPECT_EQ(*loaded.Find(300), 100);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, RejectsMissingFile) {
+  AlexInt index;
+  EXPECT_FALSE(LoadIndex(&index, TempPath("does-not-exist.alex")));
+}
+
+TEST(SerializationTest, RejectsWrongMagic) {
+  const std::string path = TempPath("garbage.alex");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char junk[64] = "this is not an alex snapshot";
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+  AlexInt index;
+  EXPECT_FALSE(LoadIndex(&index, path));
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, RejectsPayloadSizeMismatch) {
+  Alex<int64_t, int64_t> wide;
+  wide.Insert(1, 1);
+  const std::string path = TempPath("mismatch.alex");
+  ASSERT_TRUE(SaveIndex(wide, path));
+  Alex<int64_t, int32_t> narrow;
+  EXPECT_FALSE(LoadIndex(&narrow, path));
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, LoadedIndexAcceptsFurtherWrites) {
+  AlexInt index;
+  for (int64_t i = 0; i < 1000; ++i) index.Insert(i * 2, i);
+  const std::string path = TempPath("writable.alex");
+  ASSERT_TRUE(SaveIndex(index, path));
+  AlexInt loaded;
+  ASSERT_TRUE(LoadIndex(&loaded, path));
+  for (int64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(loaded.Insert(i * 2 + 1, -i));
+  }
+  EXPECT_EQ(loaded.size(), 2000u);
+  EXPECT_TRUE(loaded.CheckInvariants());
+  std::remove(path.c_str());
+}
+
+// ---- reverse iteration (the other new API in this extension set) ----
+
+TEST(ReverseIterationTest, LastAndDecrementWalkBackwards) {
+  AlexInt index;
+  for (int64_t i = 0; i < 5000; ++i) index.Insert(i * 4, i);
+  auto it = index.Last();
+  ASSERT_FALSE(it.IsEnd());
+  EXPECT_EQ(it.key(), 4999 * 4);
+  int64_t expected = 4999 * 4;
+  size_t seen = 0;
+  while (!it.IsEnd()) {
+    ASSERT_EQ(it.key(), expected);
+    expected -= 4;
+    ++seen;
+    --it;
+  }
+  EXPECT_EQ(seen, 5000u);
+}
+
+TEST(ReverseIterationTest, LastOnEmptyIsEnd) {
+  AlexInt index;
+  EXPECT_TRUE(index.Last().IsEnd());
+}
+
+TEST(ReverseIterationTest, DecrementPastBeginIsEnd) {
+  AlexInt index;
+  index.Insert(10, 1);
+  auto it = index.Last();
+  --it;
+  EXPECT_TRUE(it.IsEnd());
+}
+
+TEST(ReverseIterationTest, ForwardThenBackwardReturnsToStart) {
+  AlexInt index;
+  for (int64_t i = 0; i < 100; ++i) index.Insert(i * 7, i);
+  auto it = index.LowerBound(350);
+  const int64_t anchor = it.key();
+  ++it;
+  --it;
+  EXPECT_EQ(it.key(), anchor);
+}
+
+TEST(ReverseIterationTest, WorksAcrossLeavesAfterSplits) {
+  Config config;
+  config.max_data_node_keys = 64;  // many leaves
+  config.split_fanout = 4;
+  AlexInt index(config);
+  for (int64_t i = 0; i < 3000; ++i) index.Insert(i, i);
+  auto it = index.Last();
+  for (int64_t expected = 2999; expected >= 0; --expected) {
+    ASSERT_FALSE(it.IsEnd());
+    ASSERT_EQ(it.key(), expected);
+    --it;
+  }
+  EXPECT_TRUE(it.IsEnd());
+}
+
+}  // namespace
+}  // namespace alex::core

@@ -1,0 +1,170 @@
+#include "workloads/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "datasets/dataset.h"
+#include "workloads/adapters.h"
+#include "workloads/workload.h"
+
+namespace alex::workload {
+namespace {
+
+using P8 = Payload<8>;
+
+WorkloadData<double> MakeData(size_t total, size_t init) {
+  const auto keys = data::GenerateKeys(data::DatasetId::kYcsb, total);
+  return SplitWorkloadData(keys, init);
+}
+
+TEST(WorkloadMetaTest, NamesAndMixesMatchPaper) {
+  EXPECT_STREQ(WorkloadName(WorkloadKind::kReadOnly), "read-only");
+  EXPECT_STREQ(WorkloadName(WorkloadKind::kReadHeavy), "read-heavy");
+  EXPECT_STREQ(WorkloadName(WorkloadKind::kWriteHeavy), "write-heavy");
+  EXPECT_STREQ(WorkloadName(WorkloadKind::kRangeScan), "range-scan");
+  EXPECT_EQ(ReadsPerInsert(WorkloadKind::kReadOnly), 0u);
+  EXPECT_EQ(ReadsPerInsert(WorkloadKind::kReadHeavy), 19u);
+  EXPECT_EQ(ReadsPerInsert(WorkloadKind::kWriteHeavy), 1u);
+  EXPECT_EQ(ReadsPerInsert(WorkloadKind::kRangeScan), 19u);
+  EXPECT_TRUE(IsScanWorkload(WorkloadKind::kRangeScan));
+  EXPECT_FALSE(IsScanWorkload(WorkloadKind::kReadHeavy));
+}
+
+TEST(SplitWorkloadDataTest, SplitsAndSortsInitPrefix) {
+  const std::vector<double> keys = {5.0, 1.0, 9.0, 3.0, 7.0};
+  const auto data = SplitWorkloadData(keys, 3);
+  EXPECT_EQ(data.init_keys, (std::vector<double>{1.0, 5.0, 9.0}));
+  EXPECT_EQ(data.insert_keys, (std::vector<double>{3.0, 7.0}));
+}
+
+TEST(SplitWorkloadDataTest, InitCountClampedToSize) {
+  const std::vector<double> keys = {2.0, 1.0};
+  const auto data = SplitWorkloadData(keys, 10);
+  EXPECT_EQ(data.init_keys.size(), 2u);
+  EXPECT_TRUE(data.insert_keys.empty());
+}
+
+TEST(RunWorkloadTest, ReadOnlyPerformsOnlyReads) {
+  const auto data = MakeData(5000, 5000);
+  AlexAdapter<double, P8> index;
+  PrepareIndex(index, data, P8{});
+  WorkloadSpec spec;
+  spec.kind = WorkloadKind::kReadOnly;
+  spec.seconds = 0.2;
+  spec.max_ops = 20000;
+  const auto result = RunWorkload(index, data, spec);
+  EXPECT_GT(result.ops, 0u);
+  EXPECT_EQ(result.inserts, 0u);
+  EXPECT_EQ(result.reads, result.ops);
+  // Every lookup must have found its key (scanned_keys doubles as a
+  // miss counter for point-lookup workloads).
+  EXPECT_EQ(result.scanned_keys, 0u);
+  EXPECT_GT(result.Throughput(), 0.0);
+  EXPECT_GT(result.index_size_bytes, 0u);
+  EXPECT_GT(result.data_size_bytes, 0u);
+}
+
+TEST(RunWorkloadTest, ReadHeavyInterleavesNineteenToOne) {
+  const auto data = MakeData(20000, 5000);
+  AlexAdapter<double, P8> index;
+  PrepareIndex(index, data, P8{});
+  WorkloadSpec spec;
+  spec.kind = WorkloadKind::kReadHeavy;
+  spec.seconds = 0.5;
+  spec.max_ops = 20000;
+  const auto result = RunWorkload(index, data, spec);
+  EXPECT_GT(result.inserts, 0u);
+  // 19:1 read:insert ratio, within rounding of the final partial cycle.
+  EXPECT_NEAR(static_cast<double>(result.reads) /
+                  static_cast<double>(result.inserts),
+              19.0, 1.0);
+  EXPECT_EQ(result.scanned_keys, 0u);  // all lookups must hit
+  EXPECT_EQ(index.size(), 5000 + result.inserts);
+}
+
+TEST(RunWorkloadTest, WriteHeavyIsHalfInserts) {
+  const auto data = MakeData(50000, 5000);
+  BTreeAdapter<double, P8> index(64);
+  PrepareIndex(index, data, P8{});
+  WorkloadSpec spec;
+  spec.kind = WorkloadKind::kWriteHeavy;
+  spec.seconds = 0.5;
+  spec.max_ops = 30000;
+  const auto result = RunWorkload(index, data, spec);
+  EXPECT_GT(result.inserts, 0u);
+  EXPECT_NEAR(static_cast<double>(result.reads) /
+                  static_cast<double>(result.inserts),
+              1.0, 0.1);
+  EXPECT_EQ(result.scanned_keys, 0u);
+}
+
+TEST(RunWorkloadTest, RangeScanTouchesManyKeys) {
+  const auto data = MakeData(20000, 10000);
+  AlexAdapter<double, P8> index;
+  PrepareIndex(index, data, P8{});
+  WorkloadSpec spec;
+  spec.kind = WorkloadKind::kRangeScan;
+  spec.seconds = 0.3;
+  spec.max_ops = 5000;
+  spec.max_scan_length = 100;
+  const auto result = RunWorkload(index, data, spec);
+  EXPECT_GT(result.reads, 0u);
+  // Average scan length ~50 keys.
+  EXPECT_GT(result.scanned_keys, result.reads * 10);
+}
+
+TEST(RunWorkloadTest, MaxOpsBoundsTheRun) {
+  const auto data = MakeData(5000, 5000);
+  AlexAdapter<double, P8> index;
+  PrepareIndex(index, data, P8{});
+  WorkloadSpec spec;
+  spec.kind = WorkloadKind::kReadOnly;
+  spec.seconds = 30.0;  // time budget far beyond the op budget
+  spec.max_ops = 1000;
+  const auto result = RunWorkload(index, data, spec);
+  EXPECT_LE(result.ops, 1000u + 256u);  // op check is amortized
+}
+
+TEST(RunWorkloadTest, InsertExhaustionDegradesToReadOnly) {
+  const auto data = MakeData(5100, 5000);  // only 100 insertable keys
+  AlexAdapter<double, P8> index;
+  PrepareIndex(index, data, P8{});
+  WorkloadSpec spec;
+  spec.kind = WorkloadKind::kWriteHeavy;
+  spec.seconds = 0.2;
+  spec.max_ops = 50000;
+  const auto result = RunWorkload(index, data, spec);
+  EXPECT_EQ(result.inserts, 100u);
+  EXPECT_GT(result.reads, result.inserts);
+}
+
+TEST(RunWorkloadTest, AllThreeAdaptersAgreeOnWorkloadSemantics) {
+  const auto data = MakeData(12000, 10000);
+  WorkloadSpec spec;
+  spec.kind = WorkloadKind::kReadHeavy;
+  spec.seconds = 0.2;
+  spec.max_ops = 4000;
+
+  AlexAdapter<double, P8> alex;
+  PrepareIndex(alex, data, P8{});
+  const auto r1 = RunWorkload(alex, data, spec);
+
+  BTreeAdapter<double, P8> btree(64);
+  PrepareIndex(btree, data, P8{});
+  const auto r2 = RunWorkload(btree, data, spec);
+
+  LearnedIndexAdapter<double, P8> li(256);
+  PrepareIndex(li, data, P8{});
+  const auto r3 = RunWorkload(li, data, spec);
+
+  for (const auto* r : {&r1, &r2, &r3}) {
+    EXPECT_GT(r->ops, 0u);
+    EXPECT_EQ(r->scanned_keys, 0u);  // no lookup misses on any index
+  }
+  // ALEX's index is far smaller than the B+Tree's (paper Fig. 4e-h).
+  EXPECT_LT(r1.index_size_bytes, r2.index_size_bytes);
+}
+
+}  // namespace
+}  // namespace alex::workload
