@@ -60,7 +60,8 @@ AblationResult RunOnce(data::DatasetId dataset, bool model_based) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  alex::bench::ParseBenchArgs(argc, argv);
   std::printf("Ablation: model-based insertion (read-only workload, "
               "ALEX-GA-ARMI)\n\n");
   std::printf("| dataset | placement | direct hits | mean error | Mops/s "

@@ -39,7 +39,8 @@ Bounds TheoremBounds(const std::vector<double>& keys, double ca) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  alex::bench::ParseBenchArgs(argc, argv);
   const size_t n = ScaledKeys(20000);
   data::DatasetOptions options;
   options.shuffle = false;

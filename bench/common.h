@@ -6,10 +6,16 @@
 //
 //   ALEX_BENCH_SCALE    multiplies all key counts (default 1.0)
 //   ALEX_BENCH_SECONDS  seconds per timed workload run (default 0.5)
+//
+// Every binary also accepts `--quick`: a CI smoke mode that shrinks key
+// counts and time budgets so the run finishes in seconds (see
+// ParseBenchArgs). Quick runs validate that the bench executes end-to-end,
+// not that its numbers are meaningful.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "core/config.h"
@@ -18,18 +24,29 @@
 
 namespace alex::bench {
 
+/// True after ParseBenchArgs saw `--quick`.
+inline bool g_quick_mode = false;
+
+/// Parses the shared bench flags. Call first thing in main(). Unknown
+/// arguments are ignored so binaries can layer their own flags on top.
+inline void ParseBenchArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) g_quick_mode = true;
+  }
+}
+
 inline double EnvScale() {
+  double scale = 1.0;
   const char* s = std::getenv("ALEX_BENCH_SCALE");
-  if (s == nullptr) return 1.0;
-  const double v = std::atof(s);
-  return v > 0.0 ? v : 1.0;
+  if (s != nullptr && std::atof(s) > 0.0) scale = std::atof(s);
+  return g_quick_mode ? scale * 0.05 : scale;
 }
 
 inline double EnvSeconds() {
+  double seconds = 0.5;
   const char* s = std::getenv("ALEX_BENCH_SECONDS");
-  if (s == nullptr) return 0.5;
-  const double v = std::atof(s);
-  return v > 0.0 ? v : 0.5;
+  if (s != nullptr && std::atof(s) > 0.0) seconds = std::atof(s);
+  return g_quick_mode && seconds > 0.05 ? 0.05 : seconds;
 }
 
 /// Scales a default key count by ALEX_BENCH_SCALE.

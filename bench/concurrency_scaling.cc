@@ -1,0 +1,133 @@
+// Concurrency scaling: fine-grained per-leaf ConcurrentAlex vs. the
+// global reader-writer-lock baseline (paper §7).
+//
+// A read-mostly YCSB-B-style workload (95% Zipfian point lookups / 5%
+// inserts of fresh keys) runs on T threads against both wrappers; the
+// table reports aggregate throughput and the fine/global speedup. With the
+// global lock every insert stalls all readers; with per-leaf latches only
+// readers of the written leaf wait, and the RMI descent itself is
+// latch-free under the shared structure lock.
+//
+//   ALEX_BENCH_THREADS   thread count (default 16)
+//   ALEX_BENCH_SCALE     preloaded key multiplier (default 200k keys)
+//   ALEX_BENCH_SECONDS   seconds per timed run
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "baselines/global_lock_index.h"
+#include "bench/common.h"
+#include "core/concurrent_alex.h"
+#include "util/random.h"
+#include "util/timer.h"
+#include "util/zipf.h"
+
+namespace {
+
+using namespace alex;  // NOLINT
+
+size_t EnvThreads() {
+  const char* s = std::getenv("ALEX_BENCH_THREADS");
+  if (s == nullptr) return 16;
+  const int v = std::atoi(s);
+  return v > 0 ? static_cast<size_t>(v) : 16;
+}
+
+/// Runs the 95/5 workload on `threads` threads for the time budget;
+/// returns aggregate Mops. `Index` is either wrapper (same API).
+template <typename Index>
+double RunReadMostly(size_t threads, size_t preload, double seconds) {
+  Index index;
+  std::vector<int64_t> keys, payloads;
+  keys.reserve(preload);
+  payloads.reserve(preload);
+  for (size_t i = 0; i < preload; ++i) {
+    keys.push_back(static_cast<int64_t>(i) * 2);
+    payloads.push_back(static_cast<int64_t>(i));
+  }
+  index.BulkLoad(keys.data(), payloads.data(), keys.size());
+
+  // Per-thread op streams are precomputed so the timed loop measures index
+  // operations, not Zipf generation.
+  constexpr size_t kStreamLen = 1 << 16;
+  std::vector<std::vector<int64_t>> read_streams(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    util::Xoshiro256 rng(17 + t);
+    util::ScrambledZipfGenerator zipf(preload, 0.99);
+    read_streams[t].reserve(kStreamLen);
+    for (size_t i = 0; i < kStreamLen; ++i) {
+      read_streams[t].push_back(static_cast<int64_t>(zipf.Next(rng)) * 2);
+    }
+  }
+
+  std::atomic<bool> go{false};
+  std::atomic<bool> stop{false};
+  std::vector<uint64_t> ops_per_thread(threads, 0);
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      // Wait for the timer so spawn-phase ops don't inflate Mops.
+      while (!go.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      const std::vector<int64_t>& reads = read_streams[t];
+      // Fresh keys per thread, disjoint from the preload (odd keys).
+      int64_t next_fresh =
+          static_cast<int64_t>(preload) * 2 + 1 + static_cast<int64_t>(t);
+      const int64_t fresh_step = static_cast<int64_t>(threads) * 2;
+      uint64_t ops = 0;
+      size_t cursor = 0;
+      int64_t v = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        // 19 reads : 1 insert = the paper's 95/5 interleave.
+        for (int i = 0; i < 19; ++i) {
+          index.Get(reads[cursor], &v);
+          cursor = (cursor + 1) & (kStreamLen - 1);
+        }
+        index.Insert(next_fresh, next_fresh);
+        next_fresh += fresh_step;
+        ops += 20;
+      }
+      ops_per_thread[t] = ops;
+    });
+  }
+  util::Timer timer;
+  go.store(true, std::memory_order_release);
+  while (timer.ElapsedSeconds() < seconds) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  const double elapsed = timer.ElapsedSeconds();
+  uint64_t total = 0;
+  for (const uint64_t ops : ops_per_thread) total += ops;
+  return static_cast<double>(total) / elapsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  alex::bench::ParseBenchArgs(argc, argv);
+  const size_t threads = EnvThreads();
+  const size_t preload = bench::ScaledKeys(200000);
+  const double seconds = bench::EnvSeconds();
+
+  std::printf("Concurrency scaling: read-mostly 95/5, %zu threads, "
+              "%zu preloaded keys, %.2gs per run\n",
+              threads, preload, seconds);
+  bench::PrintRule("ConcurrentAlex (per-leaf latches) vs global lock");
+  std::printf("| wrapper | Mops/s |\n|---|---|\n");
+  const double global_lock = RunReadMostly<
+      baseline::GlobalLockAlex<int64_t, int64_t>>(threads, preload, seconds);
+  std::printf("| global shared_mutex | %s |\n",
+              bench::Mops(global_lock).c_str());
+  const double fine = RunReadMostly<core::ConcurrentAlex<int64_t, int64_t>>(
+      threads, preload, seconds);
+  std::printf("| per-leaf latching | %s |\n", bench::Mops(fine).c_str());
+  std::printf("\nspeedup: %.2fx\n",
+              global_lock > 0.0 ? fine / global_lock : 0.0);
+  return 0;
+}

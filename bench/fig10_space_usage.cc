@@ -32,7 +32,8 @@ constexpr SpacePoint kSpacePoints[] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  alex::bench::ParseBenchArgs(argc, argv);
   const size_t total = ScaledKeys(150000);
   const size_t init = ScaledKeys(50000);
 

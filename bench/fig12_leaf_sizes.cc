@@ -40,7 +40,8 @@ struct LeafStats {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  alex::bench::ParseBenchArgs(argc, argv);
   const size_t n = ScaledKeys(200000);
   const auto keys = data::GenerateKeys(data::DatasetId::kLongitudes, n);
   std::vector<double> sorted(keys);

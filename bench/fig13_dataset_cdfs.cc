@@ -14,7 +14,8 @@ using namespace alex;         // NOLINT
 using namespace alex::bench;  // NOLINT
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  alex::bench::ParseBenchArgs(argc, argv);
   const size_t n = ScaledKeys(100000);
 
   std::printf("Figure 13: dataset CDFs (global, 21 samples each)\n");

@@ -243,7 +243,8 @@ void RunPanel(WorkloadKind kind, char throughput_panel, char size_panel,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  alex::bench::ParseBenchArgs(argc, argv);
   std::printf("Figure 4: ALEX vs Baselines — Throughput & Index Size\n");
   std::printf("(scale x%.3g, %.2gs per run, tuning %s; shapes, not absolute "
               "numbers, are the reproduction target)\n",

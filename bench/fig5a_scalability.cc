@@ -17,7 +17,8 @@ using namespace alex::bench;  // NOLINT
 using P8 = workload::Payload<8>;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  alex::bench::ParseBenchArgs(argc, argv);
   std::printf("Figure 5a: Scalability (read-heavy, longitudes)\n\n");
   std::printf("| init keys | ALEX Mops/s | B+Tree Mops/s | ALEX/B+Tree |\n");
   std::printf("|---|---|---|---|\n");

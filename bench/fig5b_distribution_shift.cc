@@ -38,7 +38,8 @@ workload::WorkloadData<double> MakeShiftedData(size_t init, size_t total) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  alex::bench::ParseBenchArgs(argc, argv);
   const size_t init = ScaledKeys(50000);
   const size_t total = ScaledKeys(200000);
   const auto wdata = MakeShiftedData(init, total);

@@ -45,7 +45,8 @@ double RunVariant(const workload::WorkloadData<double>& wdata,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  alex::bench::ParseBenchArgs(argc, argv);
   const size_t init = ScaledKeys(50000);
   const size_t total = ScaledKeys(500000);
   const auto wdata = MakeSequentialData(init, total);

@@ -114,7 +114,8 @@ void RunDataset(data::DatasetId dataset) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  alex::bench::ParseBenchArgs(argc, argv);
   std::printf("Figure 6: Lifetime studies (insert & lookup latency as the "
               "index grows)\n");
   RunDataset(data::DatasetId::kLongitudes);

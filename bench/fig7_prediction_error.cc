@@ -52,7 +52,8 @@ util::Log2Histogram AlexErrors(const core::Alex<double, int64_t>& index) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  alex::bench::ParseBenchArgs(argc, argv);
   const size_t init = ScaledKeys(100000);
   const size_t extra = ScaledKeys(20000);
   const auto keys =

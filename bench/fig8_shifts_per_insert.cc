@@ -35,7 +35,8 @@ double AlexShiftsPerInsert(const core::Config& config,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  alex::bench::ParseBenchArgs(argc, argv);
   const size_t init = ScaledKeys(50000);
   const size_t inserts = ScaledKeys(50000);
   const auto keys =

@@ -46,7 +46,8 @@ void RunSeries(const char* name, Index index,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  alex::bench::ParseBenchArgs(argc, argv);
   const size_t init = ScaledKeys(50000);
   const size_t inserts = ScaledKeys(200000);
   const auto keys =

@@ -34,7 +34,8 @@ const char* KeyTypeName(DatasetId id) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  alex::bench::ParseBenchArgs(argc, argv);
   // Paper scale: 1B/200M/190M/200M keys. Laptop scale defaults preserve
   // the paper's *ratios* (longitudes is the largest dataset).
   const size_t base_counts[] = {ScaledKeys(1000000), ScaledKeys(200000),

@@ -332,14 +332,20 @@ class BPlusTree {
     }
   }
 
+  // Nodes are deliberately vtable-free, so deletion must go through the
+  // concrete type: deleting a Leaf/Inner via Node* is UB and leaks the
+  // member vectors.
   static void DeleteSubtree(Node* node) {
     if (node == nullptr) return;
-    if (!node->is_leaf) {
-      for (Node* child : static_cast<Inner*>(node)->children) {
-        DeleteSubtree(child);
-      }
+    if (node->is_leaf) {
+      delete static_cast<Leaf*>(node);
+      return;
     }
-    delete node;
+    Inner* inner = static_cast<Inner*>(node);
+    for (Node* child : inner->children) {
+      DeleteSubtree(child);
+    }
+    delete inner;
   }
 
   size_t node_capacity_;

@@ -1,0 +1,111 @@
+// The coarse end of the paper's §7 concurrency design space: one
+// reader-writer lock over the whole index. This was ConcurrentAlex's
+// original implementation; it is kept as a baseline so the concurrency
+// benches can quantify what fine-grained per-leaf latching buys
+// (bench/concurrency_scaling.cc).
+//
+// Lookups and scans take shared ownership; every mutation takes exclusive
+// ownership, so writers serialize against everything.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <shared_mutex>
+#include <utility>
+#include <vector>
+
+#include "core/alex.h"
+#include "core/config.h"
+
+namespace alex::baseline {
+
+/// A globally reader-writer-locked ALEX. Same API as core::ConcurrentAlex.
+template <typename K, typename P>
+class GlobalLockAlex {
+ public:
+  explicit GlobalLockAlex(const core::Config& config = core::Config())
+      : index_(config) {}
+
+  /// Replaces the contents (exclusive).
+  void BulkLoad(const K* keys, const P* payloads, size_t n) {
+    std::unique_lock lock(mutex_);
+    index_.BulkLoad(keys, payloads, n);
+  }
+
+  /// Copies the payload of `key` into `*out`; returns false when absent
+  /// (shared — concurrent with other reads).
+  bool Get(K key, P* out) const {
+    std::shared_lock lock(mutex_);
+    const P* p = index_.Find(key);
+    if (p == nullptr) return false;
+    *out = *p;
+    return true;
+  }
+
+  /// True when `key` is present (shared).
+  bool Contains(K key) const {
+    std::shared_lock lock(mutex_);
+    return index_.Find(key) != nullptr;
+  }
+
+  /// Inserts; false on duplicate (exclusive).
+  bool Insert(K key, const P& payload) {
+    std::unique_lock lock(mutex_);
+    return index_.Insert(key, payload);
+  }
+
+  /// Removes `key`; false when absent (exclusive).
+  bool Erase(K key) {
+    std::unique_lock lock(mutex_);
+    return index_.Erase(key);
+  }
+
+  /// Overwrites an existing payload; false when absent (exclusive: the
+  /// write must not race shared readers copying the payload).
+  bool Update(K key, const P& payload) {
+    std::unique_lock lock(mutex_);
+    return index_.Update(key, payload);
+  }
+
+  /// Inserts or overwrites (exclusive).
+  void Put(K key, const P& payload) {
+    std::unique_lock lock(mutex_);
+    if (!index_.Insert(key, payload)) {
+      index_.Update(key, payload);
+    }
+  }
+
+  /// Range scan into `out` (shared; Alex::RangeScan is const).
+  size_t RangeScan(K start, size_t max_results,
+                   std::vector<std::pair<K, P>>* out) const {
+    std::shared_lock lock(mutex_);
+    return index_.RangeScan(start, max_results, out);
+  }
+
+  size_t size() const {
+    std::shared_lock lock(mutex_);
+    return index_.size();
+  }
+
+  size_t IndexSizeBytes() const {
+    std::shared_lock lock(mutex_);
+    return index_.IndexSizeBytes();
+  }
+
+  size_t DataSizeBytes() const {
+    std::shared_lock lock(mutex_);
+    return index_.DataSizeBytes();
+  }
+
+  /// Snapshot of the operation counters (shared).
+  core::Stats GetStats() const {
+    std::shared_lock lock(mutex_);
+    return index_.stats();
+  }
+
+ private:
+  mutable std::shared_mutex mutex_;
+  core::Alex<K, P> index_;
+};
+
+}  // namespace alex::baseline

@@ -180,8 +180,18 @@ class GappedStorage {
     if (right < capacity()) {
       fill = keys_[right];
     } else {
+      // Erased the last occupied key. Trailing gaps beyond `slot` keep
+      // their remnant values — each is >= the erased key >= the new fill,
+      // so the array stays non-decreasing without an O(capacity) rewrite.
       const size_t left = slot == 0 ? capacity() : bitmap_.PrevSet(slot - 1);
-      fill = left < capacity() ? keys_[left] : K{};
+      if (left < capacity()) {
+        fill = keys_[left];
+      } else {
+        // Node is now empty: K{} has no ordering relation to the
+        // remnants, so reset them all (once per node drain).
+        fill = K{};
+        for (size_t i = slot + 1; i < capacity(); ++i) keys_[i] = fill;
+      }
     }
     // The cleared slot and the contiguous gap run to its left all pointed
     // at the erased key; repoint them at the new closest-right key.
@@ -245,6 +255,15 @@ class GappedStorage {
         if (right < capacity()) {
           if (!(keys_[i] == keys_[right])) return false;
         }
+      }
+    }
+    // Trailing gaps (no occupied slot to their right) must be >= the last
+    // occupied key: exact copies after a (re)build, possibly larger
+    // remnants after erasing a maximum (EraseAt skips rewriting them).
+    if (num_keys_ > 0) {
+      const size_t last = bitmap_.PrevSet(capacity() - 1);
+      for (size_t i = last + 1; i < capacity(); ++i) {
+        if (keys_[i] < keys_[last]) return false;
       }
     }
     return true;

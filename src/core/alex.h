@@ -21,6 +21,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -35,8 +36,15 @@
 
 namespace alex::core {
 
-/// The ALEX index. `K` must be an arithmetic type exactly representable in
-/// double (int64 keys must stay below 2^53); `P` is any copyable payload.
+template <typename K, typename P>
+class ConcurrentAlex;
+
+/// The ALEX index. `K` is any arithmetic type; `P` is any copyable
+/// payload. Model predictions cast keys to double, so integer keys beyond
+/// 2^53 lose precision in the *prediction* only — search and equality
+/// always compare exact `K` values, so correctness holds over the full
+/// domain (including int64 min/max; see alex_edge_test) and only lookup
+/// locality degrades.
 template <typename K, typename P>
 class Alex {
  public:
@@ -121,9 +129,9 @@ class Alex {
       : config_(std::move(other.config_)),
         stats_(std::move(other.stats_)),
         root_(other.root_),
-        num_keys_(other.num_keys_) {
+        num_keys_(other.num_keys_.load(std::memory_order_relaxed)) {
     other.root_ = nullptr;
-    other.num_keys_ = 0;
+    other.num_keys_.store(0, std::memory_order_relaxed);
   }
 
   Alex& operator=(Alex&& other) noexcept {
@@ -132,17 +140,18 @@ class Alex {
       config_ = std::move(other.config_);
       stats_ = std::move(other.stats_);
       root_ = other.root_;
-      num_keys_ = other.num_keys_;
+      num_keys_.store(other.num_keys_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
       other.root_ = nullptr;
-      other.num_keys_ = 0;
+      other.num_keys_.store(0, std::memory_order_relaxed);
     }
     return *this;
   }
 
   const Config& config() const { return *config_; }
   const Stats& stats() const { return *stats_; }
-  size_t size() const { return num_keys_; }
-  bool empty() const { return num_keys_ == 0; }
+  size_t size() const { return num_keys_.load(std::memory_order_relaxed); }
+  bool empty() const { return size() == 0; }
 
   /// Bulk-loads from `n` strictly-increasing keys, replacing any existing
   /// contents. Static RMI builds a two-level root→leaves hierarchy
@@ -276,9 +285,9 @@ class Alex {
   /// leaf-at-a-time over the occupancy bitmap (§5.2.3), crossing leaves
   /// through sibling links.
   size_t RangeScan(K start, size_t max_results,
-                   std::vector<std::pair<K, P>>* out) {
+                   std::vector<std::pair<K, P>>* out) const {
     out->clear();
-    DataNodeT* leaf = TraverseToLeaf(start);
+    const DataNodeT* leaf = TraverseToLeaf(start);
     size_t slot = leaf->LowerBoundSlot(start);
     while (leaf != nullptr && out->size() < max_results) {
       leaf->ScanFrom(slot, max_results - out->size(), out);
@@ -287,6 +296,12 @@ class Alex {
     }
     return out->size();
   }
+
+  /// Leaf responsible for `key` — the read-only RMI descent (one model
+  /// inference per inner level, no comparisons). Exposed so concurrency
+  /// wrappers can latch the leaf before touching its contents.
+  const DataNodeT* FindLeaf(K key) const { return TraverseToLeaf(key); }
+  DataNodeT* FindLeaf(K key) { return TraverseToLeaf(key); }
 
   /// Index size: all models + child pointers + node metadata (§5.1).
   size_t IndexSizeBytes() const {
@@ -360,7 +375,7 @@ class Alex {
  private:
   DataNodeT* NewLeaf() { return new DataNodeT(*config_, stats_.get()); }
 
-  DataNodeT* TraverseToLeaf(K key, InnerNode** parent_out = nullptr) const {
+  DataNodeT* TraverseToLeaf(K key, InnerNode** parent_out = nullptr) {
     Node* node = root_;
     InnerNode* parent = nullptr;
     while (!node->is_leaf()) {
@@ -369,6 +384,17 @@ class Alex {
     }
     if (parent_out != nullptr) *parent_out = parent;
     return static_cast<DataNodeT*>(node);
+  }
+
+  // Genuinely const descent: never yields a mutable leaf, so const readers
+  // (and shared-latch holders in ConcurrentAlex) cannot write anywhere.
+  const DataNodeT* TraverseToLeaf(K key) const {
+    const Node* node = root_;
+    while (!node->is_leaf()) {
+      node = static_cast<const InnerNode*>(node)->ChildFor(
+          static_cast<double>(key));
+    }
+    return static_cast<const DataNodeT*>(node);
   }
 
   DataNodeT* LeftmostLeaf() const {
@@ -620,10 +646,15 @@ class Alex {
     delete node;
   }
 
+  // ConcurrentAlex implements fine-grained locking on top of the leaf-level
+  // API (FindLeaf + per-leaf latches) and maintains num_keys_ itself when
+  // it commits leaf-local inserts/erases without going through Insert/Erase.
+  friend class ConcurrentAlex<K, P>;
+
   std::unique_ptr<Config> config_;
   std::unique_ptr<Stats> stats_;
   Node* root_ = nullptr;
-  size_t num_keys_ = 0;
+  std::atomic<size_t> num_keys_{0};
 };
 
 }  // namespace alex::core

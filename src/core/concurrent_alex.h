@@ -1,16 +1,44 @@
-// Thread-safe wrapper around Alex (paper §7, "Concurrency Control").
+// Thread-safe ALEX with fine-grained per-leaf locking (paper §7,
+// "Concurrency Control").
 //
-// The paper sketches lock-coupling over the RMI; this wrapper implements
-// the coarser but correct end of that design space: a single
-// reader-writer lock over the whole index. Lookups and scans take shared
-// ownership and run concurrently; inserts, deletes and updates take
-// exclusive ownership (they may expand, split or retrain — i.e. modify
-// the RMI structure, which is exactly the case §7 says needs exclusive
-// protection). Fine-grained per-leaf locking is future work, as in the
-// paper.
+// The paper sketches latching over the RMI; this wrapper implements the
+// fine-grained middle of that design space with two lock levels:
+//
+//   * a tree-level structure lock (`structure_mutex_`), held SHARED by
+//     every point operation and EXCLUSIVE only by structural
+//     modifications — bulk load and data-node splits, the operations that
+//     rewrite inner nodes, child pointers or the leaf sibling chain;
+//   * a per-data-node reader-writer latch (`DataNode::latch()`), taken
+//     shared by lookups/scans of that leaf and exclusive by leaf-local
+//     mutations (insert/erase/update, including in-place expansion,
+//     retraining and contraction — none of which move the node).
+//
+// The descent through the RMI inner nodes is latch-free: while the
+// structure lock is held shared, inner nodes and child pointers are
+// immutable, so one model inference per level reaches the correct leaf
+// with no per-node latching and no key comparisons. An insert that hits
+// the adaptive-RMI split bound escalates: it drops its shared ownership,
+// reacquires exclusively, and unconditionally re-descends from the root
+// (its old leaf pointer may be stale — another writer can restructure in
+// the gap). `structure_version_` counts structural changes; it is
+// observability for tests and diagnostics, not a correctness mechanism.
+//
+// Consequences:
+//   * lookups on disjoint leaves share only the structure lock's reader
+//     count — they never block each other;
+//   * writers on disjoint leaves run fully in parallel (the global-lock
+//     baseline, baselines/global_lock_index.h, serializes them);
+//   * only splits — O(n / max_data_node_keys) over an index's lifetime —
+//     take the tree-exclusive path.
+//
+// Remaining §7 gap (see ROADMAP): reads still bump the structure lock's
+// shared counter; making them entirely lock-free requires atomic child
+// pointers plus epoch-based node reclamation.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <shared_mutex>
 #include <utility>
@@ -18,101 +46,181 @@
 
 #include "core/alex.h"
 #include "core/config.h"
+#include "core/data_node.h"
 
 namespace alex::core {
 
-/// A reader-writer-locked ALEX. All methods are safe to call from any
+/// A fine-grained-locked ALEX. All methods are safe to call from any
 /// thread. Pointer-returning lookups are deliberately not exposed — a
-/// payload pointer would escape the lock — so reads copy the payload out.
+/// payload pointer would escape the latches — so reads copy the payload
+/// out. Range scans are read-committed per leaf: each leaf's content is a
+/// consistent snapshot, but a scan crossing leaves may observe writes that
+/// land behind it.
 template <typename K, typename P>
 class ConcurrentAlex {
  public:
+  using DataNodeT = typename Alex<K, P>::DataNodeT;
+
   explicit ConcurrentAlex(const Config& config = Config())
       : index_(config) {}
 
-  /// Replaces the contents (exclusive).
+  /// Replaces the contents (structural: tree-exclusive).
   void BulkLoad(const K* keys, const P* payloads, size_t n) {
-    std::unique_lock lock(mutex_);
+    std::unique_lock structure(structure_mutex_);
+    BumpVersion();
     index_.BulkLoad(keys, payloads, n);
   }
 
-  /// Copies the payload of `key` into `*out`; returns false when absent
-  /// (shared — concurrent with other reads).
+  /// Copies the payload of `key` into `*out`; returns false when absent.
+  /// Takes the structure lock shared and the target leaf's latch shared:
+  /// concurrent with all other reads and with writes to other leaves.
   bool Get(K key, P* out) const {
-    std::shared_lock lock(mutex_);
-    const P* p = std::as_const(index_).Find(key);
+    std::shared_lock structure(structure_mutex_);
+    const DataNodeT* leaf = index_.FindLeaf(key);
+    std::shared_lock latch(leaf->latch());
+    const P* p = leaf->Find(key);
     if (p == nullptr) return false;
     *out = *p;
     return true;
   }
 
-  /// True when `key` is present (shared).
+  /// True when `key` is present (shared paths only).
   bool Contains(K key) const {
-    std::shared_lock lock(mutex_);
-    return std::as_const(index_).Find(key) != nullptr;
+    std::shared_lock structure(structure_mutex_);
+    const DataNodeT* leaf = index_.FindLeaf(key);
+    std::shared_lock latch(leaf->latch());
+    return leaf->Find(key) != nullptr;
   }
 
-  /// Inserts; false on duplicate (exclusive).
+  /// Inserts; false on duplicate. Fast path: tree-shared + leaf-exclusive,
+  /// so inserts into disjoint leaves run in parallel and never block
+  /// readers of other leaves. Expansion and retraining happen in place
+  /// under the leaf latch. Only when the leaf reports kNeedsSplit does the
+  /// insert escalate to the tree-exclusive structural path.
   bool Insert(K key, const P& payload) {
-    std::unique_lock lock(mutex_);
+    {
+      std::shared_lock structure(structure_mutex_);
+      DataNodeT* leaf = index_.FindLeaf(key);
+      std::unique_lock latch(leaf->latch());
+      const InsertResult result = leaf->Insert(key, payload);
+      if (result == InsertResult::kOk) {
+        index_.num_keys_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      if (result == InsertResult::kDuplicate) return false;
+      // kNeedsSplit: fall through to the structural path below. The leaf
+      // pointer is stale once the shared lock is released (another writer
+      // may split this same leaf first); the exclusive path re-descends.
+    }
+    std::unique_lock structure(structure_mutex_);
+    BumpVersion();
+    // Alex::Insert re-traverses from the root, splits as needed, and
+    // handles the degenerate-distribution fallback. Under the exclusive
+    // structure lock no latches are needed.
     return index_.Insert(key, payload);
   }
 
-  /// Removes `key`; false when absent (exclusive).
+  /// Removes `key`; false when absent. Contraction (a rebuild within the
+  /// same node object) happens under the leaf latch; the structure never
+  /// changes, so erase never escalates.
   bool Erase(K key) {
-    std::unique_lock lock(mutex_);
-    return index_.Erase(key);
+    std::shared_lock structure(structure_mutex_);
+    DataNodeT* leaf = index_.FindLeaf(key);
+    std::unique_lock latch(leaf->latch());
+    if (!leaf->Erase(key)) return false;
+    index_.num_keys_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
   }
 
-  /// Overwrites an existing payload; false when absent (exclusive: the
-  /// write must not race shared readers copying the payload).
+  /// Overwrites an existing payload; false when absent (leaf-exclusive:
+  /// the write must not race shared readers copying the payload).
   bool Update(K key, const P& payload) {
-    std::unique_lock lock(mutex_);
-    return index_.Update(key, payload);
+    std::shared_lock structure(structure_mutex_);
+    DataNodeT* leaf = index_.FindLeaf(key);
+    std::unique_lock latch(leaf->latch());
+    return leaf->UpdatePayload(key, payload);
   }
 
-  /// Inserts or overwrites (exclusive).
+  /// Inserts or overwrites, atomically with respect to other operations on
+  /// the key's leaf.
   void Put(K key, const P& payload) {
-    std::unique_lock lock(mutex_);
+    {
+      std::shared_lock structure(structure_mutex_);
+      DataNodeT* leaf = index_.FindLeaf(key);
+      std::unique_lock latch(leaf->latch());
+      const InsertResult result = leaf->Insert(key, payload);
+      if (result == InsertResult::kOk) {
+        index_.num_keys_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      if (result == InsertResult::kDuplicate) {
+        leaf->UpdatePayload(key, payload);
+        return;
+      }
+    }
+    std::unique_lock structure(structure_mutex_);
+    BumpVersion();
     if (!index_.Insert(key, payload)) {
       index_.Update(key, payload);
     }
   }
 
-  /// Range scan into `out` (shared).
+  /// Range scan into `out`. Holds the structure lock shared (the sibling
+  /// chain cannot change) and latches one leaf at a time, so scans overlap
+  /// with writes to leaves outside the scan window.
   size_t RangeScan(K start, size_t max_results,
                    std::vector<std::pair<K, P>>* out) const {
-    std::shared_lock lock(mutex_);
-    // Alex::RangeScan is logically const but non-const qualified (it
-    // shares the traversal path with mutating ops); the shared lock makes
-    // this safe.
-    return const_cast<Alex<K, P>&>(index_).RangeScan(start, max_results,
-                                                     out);
+    out->clear();
+    std::shared_lock structure(structure_mutex_);
+    const DataNodeT* leaf = index_.FindLeaf(start);
+    bool first = true;
+    while (leaf != nullptr && out->size() < max_results) {
+      std::shared_lock latch(leaf->latch());
+      const size_t slot = first ? leaf->LowerBoundSlot(start) : 0;
+      first = false;
+      leaf->ScanFrom(slot, max_results - out->size(), out);
+      leaf = leaf->next_leaf();
+    }
+    return out->size();
   }
 
-  size_t size() const {
-    std::shared_lock lock(mutex_);
-    return index_.size();
-  }
+  size_t size() const { return index_.size(); }
 
   size_t IndexSizeBytes() const {
-    std::shared_lock lock(mutex_);
+    // Whole-tree accounting walks every node's internals; exclusive is the
+    // simple safe choice for this rare reporting call.
+    std::unique_lock structure(structure_mutex_);
     return index_.IndexSizeBytes();
   }
 
   size_t DataSizeBytes() const {
-    std::shared_lock lock(mutex_);
+    std::unique_lock structure(structure_mutex_);
     return index_.DataSizeBytes();
   }
 
-  /// Snapshot of the operation counters (shared).
-  Stats GetStats() const {
-    std::shared_lock lock(mutex_);
-    return index_.stats();
+  /// Snapshot of the operation counters. Counters are relaxed atomics, so
+  /// no lock is needed; the snapshot is point-in-time per counter.
+  Stats GetStats() const { return index_.stats(); }
+
+  /// Structural epoch, bumped by every structural modification. Exposed
+  /// for tests and diagnostics.
+  uint64_t StructureVersion() const {
+    return structure_version_.load(std::memory_order_acquire);
+  }
+
+  /// Full structural-invariant check under the exclusive lock. Test hook.
+  bool CheckInvariants() const {
+    std::unique_lock structure(structure_mutex_);
+    return index_.CheckInvariants();
   }
 
  private:
-  mutable std::shared_mutex mutex_;
+  void BumpVersion() {
+    structure_version_.fetch_add(1, std::memory_order_release);
+  }
+
+  mutable std::shared_mutex structure_mutex_;
+  std::atomic<uint64_t> structure_version_{0};
   Alex<K, P> index_;
 };
 

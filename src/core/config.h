@@ -8,6 +8,7 @@
 //   ALEX-PMA-ARMI  best under adversarial inserts      (§5.2.5)
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
@@ -107,16 +108,50 @@ inline double SpaceBudgetToDensity(double expansion_factor) {
   return __builtin_sqrt(1.0 / expansion_factor);
 }
 
+/// A relaxed atomic counter that is copyable (so Stats snapshots stay
+/// value-semantic) and drop-in compatible with plain uint64_t arithmetic.
+/// Counters are bumped from concurrent leaf operations that hold only
+/// per-leaf latches (see ConcurrentAlex), so the increments must be atomic;
+/// relaxed ordering is enough because the counters are purely statistical.
+class RelaxedCounter {
+ public:
+  RelaxedCounter(uint64_t v = 0) : v_(v) {}
+  RelaxedCounter(const RelaxedCounter& other)
+      : v_(other.v_.load(std::memory_order_relaxed)) {}
+  RelaxedCounter& operator=(const RelaxedCounter& other) {
+    v_.store(other.v_.load(std::memory_order_relaxed),
+             std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator=(uint64_t v) {
+    v_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+
+  operator uint64_t() const { return v_.load(std::memory_order_relaxed); }
+  RelaxedCounter& operator++() {
+    v_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator+=(uint64_t d) {
+    v_.fetch_add(d, std::memory_order_relaxed);
+    return *this;
+  }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
 /// Cumulative operation statistics (drives Figs. 7, 8, 9 and the drilldown
 /// of §5.3). Counters survive node expansions, splits and deletions.
 struct Stats {
-  uint64_t num_inserts = 0;
-  uint64_t num_lookups = 0;
-  uint64_t num_erases = 0;
-  uint64_t num_shifts = 0;       ///< element moves during inserts/rebalances
-  uint64_t num_expansions = 0;   ///< data-node expansions (Alg. 3)
-  uint64_t num_contractions = 0; ///< data-node contractions after deletes
-  uint64_t num_splits = 0;       ///< node splits on inserts (§3.4.2)
+  RelaxedCounter num_inserts;
+  RelaxedCounter num_lookups;
+  RelaxedCounter num_erases;
+  RelaxedCounter num_shifts;       ///< element moves during inserts/rebalances
+  RelaxedCounter num_expansions;   ///< data-node expansions (Alg. 3)
+  RelaxedCounter num_contractions; ///< data-node contractions after deletes
+  RelaxedCounter num_splits;       ///< node splits on inserts (§3.4.2)
 
   /// Fig. 8 metric.
   double ShiftsPerInsert() const {

@@ -15,6 +15,8 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <shared_mutex>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -63,6 +65,12 @@ class DataNode : public Node {
   DataNode* next_leaf() const { return next_leaf_; }
   void set_prev_leaf(DataNode* leaf) { prev_leaf_ = leaf; }
   void set_next_leaf(DataNode* leaf) { next_leaf_ = leaf; }
+
+  /// Per-leaf reader-writer latch (paper §7). ConcurrentAlex takes it
+  /// shared for reads of this leaf's contents and exclusive for leaf-local
+  /// mutations (insert/erase/update, including in-place expansion and
+  /// contraction). Single-threaded Alex never touches it.
+  std::shared_mutex& latch() const { return latch_; }
 
   /// Rebuilds the node from `n` sorted, distinct keys. Chooses capacity
   /// c·n (c = expansion factor), trains the model when the node is warm
@@ -118,14 +126,15 @@ class DataNode : public Node {
   /// maintained by the stats-aware wrapper paths, not here, to keep the
   /// hot path free of read-modify-writes.
   P* Find(K key) {
-    return Visit([&](auto& s) -> P* {
-      const size_t cap = s.capacity();
-      const size_t predicted =
-          has_model_ ? model_.Predict(static_cast<double>(key), cap)
-                     : cap / 2;
-      const size_t slot = s.FindSlot(key, predicted);
-      if (slot == cap) return nullptr;
-      return &s.mutable_payload_at(slot);
+    return const_cast<P*>(std::as_const(*this).Find(key));
+  }
+
+  /// Const point lookup: reads only, so shared-latch holders never write.
+  const P* Find(K key) const {
+    return Visit([&](const auto& s) -> const P* {
+      const size_t slot = s.FindSlot(key, PredictSlot(key));
+      if (slot == s.capacity()) return nullptr;
+      return &s.payload_at(slot);
     });
   }
 
@@ -379,6 +388,7 @@ class DataNode : public Node {
 
   const Config* config_;
   Stats* stats_;
+  mutable std::shared_mutex latch_;
   std::variant<GappedArrayT, PmaT> storage_;
   model::LinearModel model_;
   bool has_model_ = false;

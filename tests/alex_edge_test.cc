@@ -203,6 +203,137 @@ TEST(AlexEdgeTest, PayloadOnlyUpdatePreservesStructure) {
   EXPECT_EQ(*index.Find(30), 900);
 }
 
+TEST(AlexEdgeTest, EmptyIndexAllOperations) {
+  AlexInt index;
+  EXPECT_TRUE(index.empty());
+  EXPECT_EQ(index.Find(1), nullptr);
+  EXPECT_FALSE(index.Contains(1));
+  EXPECT_FALSE(index.Erase(1));
+  EXPECT_FALSE(index.Update(1, 2));
+  EXPECT_TRUE(index.begin().IsEnd());
+  EXPECT_TRUE(index.Last().IsEnd());
+  EXPECT_TRUE(index.LowerBound(0).IsEnd());
+  std::vector<std::pair<int64_t, int64_t>> out;
+  EXPECT_EQ(index.RangeScan(std::numeric_limits<int64_t>::min(), 10, &out),
+            0u);
+  EXPECT_TRUE(index.CheckInvariants());
+  // Const read path on an empty index.
+  const AlexInt& cindex = index;
+  EXPECT_EQ(cindex.Find(1), nullptr);
+}
+
+TEST(AlexEdgeTest, SingleKeyBulkLoadScanAndErase) {
+  AlexInt index;
+  const int64_t key = -17;
+  const int64_t payload = 99;
+  index.BulkLoad(&key, &payload, 1);
+  std::vector<std::pair<int64_t, int64_t>> out;
+  EXPECT_EQ(index.RangeScan(std::numeric_limits<int64_t>::min(), 10, &out),
+            1u);
+  EXPECT_EQ(out.front().first, key);
+  EXPECT_EQ(out.front().second, payload);
+  EXPECT_EQ(index.RangeScan(key + 1, 10, &out), 0u);
+  EXPECT_TRUE(index.Erase(key));
+  EXPECT_FALSE(index.Erase(key));
+  EXPECT_TRUE(index.empty());
+  EXPECT_TRUE(index.CheckInvariants());
+}
+
+TEST(AlexEdgeTest, DuplicateHeavyInsertStream) {
+  // A hostile stream where most inserts are duplicates: the index must
+  // reject every repeat (§7), never double-count, and stay intact across
+  // the expansions/splits triggered by the minority of fresh keys.
+  AlexInt index;
+  util::Xoshiro256 rng(11);
+  size_t accepted = 0;
+  for (int i = 0; i < 30000; ++i) {
+    const auto key = static_cast<int64_t>(rng.NextUint64(2000));
+    const bool fresh = index.Find(key) == nullptr;
+    EXPECT_EQ(index.Insert(key, key), fresh);
+    if (fresh) ++accepted;
+  }
+  EXPECT_EQ(index.size(), accepted);
+  EXPECT_LE(accepted, 2000u);
+  EXPECT_TRUE(index.CheckInvariants());
+  // Duplicate rejection straight after bulk load, too.
+  std::vector<int64_t> keys = {1, 2, 3};
+  std::vector<int64_t> payloads = {1, 2, 3};
+  index.BulkLoad(keys.data(), payloads.data(), keys.size());
+  EXPECT_FALSE(index.Insert(2, 20));
+  EXPECT_EQ(*index.Find(2), 2);
+}
+
+TEST(AlexEdgeTest, Int64ExtremesBulkLoadScanErase) {
+  // Keys at the very edges of the int64 domain. Model predictions cast
+  // keys to double (lossy up there), but search and equality always
+  // compare the exact integer keys, so correctness must hold.
+  constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  AlexInt index;
+  std::vector<int64_t> keys = {kMin, kMin + 1, -1000, 0, 1000, kMax - 1,
+                               kMax};
+  std::vector<int64_t> payloads = {1, 2, 3, 4, 5, 6, 7};
+  index.BulkLoad(keys.data(), payloads.data(), keys.size());
+  ASSERT_EQ(index.size(), keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_NE(index.Find(keys[i]), nullptr) << "key " << keys[i];
+    EXPECT_EQ(*index.Find(keys[i]), payloads[i]);
+  }
+  std::vector<std::pair<int64_t, int64_t>> out;
+  EXPECT_EQ(index.RangeScan(kMin, keys.size() + 1, &out), keys.size());
+  EXPECT_EQ(out.front().first, kMin);
+  EXPECT_EQ(out.back().first, kMax);
+  EXPECT_EQ(index.RangeScan(kMax, 10, &out), 1u);
+  EXPECT_EQ(out.front().first, kMax);
+  EXPECT_TRUE(index.Erase(kMin));
+  EXPECT_TRUE(index.Erase(kMax));
+  EXPECT_FALSE(index.Contains(kMin));
+  EXPECT_FALSE(index.Contains(kMax));
+  EXPECT_EQ(index.size(), keys.size() - 2);
+  EXPECT_TRUE(index.CheckInvariants());
+}
+
+TEST(AlexEdgeTest, Int64ExtremesIncrementalInserts) {
+  AlexInt index;
+  constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  EXPECT_TRUE(index.Insert(kMax, 1));
+  EXPECT_TRUE(index.Insert(kMin, 2));
+  EXPECT_FALSE(index.Insert(kMax, 3));  // duplicate at the boundary
+  for (int64_t i = -500; i < 500; ++i) {
+    ASSERT_TRUE(index.Insert(i, i));
+  }
+  EXPECT_EQ(index.size(), 1002u);
+  EXPECT_EQ(*index.Find(kMin), 2);
+  EXPECT_EQ(*index.Find(kMax), 1);
+  EXPECT_EQ(index.LowerBound(kMax).key(), kMax);
+  auto last = index.Last();
+  EXPECT_EQ(last.key(), kMax);
+  --last;
+  EXPECT_EQ(last.key(), 499);
+  EXPECT_TRUE(index.CheckInvariants());
+}
+
+TEST(AlexEdgeTest, ConstFindAndRangeScanOnConstIndex) {
+  // Satellite of the concurrency work: the read-only traversal path is
+  // genuinely const, so shared-latch readers can never write.
+  AlexInt index;
+  for (int64_t i = 0; i < 1000; ++i) index.Insert(i * 2, i);
+  const AlexInt& cindex = index;
+  const int64_t* p = cindex.Find(500);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*p, 250);
+  EXPECT_EQ(cindex.Find(501), nullptr);
+  std::vector<std::pair<int64_t, int64_t>> out;
+  EXPECT_EQ(cindex.RangeScan(0, 10, &out), 10u);
+  EXPECT_EQ(out.front().first, 0);
+  // Const lookups must not bump the lookup counter (concurrent readers
+  // hold only shared ownership and never write).
+  const uint64_t lookups_before = cindex.stats().num_lookups;
+  cindex.Find(500);
+  EXPECT_EQ(cindex.stats().num_lookups, lookups_before);
+}
+
 TEST(AlexEdgeTest, PmaLayoutZigzag) {
   Config config;
   config.layout = NodeLayout::kPackedMemoryArray;
