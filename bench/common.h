@@ -11,12 +11,20 @@
 // counts and time budgets so the run finishes in seconds (see
 // ParseBenchArgs). Quick runs validate that the bench executes end-to-end,
 // not that its numbers are meaningful.
+//
+// Machine-readable output: `--csv PATH` / `--json PATH` make a binary dump
+// its result rows (those it feeds a ResultSink) as a CSV table or a JSON
+// array-of-objects, so multicore runners can record real scaling curves as
+// artifacts. `--threads N` sets the worker count for the concurrency
+// benches (overrides ALEX_BENCH_THREADS).
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/config.h"
 #include "datasets/dataset.h"
@@ -26,14 +34,115 @@ namespace alex::bench {
 
 /// True after ParseBenchArgs saw `--quick`.
 inline bool g_quick_mode = false;
+/// Value of `--threads N`; 0 when absent.
+inline size_t g_threads_flag = 0;
+/// Paths from `--csv PATH` / `--json PATH`; null when absent.
+inline const char* g_csv_path = nullptr;
+inline const char* g_json_path = nullptr;
 
 /// Parses the shared bench flags. Call first thing in main(). Unknown
 /// arguments are ignored so binaries can layer their own flags on top.
 inline void ParseBenchArgs(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) g_quick_mode = true;
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      g_quick_mode = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      const int v = std::atoi(argv[++i]);
+      if (v > 0) g_threads_flag = static_cast<size_t>(v);
+    } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      g_csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      g_json_path = argv[++i];
+    }
   }
 }
+
+/// Worker-thread count: `--threads` beats ALEX_BENCH_THREADS beats
+/// `fallback`.
+inline size_t BenchThreads(size_t fallback = 16) {
+  if (g_threads_flag > 0) return g_threads_flag;
+  const char* s = std::getenv("ALEX_BENCH_THREADS");
+  if (s != nullptr && std::atoi(s) > 0) {
+    return static_cast<size_t>(std::atoi(s));
+  }
+  return fallback;
+}
+
+/// Collects result rows (ordered key → value pairs, all stringified) and
+/// writes them wherever `--csv` / `--json` point. Columns come from the
+/// first row; every row of one sink should share the same keys.
+class ResultSink {
+ public:
+  using Row = std::vector<std::pair<std::string, std::string>>;
+
+  void Add(Row row) { rows_.push_back(std::move(row)); }
+
+  /// Formats a double with enough digits for post-processing.
+  static std::string Num(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+  }
+
+  /// Writes the requested machine-readable outputs, if any.
+  void Flush() const {
+    if (g_csv_path != nullptr) WriteCsv(g_csv_path);
+    if (g_json_path != nullptr) WriteJson(g_json_path);
+  }
+
+  void WriteCsv(const char* path) const {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr || rows_.empty()) {
+      if (f != nullptr) std::fclose(f);
+      return;
+    }
+    for (size_t c = 0; c < rows_.front().size(); ++c) {
+      std::fprintf(f, "%s%s", c == 0 ? "" : ",",
+                   rows_.front()[c].first.c_str());
+    }
+    std::fputc('\n', f);
+    for (const Row& row : rows_) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        std::fprintf(f, "%s%s", c == 0 ? "" : ",", row[c].second.c_str());
+      }
+      std::fputc('\n', f);
+    }
+    std::fclose(f);
+    std::printf("wrote %zu rows to %s\n", rows_.size(), path);
+  }
+
+  void WriteJson(const char* path) const {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) return;
+    std::fputs("[\n", f);
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      std::fputs("  {", f);
+      for (size_t c = 0; c < rows_[r].size(); ++c) {
+        const auto& [key, value] = rows_[r][c];
+        std::fprintf(f, "%s\"%s\": ", c == 0 ? "" : ", ", key.c_str());
+        if (LooksNumeric(value)) {
+          std::fprintf(f, "%s", value.c_str());
+        } else {
+          std::fprintf(f, "\"%s\"", value.c_str());
+        }
+      }
+      std::fprintf(f, "}%s\n", r + 1 < rows_.size() ? "," : "");
+    }
+    std::fputs("]\n", f);
+    std::fclose(f);
+    std::printf("wrote %zu rows to %s\n", rows_.size(), path);
+  }
+
+ private:
+  static bool LooksNumeric(const std::string& s) {
+    if (s.empty()) return false;
+    char* end = nullptr;
+    std::strtod(s.c_str(), &end);
+    return end != nullptr && *end == '\0';
+  }
+
+  std::vector<Row> rows_;
+};
 
 inline double EnvScale() {
   double scale = 1.0;

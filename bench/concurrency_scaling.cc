@@ -1,14 +1,22 @@
-// Concurrency scaling: fine-grained per-leaf ConcurrentAlex vs. the
-// global reader-writer-lock baseline (paper §7).
+// Concurrency scaling across the paper's §7 design space, coarse to
+// lock-free:
+//
+//   * global shared_mutex         (baselines/global_lock_index.h)
+//   * per-leaf + shared tree lock (baselines/per_leaf_lock_index.h)
+//   * lock-free reads + EBR       (core/concurrent_alex.h)
 //
 // A read-mostly YCSB-B-style workload (95% Zipfian point lookups / 5%
-// inserts of fresh keys) runs on T threads against both wrappers; the
-// table reports aggregate throughput and the fine/global speedup. With the
-// global lock every insert stalls all readers; with per-leaf latches only
-// readers of the written leaf wait, and the RMI descent itself is
-// latch-free under the shared structure lock.
+// inserts of fresh keys) runs on T threads against all three wrappers;
+// the table reports aggregate throughput and speedups over the global
+// lock. With the global lock every insert stalls all readers; with
+// per-leaf latches only readers of the written leaf wait but every
+// operation still RMWs the tree lock's shared counter; the lock-free
+// wrapper descends under an epoch guard and touches nothing shared.
 //
-//   ALEX_BENCH_THREADS   thread count (default 16)
+// Flags / env:
+//   --threads N          worker count (or ALEX_BENCH_THREADS; default 16)
+//   --csv PATH, --json PATH   machine-readable results (bench/common.h)
+//   --quick              CI smoke mode
 //   ALEX_BENCH_SCALE     preloaded key multiplier (default 200k keys)
 //   ALEX_BENCH_SECONDS   seconds per timed run
 #include <atomic>
@@ -19,6 +27,7 @@
 #include <vector>
 
 #include "baselines/global_lock_index.h"
+#include "baselines/per_leaf_lock_index.h"
 #include "bench/common.h"
 #include "core/concurrent_alex.h"
 #include "util/random.h"
@@ -29,15 +38,8 @@ namespace {
 
 using namespace alex;  // NOLINT
 
-size_t EnvThreads() {
-  const char* s = std::getenv("ALEX_BENCH_THREADS");
-  if (s == nullptr) return 16;
-  const int v = std::atoi(s);
-  return v > 0 ? static_cast<size_t>(v) : 16;
-}
-
 /// Runs the 95/5 workload on `threads` threads for the time budget;
-/// returns aggregate Mops. `Index` is either wrapper (same API).
+/// returns aggregate ops/s. `Index` is any of the wrappers (same API).
 template <typename Index>
 double RunReadMostly(size_t threads, size_t preload, double seconds) {
   Index index;
@@ -69,7 +71,7 @@ double RunReadMostly(size_t threads, size_t preload, double seconds) {
   std::vector<std::thread> workers;
   for (size_t t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
-      // Wait for the timer so spawn-phase ops don't inflate Mops.
+      // Wait for the timer so spawn-phase ops don't inflate the rate.
       while (!go.load(std::memory_order_acquire)) {
         std::this_thread::yield();
       }
@@ -111,23 +113,48 @@ double RunReadMostly(size_t threads, size_t preload, double seconds) {
 
 int main(int argc, char** argv) {
   alex::bench::ParseBenchArgs(argc, argv);
-  const size_t threads = EnvThreads();
+  const size_t threads = bench::BenchThreads(16);
   const size_t preload = bench::ScaledKeys(200000);
   const double seconds = bench::EnvSeconds();
 
   std::printf("Concurrency scaling: read-mostly 95/5, %zu threads, "
               "%zu preloaded keys, %.2gs per run\n",
               threads, preload, seconds);
-  bench::PrintRule("ConcurrentAlex (per-leaf latches) vs global lock");
-  std::printf("| wrapper | Mops/s |\n|---|---|\n");
-  const double global_lock = RunReadMostly<
-      baseline::GlobalLockAlex<int64_t, int64_t>>(threads, preload, seconds);
-  std::printf("| global shared_mutex | %s |\n",
-              bench::Mops(global_lock).c_str());
-  const double fine = RunReadMostly<core::ConcurrentAlex<int64_t, int64_t>>(
-      threads, preload, seconds);
-  std::printf("| per-leaf latching | %s |\n", bench::Mops(fine).c_str());
-  std::printf("\nspeedup: %.2fx\n",
-              global_lock > 0.0 ? fine / global_lock : 0.0);
+  bench::PrintRule("global lock vs per-leaf latching vs lock-free reads");
+
+  struct Variant {
+    const char* name;
+    double (*run)(size_t, size_t, double);
+  };
+  const Variant variants[] = {
+      {"global shared_mutex",
+       &RunReadMostly<baseline::GlobalLockAlex<int64_t, int64_t>>},
+      {"per-leaf latches + shared tree lock",
+       &RunReadMostly<baseline::PerLeafLockAlex<int64_t, int64_t>>},
+      {"lock-free reads + EBR",
+       &RunReadMostly<core::ConcurrentAlex<int64_t, int64_t>>},
+  };
+
+  bench::ResultSink sink;
+  double baseline_ops = 0.0;
+  std::printf("| wrapper | Mops/s | vs global |\n|---|---|---|\n");
+  for (const Variant& variant : variants) {
+    const double ops = variant.run(threads, preload, seconds);
+    if (baseline_ops == 0.0) baseline_ops = ops;
+    const double speedup = baseline_ops > 0.0 ? ops / baseline_ops : 0.0;
+    std::printf("| %s | %s | %.2fx |\n", variant.name,
+                bench::Mops(ops).c_str(), speedup);
+    sink.Add({{"bench", "concurrency_scaling"},
+              {"workload", "read_mostly_95_5"},
+              {"wrapper", variant.name},
+              {"threads", bench::ResultSink::Num(
+                              static_cast<double>(threads))},
+              {"preload_keys", bench::ResultSink::Num(
+                                   static_cast<double>(preload))},
+              {"seconds", bench::ResultSink::Num(seconds)},
+              {"mops", bench::ResultSink::Num(ops / 1e6)},
+              {"speedup_vs_global", bench::ResultSink::Num(speedup)}});
+  }
+  sink.Flush();
   return 0;
 }

@@ -1,0 +1,192 @@
+// The middle of the paper's §7 concurrency design space: per-leaf latches
+// under a tree-level reader-writer structure lock. This was ConcurrentAlex
+// before the lock-free read path landed (see core/concurrent_alex.h for
+// the current design); it is kept as a baseline so the concurrency benches
+// can quantify what removing the shared-counter RMW per read buys
+// (bench/concurrency_scaling.cc), alongside the coarse global-lock
+// baseline (baselines/global_lock_index.h).
+//
+// Two lock levels:
+//
+//   * a tree-level structure lock (`structure_mutex_`), held SHARED by
+//     every point operation and EXCLUSIVE only by structural
+//     modifications — bulk load and data-node splits, the operations that
+//     rewrite inner nodes, child pointers or the leaf sibling chain;
+//   * a per-data-node reader-writer latch (`DataNode::latch()`), taken
+//     shared by lookups/scans of that leaf and exclusive by leaf-local
+//     mutations (insert/erase/update, including in-place expansion,
+//     retraining and contraction — none of which move the node).
+//
+// The descent through the RMI inner nodes is latch-free: while the
+// structure lock is held shared, inner nodes and child pointers are
+// immutable, so one model inference per level reaches the correct leaf
+// with no per-node latching and no key comparisons. An insert that hits
+// the adaptive-RMI split bound escalates: it drops its shared ownership,
+// reacquires exclusively, and unconditionally re-descends from the root.
+//
+// The cost this baseline measures: every point operation performs one
+// shared-counter RMW on the structure lock, and every split serializes
+// the whole tree.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+#include <utility>
+#include <vector>
+
+#include "core/alex.h"
+#include "core/config.h"
+#include "core/data_node.h"
+
+namespace alex::baseline {
+
+/// A fine-grained-locked ALEX with a shared tree-level structure lock.
+/// Same API as core::ConcurrentAlex. All methods are safe to call from any
+/// thread; reads copy payloads out.
+template <typename K, typename P>
+class PerLeafLockAlex {
+ public:
+  using DataNodeT = typename core::Alex<K, P>::DataNodeT;
+  using InsertResult = core::InsertResult;
+
+  explicit PerLeafLockAlex(const core::Config& config = core::Config())
+      : index_(config) {}
+
+  /// Replaces the contents (structural: tree-exclusive).
+  void BulkLoad(const K* keys, const P* payloads, size_t n) {
+    std::unique_lock structure(structure_mutex_);
+    index_.BulkLoad(keys, payloads, n);
+  }
+
+  /// Copies the payload of `key` into `*out`; returns false when absent.
+  /// Takes the structure lock shared and the target leaf's latch shared:
+  /// concurrent with all other reads and with writes to other leaves.
+  bool Get(K key, P* out) const {
+    std::shared_lock structure(structure_mutex_);
+    const DataNodeT* leaf = index_.FindLeaf(key);
+    std::shared_lock latch(leaf->latch());
+    const P* p = leaf->Find(key);
+    if (p == nullptr) return false;
+    *out = *p;
+    return true;
+  }
+
+  /// True when `key` is present (shared paths only).
+  bool Contains(K key) const {
+    std::shared_lock structure(structure_mutex_);
+    const DataNodeT* leaf = index_.FindLeaf(key);
+    std::shared_lock latch(leaf->latch());
+    return leaf->Find(key) != nullptr;
+  }
+
+  /// Inserts; false on duplicate. Fast path: tree-shared + leaf-exclusive.
+  /// Only when the leaf reports kNeedsSplit does the insert escalate to
+  /// the tree-exclusive structural path.
+  bool Insert(K key, const P& payload) {
+    {
+      std::shared_lock structure(structure_mutex_);
+      DataNodeT* leaf = index_.FindLeaf(key);
+      std::unique_lock latch(leaf->latch());
+      const InsertResult result = leaf->Insert(key, payload);
+      if (result == InsertResult::kOk) {
+        index_.num_keys_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      if (result == InsertResult::kDuplicate) return false;
+      // kNeedsSplit: fall through to the structural path below. The leaf
+      // pointer is stale once the shared lock is released; the exclusive
+      // path re-descends.
+    }
+    std::unique_lock structure(structure_mutex_);
+    return index_.Insert(key, payload);
+  }
+
+  /// Removes `key`; false when absent. Contraction happens in place under
+  /// the leaf latch; erase never escalates.
+  bool Erase(K key) {
+    std::shared_lock structure(structure_mutex_);
+    DataNodeT* leaf = index_.FindLeaf(key);
+    std::unique_lock latch(leaf->latch());
+    if (!leaf->Erase(key)) return false;
+    index_.num_keys_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Overwrites an existing payload; false when absent.
+  bool Update(K key, const P& payload) {
+    std::shared_lock structure(structure_mutex_);
+    DataNodeT* leaf = index_.FindLeaf(key);
+    std::unique_lock latch(leaf->latch());
+    return leaf->UpdatePayload(key, payload);
+  }
+
+  /// Inserts or overwrites, atomically with respect to other operations on
+  /// the key's leaf.
+  void Put(K key, const P& payload) {
+    {
+      std::shared_lock structure(structure_mutex_);
+      DataNodeT* leaf = index_.FindLeaf(key);
+      std::unique_lock latch(leaf->latch());
+      const InsertResult result = leaf->Insert(key, payload);
+      if (result == InsertResult::kOk) {
+        index_.num_keys_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      if (result == InsertResult::kDuplicate) {
+        leaf->UpdatePayload(key, payload);
+        return;
+      }
+    }
+    std::unique_lock structure(structure_mutex_);
+    if (!index_.Insert(key, payload)) {
+      index_.Update(key, payload);
+    }
+  }
+
+  /// Range scan into `out`. Read-committed per leaf.
+  size_t RangeScan(K start, size_t max_results,
+                   std::vector<std::pair<K, P>>* out) const {
+    out->clear();
+    std::shared_lock structure(structure_mutex_);
+    const DataNodeT* leaf = index_.FindLeaf(start);
+    bool first = true;
+    while (leaf != nullptr && out->size() < max_results) {
+      std::shared_lock latch(leaf->latch());
+      const size_t slot = first ? leaf->LowerBoundSlot(start) : 0;
+      first = false;
+      leaf->ScanFrom(slot, max_results - out->size(), out);
+      leaf = leaf->next_leaf();
+    }
+    return out->size();
+  }
+
+  size_t size() const { return index_.size(); }
+
+  size_t IndexSizeBytes() const {
+    std::unique_lock structure(structure_mutex_);
+    return index_.IndexSizeBytes();
+  }
+
+  size_t DataSizeBytes() const {
+    std::unique_lock structure(structure_mutex_);
+    return index_.DataSizeBytes();
+  }
+
+  /// Snapshot of the operation counters.
+  core::Stats GetStats() const { return index_.stats(); }
+
+  /// Full structural-invariant check under the exclusive lock. Test hook.
+  bool CheckInvariants() const {
+    std::unique_lock structure(structure_mutex_);
+    return index_.CheckInvariants();
+  }
+
+ private:
+  mutable std::shared_mutex structure_mutex_;
+  core::Alex<K, P> index_;
+};
+
+}  // namespace alex::baseline

@@ -34,6 +34,11 @@
 #include "core/node.h"
 #include "models/linear_model.h"
 
+namespace alex::baseline {
+template <typename K, typename P>
+class PerLeafLockAlex;
+}  // namespace alex::baseline
+
 namespace alex::core {
 
 template <typename K, typename P>
@@ -117,10 +122,10 @@ class Alex {
   explicit Alex(const Config& config = Config())
       : config_(std::make_unique<Config>(config)),
         stats_(std::make_unique<Stats>()) {
-    root_ = NewLeaf();
+    SetRoot(NewLeaf());
   }
 
-  ~Alex() { DeleteSubtree(root_); }
+  ~Alex() { DeleteSubtree(root()); }
 
   Alex(const Alex&) = delete;
   Alex& operator=(const Alex&) = delete;
@@ -128,21 +133,21 @@ class Alex {
   Alex(Alex&& other) noexcept
       : config_(std::move(other.config_)),
         stats_(std::move(other.stats_)),
-        root_(other.root_),
+        root_(other.root()),
         num_keys_(other.num_keys_.load(std::memory_order_relaxed)) {
-    other.root_ = nullptr;
+    other.SetRoot(nullptr);
     other.num_keys_.store(0, std::memory_order_relaxed);
   }
 
   Alex& operator=(Alex&& other) noexcept {
     if (this != &other) {
-      DeleteSubtree(root_);
+      DeleteSubtree(root());
       config_ = std::move(other.config_);
       stats_ = std::move(other.stats_);
-      root_ = other.root_;
+      SetRoot(other.root());
       num_keys_.store(other.num_keys_.load(std::memory_order_relaxed),
                       std::memory_order_relaxed);
-      other.root_ = nullptr;
+      other.SetRoot(nullptr);
       other.num_keys_.store(0, std::memory_order_relaxed);
     }
     return *this;
@@ -157,20 +162,9 @@ class Alex {
   /// contents. Static RMI builds a two-level root→leaves hierarchy
   /// (§3.2); adaptive RMI runs Algorithm 4.
   void BulkLoad(const K* keys, const P* payloads, size_t n) {
-    DeleteSubtree(root_);
-    root_ = nullptr;
+    DeleteSubtree(root());
+    SetRoot(BuildDetached(keys, payloads, n));
     num_keys_ = n;
-    std::vector<DataNodeT*> leaves;
-    if (n == 0) {
-      root_ = NewLeaf();
-      return;
-    }
-    if (config_->rmi_mode == RmiMode::kStatic) {
-      root_ = BuildStatic(keys, payloads, n, &leaves);
-    } else {
-      root_ = BuildAdaptive(keys, payloads, 0, n, /*depth=*/0, &leaves);
-    }
-    LinkLeaves(leaves, nullptr, nullptr);
   }
 
   /// Convenience overload for (key, payload) pair vectors.
@@ -375,8 +369,32 @@ class Alex {
  private:
   DataNodeT* NewLeaf() { return new DataNodeT(*config_, stats_.get()); }
 
+  // Single-threaded root access: relaxed, compiles to a plain load/store.
+  // The root is atomic so the concurrent wrapper can swap whole trees and
+  // publish root splits without a tree-wide lock.
+  Node* root() const { return root_.load(std::memory_order_relaxed); }
+  void SetRoot(Node* node) {
+    root_.store(node, std::memory_order_relaxed);
+  }
+
+  /// Builds a complete tree (RMI + linked leaves) for `n` sorted keys
+  /// without touching root_. The concurrent wrapper uses this to prepare a
+  /// replacement tree off to the side and swap it in with one store.
+  Node* BuildDetached(const K* keys, const P* payloads, size_t n) {
+    if (n == 0) return NewLeaf();
+    std::vector<DataNodeT*> leaves;
+    Node* built;
+    if (config_->rmi_mode == RmiMode::kStatic) {
+      built = BuildStatic(keys, payloads, n, &leaves);
+    } else {
+      built = BuildAdaptive(keys, payloads, 0, n, /*depth=*/0, &leaves);
+    }
+    LinkLeaves(leaves, nullptr, nullptr);
+    return built;
+  }
+
   DataNodeT* TraverseToLeaf(K key, InnerNode** parent_out = nullptr) {
-    Node* node = root_;
+    Node* node = root();
     InnerNode* parent = nullptr;
     while (!node->is_leaf()) {
       parent = static_cast<InnerNode*>(node);
@@ -387,9 +405,10 @@ class Alex {
   }
 
   // Genuinely const descent: never yields a mutable leaf, so const readers
-  // (and shared-latch holders in ConcurrentAlex) cannot write anywhere.
+  // (and shared-latch holders in the locking wrappers) cannot write
+  // anywhere.
   const DataNodeT* TraverseToLeaf(K key) const {
-    const Node* node = root_;
+    const Node* node = root();
     while (!node->is_leaf()) {
       node = static_cast<const InnerNode*>(node)->ChildFor(
           static_cast<double>(key));
@@ -398,17 +417,18 @@ class Alex {
   }
 
   DataNodeT* LeftmostLeaf() const {
-    Node* node = root_;
+    Node* node = root();
     while (!node->is_leaf()) {
-      node = static_cast<InnerNode*>(node)->children().front();
+      node = static_cast<InnerNode*>(node)->child(0);
     }
     return static_cast<DataNodeT*>(node);
   }
 
   DataNodeT* RightmostLeaf() const {
-    Node* node = root_;
+    Node* node = root();
     while (!node->is_leaf()) {
-      node = static_cast<InnerNode*>(node)->children().back();
+      auto* inner = static_cast<InnerNode*>(node);
+      node = inner->child(inner->num_children() - 1);
     }
     return static_cast<DataNodeT*>(node);
   }
@@ -429,14 +449,14 @@ class Alex {
     }
     auto* root = new InnerNode();
     root->set_model(model::TrainCdfModel(keys, n, num_leaves));
-    root->children().resize(num_leaves, nullptr);
+    root->ResetChildren(num_leaves);
     std::vector<size_t> bounds;
     PartitionBoundaries(root->model(), keys, 0, n, num_leaves, &bounds);
     for (size_t j = 0; j < num_leaves; ++j) {
       DataNodeT* leaf = NewLeaf();
       leaf->BulkLoad(keys + bounds[j], payloads + bounds[j],
                      bounds[j + 1] - bounds[j]);
-      root->children()[j] = leaf;
+      root->SetChild(j, leaf);
       leaves->push_back(leaf);
     }
     return root;
@@ -480,15 +500,14 @@ class Alex {
     }
     auto* inner = new InnerNode();
     inner->set_model(model);
-    inner->children().resize(partitions, nullptr);
+    inner->ResetChildren(partitions);
     size_t j = 0;
     while (j < partitions) {
       const size_t part_size = bounds[j + 1] - bounds[j];
       if (part_size > config_->max_data_node_keys) {
         // Oversized partition: recurse (Alg. 4 lines 8-10).
-        inner->children()[j] = BuildAdaptive(keys, payloads, bounds[j],
-                                             bounds[j + 1], depth + 1,
-                                             leaves);
+        inner->SetChild(j, BuildAdaptive(keys, payloads, bounds[j],
+                                         bounds[j + 1], depth + 1, leaves));
         ++j;
         continue;
       }
@@ -505,7 +524,7 @@ class Alex {
       DataNodeT* leaf = NewLeaf();
       leaf->BulkLoad(keys + bounds[j], payloads + bounds[j], accumulated);
       leaves->push_back(leaf);
-      for (size_t jj = j; jj < j2; ++jj) inner->children()[jj] = leaf;
+      for (size_t jj = j; jj < j2; ++jj) inner->SetChild(jj, leaf);
       j = j2;
     }
     return inner;
@@ -536,10 +555,26 @@ class Alex {
 
   // ---- Node splitting on inserts (§3.4.2) ----
 
-  // Splits `leaf` into `split_fanout` children under a new inner node that
-  // inherits the leaf's key range. Returns false when the key
+  /// Replacement subtree produced by BuildSplitSubtree: an inner node over
+  /// fresh children holding the victim's redistributed data, plus a key
+  /// the victim held (source of the parent-slot hint for ReplaceChild —
+  /// routing is exact by construction, so the slot predicted for any key
+  /// the leaf held is owned by the leaf).
+  struct SplitSubtree {
+    InnerNode* inner = nullptr;
+    std::vector<DataNodeT*> children;
+    K hint_key{};
+  };
+
+  // Builds the replacement subtree for a full `leaf` — the leaf's model
+  // becomes an inner node model (§3.4.2: "The corresponding leaf level
+  // model in RMI now becomes an inner level model"), data is distributed
+  // to children by that model, and each child trains its own — without
+  // touching sibling links, parent slots, or the victim itself. Shared
+  // between the single-threaded split below and the lock-scoped
+  // concurrent split (ConcurrentAlex). Returns false when the key
   // distribution cannot be partitioned (caller falls back to expansion).
-  bool SplitLeaf(DataNodeT* leaf, InnerNode* parent) {
+  bool BuildSplitSubtree(DataNodeT* leaf, SplitSubtree* out) {
     std::vector<K> keys;
     std::vector<P> payloads;
     leaf->ExtractAll(&keys, &payloads);
@@ -554,26 +589,35 @@ class Alex {
       if (bounds[j + 1] > bounds[j]) ++non_empty;
     }
     if (non_empty <= 1) return false;  // no progress possible
-    // The leaf's model becomes an inner node model (§3.4.2: "The
-    // corresponding leaf level model in RMI now becomes an inner level
-    // model"); data is distributed to children by that model, and each
-    // child trains its own model.
     auto* inner = new InnerNode();
     inner->set_model(model);
-    inner->children().resize(fanout, nullptr);
-    std::vector<DataNodeT*> children(fanout, nullptr);
+    inner->ResetChildren(fanout);
+    out->children.assign(fanout, nullptr);
     for (size_t j = 0; j < fanout; ++j) {
       DataNodeT* child = NewLeaf();
       child->BulkLoad(keys.data() + bounds[j], payloads.data() + bounds[j],
                       bounds[j + 1] - bounds[j]);
-      inner->children()[j] = child;
-      children[j] = child;
+      inner->SetChild(j, child);
+      out->children[j] = child;
     }
-    LinkLeaves(children, leaf->prev_leaf(), leaf->next_leaf());
+    out->inner = inner;
+    out->hint_key = keys.front();
+    return true;
+  }
+
+  // Splits `leaf` into `split_fanout` children under a new inner node that
+  // inherits the leaf's key range. Returns false when the key
+  // distribution cannot be partitioned (caller falls back to expansion).
+  bool SplitLeaf(DataNodeT* leaf, InnerNode* parent) {
+    SplitSubtree split;
+    if (!BuildSplitSubtree(leaf, &split)) return false;
+    LinkLeaves(split.children, leaf->prev_leaf(), leaf->next_leaf());
     if (parent == nullptr) {
-      root_ = inner;
+      SetRoot(split.inner);
     } else {
-      parent->ReplaceChild(leaf, inner);
+      parent->ReplaceChild(
+          leaf, split.inner,
+          parent->ChildSlotFor(static_cast<double>(split.hint_key)));
     }
     delete leaf;
     ++stats_->num_splits;
@@ -598,7 +642,7 @@ class Alex {
   // pointers, but repeats are consecutive by construction).
   template <typename F>
   void VisitNodes(F&& fn) const {
-    VisitSubtree(root_, fn);
+    VisitSubtree(root(), fn);
   }
 
   template <typename F>
@@ -608,7 +652,8 @@ class Alex {
     if (node->is_leaf()) return;
     const auto* inner = static_cast<const InnerNode*>(node);
     const Node* prev = nullptr;
-    for (const Node* child : inner->children()) {
+    for (size_t i = 0; i < inner->num_children(); ++i) {
+      const Node* child = inner->child(i);
       if (child != prev) VisitSubtree(child, fn);
       prev = child;
     }
@@ -627,7 +672,8 @@ class Alex {
     ++shape->num_models;
     const auto* inner = static_cast<const InnerNode*>(node);
     const Node* prev = nullptr;
-    for (const Node* child : inner->children()) {
+    for (size_t i = 0; i < inner->num_children(); ++i) {
+      const Node* child = inner->child(i);
       if (child != prev) ComputeShape(child, depth + 1, shape);
       prev = child;
     }
@@ -638,7 +684,8 @@ class Alex {
     if (!node->is_leaf()) {
       auto* inner = static_cast<InnerNode*>(node);
       Node* prev = nullptr;
-      for (Node* child : inner->children()) {
+      for (size_t i = 0; i < inner->num_children(); ++i) {
+        Node* child = inner->child(i);
         if (child != prev) DeleteSubtree(child);
         prev = child;
       }
@@ -646,14 +693,19 @@ class Alex {
     delete node;
   }
 
-  // ConcurrentAlex implements fine-grained locking on top of the leaf-level
-  // API (FindLeaf + per-leaf latches) and maintains num_keys_ itself when
-  // it commits leaf-local inserts/erases without going through Insert/Erase.
+  // The concurrency wrappers build on the leaf-level API (FindLeaf +
+  // per-leaf latches) and maintain num_keys_ themselves when they commit
+  // leaf-local inserts/erases without going through Insert/Erase.
+  // ConcurrentAlex additionally descends through root_ with its own
+  // memory ordering and splits leaves under node-level locks.
   friend class ConcurrentAlex<K, P>;
+  friend class baseline::PerLeafLockAlex<K, P>;
 
   std::unique_ptr<Config> config_;
   std::unique_ptr<Stats> stats_;
-  Node* root_ = nullptr;
+  // Atomic so the concurrent wrapper can publish root splits and whole-tree
+  // swaps; single-threaded paths use relaxed ops (plain loads/stores).
+  std::atomic<Node*> root_{nullptr};
   std::atomic<size_t> num_keys_{0};
 };
 

@@ -1,39 +1,62 @@
-// Thread-safe ALEX with fine-grained per-leaf locking (paper §7,
-// "Concurrency Control").
+// Thread-safe ALEX with a lock-free read path (paper §7, "Concurrency
+// Control").
 //
-// The paper sketches latching over the RMI; this wrapper implements the
-// fine-grained middle of that design space with two lock levels:
+// Readers descend the RMI under only an *epoch guard* (util/epoch.h) — no
+// tree-wide mutex, no shared-counter RMW, no shared write of any kind —
+// and take exactly one per-leaf reader-writer latch at the end. Writers
+// take that leaf latch exclusively; splits lock only the victim's parent
+// inner node and the victim leaf, never the tree. The protocol:
 //
-//   * a tree-level structure lock (`structure_mutex_`), held SHARED by
-//     every point operation and EXCLUSIVE only by structural
-//     modifications — bulk load and data-node splits, the operations that
-//     rewrite inner nodes, child pointers or the leaf sibling chain;
-//   * a per-data-node reader-writer latch (`DataNode::latch()`), taken
-//     shared by lookups/scans of that leaf and exclusive by leaf-local
-//     mutations (insert/erase/update, including in-place expansion,
-//     retraining and contraction — none of which move the node).
+//   Descent.   `root_` and every inner-node child slot are atomics; the
+//     descent does one seq_cst load per level (a plain load on x86, an
+//     acquire load on ARM — see util/epoch.h for why seq_cst). Inner
+//     nodes are immutable once published except for their child slots, so
+//     no inner-node latching is ever needed.
 //
-// The descent through the RMI inner nodes is latch-free: while the
-// structure lock is held shared, inner nodes and child pointers are
-// immutable, so one model inference per level reaches the correct leaf
-// with no per-node latching and no key comparisons. An insert that hits
-// the adaptive-RMI split bound escalates: it drops its shared ownership,
-// reacquires exclusively, and unconditionally re-descends from the root
-// (its old leaf pointer may be stale — another writer can restructure in
-// the gap). `structure_version_` counts structural changes; it is
-// observability for tests and diagnostics, not a correctness mechanism.
+//   Validation.   A split replaces a leaf with a new subtree; a reader
+//     may race it and land on the replaced leaf. Every leaf carries a
+//     version word whose low bit is a *retired* flag, set (under the
+//     exclusive latch) before the replacement is published. After
+//     latching its leaf, an operation checks the flag: clear means the
+//     leaf is live and its contents authoritative — the pre-split leaf
+//     still holds every key it ever held, so even a reader racing the
+//     publication reads correct data; set means re-descend from the root
+//     and retry (rare: only on the split of the very leaf being probed).
 //
-// Consequences:
-//   * lookups on disjoint leaves share only the structure lock's reader
-//     count — they never block each other;
-//   * writers on disjoint leaves run fully in parallel (the global-lock
-//     baseline, baselines/global_lock_index.h, serializes them);
-//   * only splits — O(n / max_data_node_keys) over an index's lifetime —
-//     take the tree-exclusive path.
+//   Splits.   An insert that hits the adaptive-RMI split bound releases
+//     its leaf latch, locks the parent's split mutex (or the root mutex
+//     when the leaf is the root), re-latches and re-validates the leaf,
+//     and re-attempts the insert — another thread may have already split
+//     or made room. If the split proceeds it builds the replacement
+//     subtree off to the side, splices the new leaves into the sibling
+//     chain (serialized by a chain mutex so live leaves' links always
+//     describe the live chain), marks the victim retired, and publishes
+//     the subtree with one seq_cst store per owned parent slot. The
+//     victim is then *retired* through epoch-based reclamation, not
+//     deleted: it is freed only after every reader that could still hold
+//     it has unpinned. Splits of leaves under different parents run fully
+//     in parallel.
 //
-// Remaining §7 gap (see ROADMAP): reads still bump the structure lock's
-// shared counter; making them entirely lock-free requires atomic child
-// pointers plus epoch-based node reclamation.
+//   Bulk load.   Builds a complete replacement tree off to the side,
+//     swaps `root_` with one store, then walks the old tree — taking each
+//     inner split mutex and each leaf latch once — marking every leaf
+//     retired and handing every node to the reclaimer. Operations that
+//     committed into the old tree linearize before the bulk load.
+//
+// Guarantees: point operations (Get/Contains/Insert/Erase/Update/Put) are
+// linearizable — each takes effect at one instant inside its leaf-latch
+// critical section on a live leaf. Range scans are read-committed per
+// leaf: each leaf's contribution is a consistent snapshot taken under its
+// shared latch, but a scan crossing leaves may miss or observe writes
+// that land behind or ahead of it. Memory reclamation is quiescent-safe:
+// the epoch manager frees a retired node only two epoch advances after
+// retirement and drains everything on destruction, so the index leaks
+// nothing (ASan-verified).
+//
+// Lock order (deadlock freedom): parent split mutex (or root mutex) →
+// leaf latch → chain mutex. The bulk-load quiescer takes inner split
+// mutexes strictly top-down. No path ever takes a second leaf latch or an
+// ancestor's split mutex while holding a descendant's.
 #pragma once
 
 #include <atomic>
@@ -47,15 +70,15 @@
 #include "core/alex.h"
 #include "core/config.h"
 #include "core/data_node.h"
+#include "core/node.h"
+#include "util/epoch.h"
 
 namespace alex::core {
 
-/// A fine-grained-locked ALEX. All methods are safe to call from any
-/// thread. Pointer-returning lookups are deliberately not exposed — a
-/// payload pointer would escape the latches — so reads copy the payload
-/// out. Range scans are read-committed per leaf: each leaf's content is a
-/// consistent snapshot, but a scan crossing leaves may observe writes that
-/// land behind it.
+/// A lock-free-read, node-level-locked ALEX. All methods are safe to call
+/// from any thread. Pointer-returning lookups are deliberately not
+/// exposed — a payload pointer would escape the latch and the epoch guard
+/// — so reads copy the payload out.
 template <typename K, typename P>
 class ConcurrentAlex {
  public:
@@ -64,137 +87,151 @@ class ConcurrentAlex {
   explicit ConcurrentAlex(const Config& config = Config())
       : index_(config) {}
 
-  /// Replaces the contents (structural: tree-exclusive).
+  /// Retired nodes drain through the epoch manager's destructor; the live
+  /// tree is freed by the inner Alex. Callers must guarantee quiescence
+  /// (no in-flight operations), as for any destructor.
+  ~ConcurrentAlex() = default;
+
+  /// Replaces the contents. Concurrent operations that landed in the old
+  /// tree linearize before the bulk load; readers mid-descent retry onto
+  /// the new tree via leaf retirement.
   void BulkLoad(const K* keys, const P* payloads, size_t n) {
-    std::unique_lock structure(structure_mutex_);
+    Node* fresh = index_.BuildDetached(keys, payloads, n);
+    Node* old;
+    {
+      std::lock_guard<std::mutex> root_lock(root_split_mutex_);
+      old = index_.root_.exchange(fresh, std::memory_order_seq_cst);
+    }
     BumpVersion();
-    index_.BulkLoad(keys, payloads, n);
+    util::EpochManager::Guard guard(epoch_);
+    // The quiescer counts the old tree's final keys as it drains each
+    // leaf's latch. Every counter bump for an old-tree commit happens
+    // under the leaf latch, so that count captures exactly the old tree's
+    // contribution to num_keys_ — replacing it with `n` as a delta keeps
+    // concurrent new-tree commits (which the store-a-constant approach
+    // would overwrite) intact.
+    const size_t old_total = QuiesceAndRetire(old);
+    index_.num_keys_.fetch_add(n - old_total, std::memory_order_relaxed);
+    epoch_.TryReclaim();
   }
 
   /// Copies the payload of `key` into `*out`; returns false when absent.
-  /// Takes the structure lock shared and the target leaf's latch shared:
-  /// concurrent with all other reads and with writes to other leaves.
+  /// Epoch guard + one shared leaf latch; no shared mutex anywhere.
   bool Get(K key, P* out) const {
-    std::shared_lock structure(structure_mutex_);
-    const DataNodeT* leaf = index_.FindLeaf(key);
-    std::shared_lock latch(leaf->latch());
-    const P* p = leaf->Find(key);
-    if (p == nullptr) return false;
-    *out = *p;
-    return true;
-  }
-
-  /// True when `key` is present (shared paths only).
-  bool Contains(K key) const {
-    std::shared_lock structure(structure_mutex_);
-    const DataNodeT* leaf = index_.FindLeaf(key);
-    std::shared_lock latch(leaf->latch());
-    return leaf->Find(key) != nullptr;
-  }
-
-  /// Inserts; false on duplicate. Fast path: tree-shared + leaf-exclusive,
-  /// so inserts into disjoint leaves run in parallel and never block
-  /// readers of other leaves. Expansion and retraining happen in place
-  /// under the leaf latch. Only when the leaf reports kNeedsSplit does the
-  /// insert escalate to the tree-exclusive structural path.
-  bool Insert(K key, const P& payload) {
-    {
-      std::shared_lock structure(structure_mutex_);
-      DataNodeT* leaf = index_.FindLeaf(key);
-      std::unique_lock latch(leaf->latch());
-      const InsertResult result = leaf->Insert(key, payload);
-      if (result == InsertResult::kOk) {
-        index_.num_keys_.fetch_add(1, std::memory_order_relaxed);
-        return true;
-      }
-      if (result == InsertResult::kDuplicate) return false;
-      // kNeedsSplit: fall through to the structural path below. The leaf
-      // pointer is stale once the shared lock is released (another writer
-      // may split this same leaf first); the exclusive path re-descends.
+    util::EpochManager::Guard guard(epoch_);
+    while (true) {
+      const DataNodeT* leaf = DescendAcquire(key);
+      std::shared_lock<std::shared_mutex> latch(leaf->latch());
+      if (leaf->IsRetired()) continue;  // raced a split: re-descend
+      const P* p = leaf->Find(key);
+      if (p == nullptr) return false;
+      *out = *p;
+      return true;
     }
-    std::unique_lock structure(structure_mutex_);
-    BumpVersion();
-    // Alex::Insert re-traverses from the root, splits as needed, and
-    // handles the degenerate-distribution fallback. Under the exclusive
-    // structure lock no latches are needed.
-    return index_.Insert(key, payload);
+  }
+
+  /// True when `key` is present (epoch guard + shared leaf latch only).
+  bool Contains(K key) const {
+    util::EpochManager::Guard guard(epoch_);
+    while (true) {
+      const DataNodeT* leaf = DescendAcquire(key);
+      std::shared_lock<std::shared_mutex> latch(leaf->latch());
+      if (leaf->IsRetired()) continue;
+      return leaf->Find(key) != nullptr;
+    }
+  }
+
+  /// Inserts; false on duplicate. Fast path: epoch guard + exclusive leaf
+  /// latch, so inserts into disjoint leaves run in parallel and never
+  /// block readers of other leaves. A split locks only the parent inner
+  /// node and the victim leaf.
+  bool Insert(K key, const P& payload) {
+    bool inserted = false;
+    InsertOrPut(key, payload, /*overwrite_duplicate=*/false, &inserted);
+    return inserted;
+  }
+
+  /// Inserts or overwrites, atomically with respect to other operations
+  /// on the key's leaf.
+  void Put(K key, const P& payload) {
+    bool inserted = false;
+    InsertOrPut(key, payload, /*overwrite_duplicate=*/true, &inserted);
   }
 
   /// Removes `key`; false when absent. Contraction (a rebuild within the
   /// same node object) happens under the leaf latch; the structure never
   /// changes, so erase never escalates.
   bool Erase(K key) {
-    std::shared_lock structure(structure_mutex_);
-    DataNodeT* leaf = index_.FindLeaf(key);
-    std::unique_lock latch(leaf->latch());
-    if (!leaf->Erase(key)) return false;
-    index_.num_keys_.fetch_sub(1, std::memory_order_relaxed);
-    return true;
+    util::EpochManager::Guard guard(epoch_);
+    while (true) {
+      DataNodeT* leaf = DescendAcquire(key);
+      std::unique_lock<std::shared_mutex> latch(leaf->latch());
+      if (leaf->IsRetired()) continue;
+      if (!leaf->Erase(key)) return false;
+      index_.num_keys_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
   }
 
   /// Overwrites an existing payload; false when absent (leaf-exclusive:
   /// the write must not race shared readers copying the payload).
   bool Update(K key, const P& payload) {
-    std::shared_lock structure(structure_mutex_);
-    DataNodeT* leaf = index_.FindLeaf(key);
-    std::unique_lock latch(leaf->latch());
-    return leaf->UpdatePayload(key, payload);
-  }
-
-  /// Inserts or overwrites, atomically with respect to other operations on
-  /// the key's leaf.
-  void Put(K key, const P& payload) {
-    {
-      std::shared_lock structure(structure_mutex_);
-      DataNodeT* leaf = index_.FindLeaf(key);
-      std::unique_lock latch(leaf->latch());
-      const InsertResult result = leaf->Insert(key, payload);
-      if (result == InsertResult::kOk) {
-        index_.num_keys_.fetch_add(1, std::memory_order_relaxed);
-        return;
-      }
-      if (result == InsertResult::kDuplicate) {
-        leaf->UpdatePayload(key, payload);
-        return;
-      }
-    }
-    std::unique_lock structure(structure_mutex_);
-    BumpVersion();
-    if (!index_.Insert(key, payload)) {
-      index_.Update(key, payload);
+    util::EpochManager::Guard guard(epoch_);
+    while (true) {
+      DataNodeT* leaf = DescendAcquire(key);
+      std::unique_lock<std::shared_mutex> latch(leaf->latch());
+      if (leaf->IsRetired()) continue;
+      return leaf->UpdatePayload(key, payload);
     }
   }
 
-  /// Range scan into `out`. Holds the structure lock shared (the sibling
-  /// chain cannot change) and latches one leaf at a time, so scans overlap
-  /// with writes to leaves outside the scan window.
+  /// Range scan into `out`. Read-committed per leaf: each leaf is scanned
+  /// under its shared latch, streaming along the sibling chain; when the
+  /// chain hands us a retired leaf (it split mid-scan), the scan
+  /// re-descends from the root at the first key it has not yet emitted.
   size_t RangeScan(K start, size_t max_results,
                    std::vector<std::pair<K, P>>* out) const {
     out->clear();
-    std::shared_lock structure(structure_mutex_);
-    const DataNodeT* leaf = index_.FindLeaf(start);
-    bool first = true;
+    util::EpochManager::Guard guard(epoch_);
+    K resume = start;
+    bool emitted = false;
+    const DataNodeT* leaf = DescendAcquire(resume);
     while (leaf != nullptr && out->size() < max_results) {
-      std::shared_lock latch(leaf->latch());
-      const size_t slot = first ? leaf->LowerBoundSlot(start) : 0;
-      first = false;
+      std::shared_lock<std::shared_mutex> latch(leaf->latch());
+      if (leaf->IsRetired()) {
+        latch.unlock();
+        leaf = DescendAcquire(resume);
+        continue;
+      }
+      size_t slot = leaf->LowerBoundSlot(resume);
+      if (emitted && slot < leaf->capacity() &&
+          leaf->KeyAt(slot) == resume) {
+        slot = leaf->NextOccupiedSlot(slot);  // already emitted this key
+      }
+      const size_t before = out->size();
       leaf->ScanFrom(slot, max_results - out->size(), out);
-      leaf = leaf->next_leaf();
+      if (out->size() > before) {
+        resume = out->back().first;
+        emitted = true;
+      }
+      const DataNodeT* next = leaf->next_leaf_acquire();
+      latch.unlock();
+      leaf = next;
     }
     return out->size();
   }
 
   size_t size() const { return index_.size(); }
 
+  /// Whole-tree accounting walks every node's internals without latches;
+  /// call only while no writers are in flight (bench/reporting hook).
   size_t IndexSizeBytes() const {
-    // Whole-tree accounting walks every node's internals; exclusive is the
-    // simple safe choice for this rare reporting call.
-    std::unique_lock structure(structure_mutex_);
+    util::EpochManager::Guard guard(epoch_);
     return index_.IndexSizeBytes();
   }
 
   size_t DataSizeBytes() const {
-    std::unique_lock structure(structure_mutex_);
+    util::EpochManager::Guard guard(epoch_);
     return index_.DataSizeBytes();
   }
 
@@ -208,18 +245,238 @@ class ConcurrentAlex {
     return structure_version_.load(std::memory_order_acquire);
   }
 
-  /// Full structural-invariant check under the exclusive lock. Test hook.
+  /// The reclamation engine, exposed read-only for tests/diagnostics
+  /// (epoch(), retired_count(), freed_count()).
+  const util::EpochManager& epoch_manager() const { return epoch_; }
+
+  /// Full structural-invariant check. Requires quiescence (no concurrent
+  /// writers). Test hook.
   bool CheckInvariants() const {
-    std::unique_lock structure(structure_mutex_);
+    util::EpochManager::Guard guard(epoch_);
     return index_.CheckInvariants();
   }
 
+  // ---- Test hooks for the lock-freedom contract ----
+
+  /// Exclusively latches the leaf owning `key` and returns the lock. While
+  /// held, the leaf cannot be read, written, split or retired — but reads
+  /// and writes of *other* leaves must still complete, which is exactly
+  /// what the lock-free-read-path test asserts.
+  std::unique_lock<std::shared_mutex> LatchLeafForTest(K key) {
+    util::EpochManager::Guard guard(epoch_);
+    while (true) {
+      DataNodeT* leaf = DescendAcquire(key);
+      std::unique_lock<std::shared_mutex> latch(leaf->latch());
+      // Only a latched *live* leaf may outlive the guard: retirement
+      // requires this exclusive latch, so a live leaf cannot be retired
+      // (or freed) while the caller holds the returned lock. A leaf that
+      // was already retired when we latched it could be reclaimed the
+      // moment the guard dies — re-descend instead of returning it.
+      if (!leaf->IsRetired()) return latch;
+    }
+  }
+
+  /// Holds every tree-scoped mutex the write path can take (the root
+  /// transition mutex and the sibling-chain mutex). Reads must not block
+  /// on either; the test verifies they complete while these are held.
+  std::pair<std::unique_lock<std::mutex>, std::unique_lock<std::mutex>>
+  LockStructuralMutexesForTest() {
+    return {std::unique_lock<std::mutex>(root_split_mutex_),
+            std::unique_lock<std::mutex>(chain_mutex_)};
+  }
+
  private:
+  using InnerNodeT = InnerNode;
+
   void BumpVersion() {
     structure_version_.fetch_add(1, std::memory_order_release);
   }
 
-  mutable std::shared_mutex structure_mutex_;
+  /// The lock-free descent: one seq_cst load per level. Must be called
+  /// under an epoch guard; the returned leaf stays allocated (though
+  /// possibly retired) until the guard is released.
+  DataNodeT* DescendAcquire(K key, InnerNodeT** parent_out = nullptr) const {
+    Node* node = index_.root_.load(std::memory_order_seq_cst);
+    InnerNodeT* parent = nullptr;
+    while (!node->is_leaf()) {
+      parent = static_cast<InnerNodeT*>(node);
+      node = parent->ChildForAcquire(static_cast<double>(key));
+    }
+    if (parent_out != nullptr) *parent_out = parent;
+    return static_cast<DataNodeT*>(node);
+  }
+
+  void InsertOrPut(K key, const P& payload, bool overwrite_duplicate,
+                   bool* inserted) {
+    util::EpochManager::Guard guard(epoch_);
+    while (true) {
+      InnerNodeT* parent = nullptr;
+      DataNodeT* leaf = DescendAcquire(key, &parent);
+      {
+        std::unique_lock<std::shared_mutex> latch(leaf->latch());
+        if (leaf->IsRetired()) continue;
+        const InsertResult result = leaf->Insert(key, payload);
+        if (result == InsertResult::kOk) {
+          index_.num_keys_.fetch_add(1, std::memory_order_relaxed);
+          *inserted = true;
+          return;
+        }
+        if (result == InsertResult::kDuplicate) {
+          if (overwrite_duplicate) leaf->UpdatePayload(key, payload);
+          *inserted = false;
+          return;
+        }
+        // kNeedsSplit: drop the latch before taking the parent's split
+        // mutex — splitters lock parent before leaf, and taking them in
+        // the opposite order here would deadlock.
+      }
+      if (SplitOrCommit(key, payload, leaf, parent, overwrite_duplicate,
+                        inserted)) {
+        return;
+      }
+      // A split happened (ours or a rival's): re-descend and retry.
+    }
+  }
+
+  /// Escalation path for an insert that hit the split bound. Locks the
+  /// structural scope (parent split mutex, or the root mutex when the
+  /// victim is the root leaf), revalidates, and either commits the
+  /// operation (returns true) or performs a split and returns false so
+  /// the caller re-descends into the new subtree.
+  bool SplitOrCommit(K key, const P& payload, DataNodeT* leaf,
+                     InnerNodeT* parent, bool overwrite_duplicate,
+                     bool* inserted) {
+    std::unique_lock<std::mutex> structural(
+        parent != nullptr ? parent->split_mutex() : root_split_mutex_);
+    if (parent == nullptr &&
+        index_.root_.load(std::memory_order_seq_cst) != leaf) {
+      return false;  // the root changed under us; re-descend
+    }
+    std::unique_lock<std::shared_mutex> latch(leaf->latch());
+    if (leaf->IsRetired()) return false;  // a rival split won; re-descend
+    // The world may have moved while we were unlatched (a rival insert or
+    // erase can change the outcome), so re-attempt the insert first.
+    InsertResult result = leaf->Insert(key, payload);
+    if (result == InsertResult::kOk) {
+      index_.num_keys_.fetch_add(1, std::memory_order_relaxed);
+      *inserted = true;
+      return true;
+    }
+    if (result == InsertResult::kDuplicate) {
+      if (overwrite_duplicate) leaf->UpdatePayload(key, payload);
+      *inserted = false;
+      return true;
+    }
+    if (!SplitLeafLocked(leaf, parent)) {
+      // Degenerate key distribution: splitting cannot partition the node.
+      // Insert past the bound instead (the node keeps expanding).
+      result = leaf->Insert(key, payload, /*allow_split_request=*/false);
+      *inserted = (result == InsertResult::kOk);
+      if (*inserted) {
+        index_.num_keys_.fetch_add(1, std::memory_order_relaxed);
+      } else if (overwrite_duplicate &&
+                 result == InsertResult::kDuplicate) {
+        leaf->UpdatePayload(key, payload);
+      }
+      return true;
+    }
+    return false;  // split done; caller re-descends to place the key
+  }
+
+  /// Splits `leaf` under the structural scope lock + exclusive leaf latch
+  /// (both held by the caller). Returns false when the key distribution
+  /// cannot be partitioned. On success the victim is retired through EBR.
+  bool SplitLeafLocked(DataNodeT* leaf, InnerNodeT* parent) {
+    // The replacement subtree (model, children, redistributed data) is
+    // built off to the side by the same code the single-threaded split
+    // uses; only the publication protocol differs below.
+    typename Alex<K, P>::SplitSubtree split;
+    if (!index_.BuildSplitSubtree(leaf, &split)) return false;
+    const std::vector<DataNodeT*>& children = split.children;
+    // Splice the children into the sibling chain. All splices serialize
+    // on the chain mutex, so a live leaf's links always describe the live
+    // chain; the victim keeps its outgoing links, and scanners that reach
+    // it after retirement re-descend.
+    {
+      std::lock_guard<std::mutex> chain(chain_mutex_);
+      DataNodeT* before = leaf->prev_leaf();
+      DataNodeT* after = leaf->next_leaf();
+      const size_t fanout = children.size();
+      for (size_t j = 0; j < fanout; ++j) {
+        children[j]->set_prev_leaf(j == 0 ? before : children[j - 1]);
+        children[j]->set_next_leaf(j + 1 < fanout ? children[j + 1]
+                                                  : after);
+      }
+      // These two stores make the children reachable from live leaves;
+      // they are seq_cst so a scanner that follows them sees the fully
+      // linked chain.
+      if (before != nullptr) before->publish_next_leaf(children.front());
+      if (after != nullptr) after->publish_prev_leaf(children.back());
+    }
+    // Retire-then-publish: a reader that still reaches the old leaf
+    // latches it and finds the flag; one that reads the new slot value
+    // lands in the replacement.
+    leaf->MarkRetired();
+    if (parent != nullptr) {
+      parent->ReplaceChild(
+          leaf, split.inner,
+          parent->ChildSlotFor(static_cast<double>(split.hint_key)),
+          /*publish=*/true);
+    } else {
+      index_.root_.store(split.inner, std::memory_order_seq_cst);
+    }
+    BumpVersion();
+    ++index_.stats_->num_splits;
+    // Freed only after every reader that could hold it unpins; our own
+    // guard keeps it alive through the latch release below.
+    epoch_.Retire(leaf);
+    epoch_.TryReclaim();
+    return true;
+  }
+
+  /// Bulk-load teardown of a detached tree: marks every leaf retired (so
+  /// racing operations retry onto the new tree) and hands every node to
+  /// the reclaimer. Takes each inner split mutex top-down — serializing
+  /// with any in-flight split below that inner — and each leaf latch once
+  /// to drain leaf-local writers. Returns the tree's final key count,
+  /// observed leaf by leaf under the latch.
+  size_t QuiesceAndRetire(Node* node) {
+    if (node->is_leaf()) {
+      auto* leaf = static_cast<DataNodeT*>(node);
+      size_t drained;
+      {
+        std::unique_lock<std::shared_mutex> latch(leaf->latch());
+        drained = leaf->num_keys();
+        leaf->MarkRetired();
+      }
+      epoch_.Retire(leaf);
+      return drained;
+    }
+    auto* inner = static_cast<InnerNodeT*>(node);
+    size_t drained = 0;
+    {
+      std::lock_guard<std::mutex> structural(inner->split_mutex());
+      // Holding the split mutex pins this node's slot array: no split can
+      // publish under it, and a split that already published left its new
+      // subtree in the slots, where this walk retires it too.
+      Node* prev = nullptr;
+      for (size_t i = 0; i < inner->num_children(); ++i) {
+        Node* child = inner->child(i);
+        if (child != prev) drained += QuiesceAndRetire(child);
+        prev = child;
+      }
+    }
+    epoch_.Retire(inner);
+    return drained;
+  }
+
+  mutable util::EpochManager epoch_;
+  // Guards the root slot's structural transitions (root-leaf split, bulk
+  // load swap). Never touched by reads.
+  std::mutex root_split_mutex_;
+  // Serializes sibling-chain splices across splits. Never touched by
+  // reads; point writes never touch it either.
+  std::mutex chain_mutex_;
   std::atomic<uint64_t> structure_version_{0};
   Alex<K, P> index_;
 };

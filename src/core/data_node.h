@@ -12,6 +12,7 @@
 // kNeedsSplit and the index splits it (§3.4.2).
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -61,16 +62,60 @@ class DataNode : public Node {
   bool has_model() const { return has_model_; }
   const model::LinearModel& model() const { return model_; }
 
-  DataNode* prev_leaf() const { return prev_leaf_; }
-  DataNode* next_leaf() const { return next_leaf_; }
-  void set_prev_leaf(DataNode* leaf) { prev_leaf_ = leaf; }
-  void set_next_leaf(DataNode* leaf) { next_leaf_ = leaf; }
+  // Sibling links are atomics so the concurrent wrapper can splice the
+  // leaf chain around a split while scans stream along it. Single-threaded
+  // paths use the relaxed accessors (plain loads/stores after
+  // optimization); concurrent scans and splices use the seq_cst ones.
+  DataNode* prev_leaf() const {
+    return prev_leaf_.load(std::memory_order_relaxed);
+  }
+  DataNode* next_leaf() const {
+    return next_leaf_.load(std::memory_order_relaxed);
+  }
+  void set_prev_leaf(DataNode* leaf) {
+    prev_leaf_.store(leaf, std::memory_order_relaxed);
+  }
+  void set_next_leaf(DataNode* leaf) {
+    next_leaf_.store(leaf, std::memory_order_relaxed);
+  }
+  DataNode* prev_leaf_acquire() const {
+    return prev_leaf_.load(std::memory_order_seq_cst);
+  }
+  DataNode* next_leaf_acquire() const {
+    return next_leaf_.load(std::memory_order_seq_cst);
+  }
+  void publish_prev_leaf(DataNode* leaf) {
+    prev_leaf_.store(leaf, std::memory_order_seq_cst);
+  }
+  void publish_next_leaf(DataNode* leaf) {
+    next_leaf_.store(leaf, std::memory_order_seq_cst);
+  }
 
   /// Per-leaf reader-writer latch (paper §7). ConcurrentAlex takes it
   /// shared for reads of this leaf's contents and exclusive for leaf-local
   /// mutations (insert/erase/update, including in-place expansion and
   /// contraction). Single-threaded Alex never touches it.
   std::shared_mutex& latch() const { return latch_; }
+
+  /// Leaf version word. Bit 0 is the *retired* flag: set (under the
+  /// exclusive latch) by the split or bulk-load that unlinks this leaf
+  /// from the tree, immediately before the replacement is published. A
+  /// lock-free reader that descended to this leaf latches it and checks
+  /// `IsRetired()`: clear means the leaf is live and its contents
+  /// authoritative; set means the reader raced a structural change and
+  /// must re-descend from the root. The upper bits count retirements'
+  /// structural generation for diagnostics.
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+  bool IsRetired() const {
+    return (version_.load(std::memory_order_acquire) & 1) != 0;
+  }
+  /// Marks the leaf dead. Caller must hold the exclusive latch; readers
+  /// observe the flag under the (shared) latch, so acq/rel through the
+  /// latch already orders it — the atomic keeps unlatched diagnostic
+  /// reads well-defined.
+  void MarkRetired() { version_.fetch_or(1, std::memory_order_release); }
 
   /// Rebuilds the node from `n` sorted, distinct keys. Chooses capacity
   /// c·n (c = expansion factor), trains the model when the node is warm
@@ -394,8 +439,9 @@ class DataNode : public Node {
   bool has_model_ = false;
   uint64_t retired_shifts_ = 0;
   uint64_t last_synced_shifts_ = 0;
-  DataNode* prev_leaf_ = nullptr;
-  DataNode* next_leaf_ = nullptr;
+  std::atomic<uint64_t> version_{0};
+  std::atomic<DataNode*> prev_leaf_{nullptr};
+  std::atomic<DataNode*> next_leaf_{nullptr};
 };
 
 }  // namespace alex::core

@@ -5,10 +5,28 @@
 // pointer dereference, with no search (paper §6: "We use a model to split
 // the key space, similar to a trie, but no search is required until we
 // reach the leaf level").
+//
+// Child pointers live in a fixed-size std::atomic<Node*> slot array so one
+// node representation serves both the single-threaded index and the
+// lock-free concurrent wrapper:
+//
+//   * single-threaded paths use relaxed loads/stores (`child`, `SetChild`),
+//     which compile to the same plain moves as a raw pointer array;
+//   * the concurrent read path descends with seq_cst loads
+//     (`ChildAcquire`/`ChildForAcquire`) and splits publish a finished
+//     subtree with one seq_cst store per owned slot (`PublishChild`) —
+//     see core/concurrent_alex.h for why seq_cst rather than acq/rel.
+//
+// Each inner node also carries a split mutex: the lock a concurrent split
+// takes instead of any tree-wide lock, serializing structural changes to
+// this node's slots only (splits under different parents run in parallel).
 #pragma once
 
+#include <atomic>
+#include <cassert>
 #include <cstddef>
-#include <vector>
+#include <memory>
+#include <mutex>
 
 #include "models/linear_model.h"
 
@@ -32,8 +50,8 @@ class Node {
 };
 
 /// Inner RMI node: a linear model that maps a key to one of
-/// `children().size()` pointers. The model *defines* the partitioning: the
-/// child for `key` is `children[model.Predict(key, children.size())]`, so
+/// `num_children()` pointers. The model *defines* the partitioning: the
+/// child for `key` is slot `model.Predict(key, num_children())`, so
 /// routing is exact by construction and never requires key comparisons.
 class InnerNode : public Node {
  public:
@@ -43,41 +61,97 @@ class InnerNode : public Node {
   const model::LinearModel& model() const { return model_; }
   void set_model(const model::LinearModel& m) { model_ = m; }
 
-  std::vector<Node*>& children() { return children_; }
-  const std::vector<Node*>& children() const { return children_; }
+  /// (Re)allocates the slot array with `n` null children. Must complete
+  /// before the node is published to concurrent readers; the array size is
+  /// immutable afterwards.
+  void ResetChildren(size_t n) {
+    children_ = std::make_unique<std::atomic<Node*>[]>(n);
+    num_children_ = n;
+    for (size_t i = 0; i < n; ++i) {
+      children_[i].store(nullptr, std::memory_order_relaxed);
+    }
+  }
 
-  /// Child responsible for `key`.
-  Node* ChildFor(double key) const {
-    return children_[model_.Predict(key, children_.size())];
+  size_t num_children() const { return num_children_; }
+
+  /// Single-threaded child read (plain load after optimization).
+  Node* child(size_t i) const {
+    return children_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Concurrent-descent child read. seq_cst so a reader whose epoch pin
+  /// ordered after a retirement cannot observe the pre-split pointer (see
+  /// util/epoch.h header); costs the same as an acquire load on x86/ARM.
+  Node* ChildAcquire(size_t i) const {
+    return children_[i].load(std::memory_order_seq_cst);
+  }
+
+  /// Single-threaded child write (build paths, pre-publication setup).
+  void SetChild(size_t i, Node* c) {
+    children_[i].store(c, std::memory_order_relaxed);
+  }
+
+  /// Publishes a finished subtree into slot `i` for concurrent readers.
+  void PublishChild(size_t i, Node* c) {
+    children_[i].store(c, std::memory_order_seq_cst);
   }
 
   /// Index of the child slot responsible for `key`.
   size_t ChildSlotFor(double key) const {
-    return model_.Predict(key, children_.size());
+    return model_.Predict(key, num_children_);
   }
 
-  /// Replaces every pointer to `old_child` with `new_child`. Returns the
-  /// number of replaced slots (>= 1 for merged partitions).
-  size_t ReplaceChild(const Node* old_child, Node* new_child) {
-    size_t replaced = 0;
-    for (auto& child : children_) {
-      if (child == old_child) {
-        child = new_child;
-        ++replaced;
+  /// Child responsible for `key` (single-threaded).
+  Node* ChildFor(double key) const { return child(ChildSlotFor(key)); }
+
+  /// Child responsible for `key` (concurrent descent).
+  Node* ChildForAcquire(double key) const {
+    return ChildAcquire(ChildSlotFor(key));
+  }
+
+  /// Replaces every pointer to `old_child` with `new_child`. The slots
+  /// owned by one child are contiguous by construction (merged partitions,
+  /// Alg. 4), so instead of scanning the whole array this walks outward
+  /// from `slot_hint` — any slot owned by `old_child`, e.g.
+  /// `ChildSlotFor(first key of the child)` — and touches only the owned
+  /// range plus its two boundary slots. Returns the number of replaced
+  /// slots (>= 1). When `publish` is set the stores are seq_cst so
+  /// concurrent readers see fully-constructed children.
+  size_t ReplaceChild(const Node* old_child, Node* new_child,
+                      size_t slot_hint, bool publish = false) {
+    assert(slot_hint < num_children_);
+    assert(child(slot_hint) == old_child);
+    size_t lo = slot_hint;
+    while (lo > 0 && child(lo - 1) == old_child) --lo;
+    size_t hi = slot_hint + 1;
+    while (hi < num_children_ && child(hi) == old_child) ++hi;
+    for (size_t i = lo; i < hi; ++i) {
+      if (publish) {
+        PublishChild(i, new_child);
+      } else {
+        SetChild(i, new_child);
       }
     }
-    return replaced;
+    return hi - lo;
   }
+
+  /// Serializes structural changes to this node's slots (leaf splits under
+  /// this parent). Concurrent splits lock only this and the victim leaf —
+  /// never the whole tree — so splits of leaves under different parents
+  /// proceed in parallel. Single-threaded Alex never touches it.
+  std::mutex& split_mutex() const { return split_mutex_; }
 
   /// Index-size contribution: model + child pointers + metadata (§5.1).
   size_t IndexSizeBytes() const {
     return model::LinearModel::SizeBytes() +
-           children_.size() * sizeof(Node*) + kNodeMetadataBytes;
+           num_children_ * sizeof(std::atomic<Node*>) + kNodeMetadataBytes;
   }
 
  private:
   model::LinearModel model_;
-  std::vector<Node*> children_;
+  mutable std::mutex split_mutex_;
+  std::unique_ptr<std::atomic<Node*>[]> children_;
+  size_t num_children_ = 0;
 };
 
 }  // namespace alex::core

@@ -1,8 +1,11 @@
-// Multi-threaded stress tests for the fine-grained ConcurrentAlex:
+// Multi-threaded stress tests for the lock-free-read ConcurrentAlex:
 // N writer + M reader threads over Zipf-distributed keys, asserting
-// linearizable Get/Insert/Erase outcomes and no lost updates. Designed to
-// run under -fsanitize=thread (see .github/workflows/ci.yml); key counts
-// are kept modest so the TSan run stays fast.
+// linearizable Get/Insert/Erase outcomes and no lost updates, plus a
+// split-torture test that forces constant leaf splits (tiny
+// max_data_node_keys) while readers spin on keys migrating across the
+// split boundaries. Designed to run under -fsanitize=thread and
+// address,undefined (see .github/workflows/ci.yml); key counts are kept
+// modest so the sanitizer runs stay fast.
 #include "core/concurrent_alex.h"
 
 #include <gtest/gtest.h>
@@ -189,6 +192,115 @@ TEST(ConcurrentStressTest, RacingErasesExactlyOneWinnerPerKey) {
   EXPECT_EQ(successes.load(), kKeys);
   EXPECT_EQ(index.size(), 0u);
   EXPECT_TRUE(index.CheckInvariants());
+}
+
+// Split torture: leaves are kept tiny so nearly every writer batch forces
+// a split, while readers spin on preloaded keys that migrate from the
+// victim leaf into its replacement children. Any reader observing a
+// preloaded key as absent (or with a wrong payload) caught a broken
+// split; any scan out of order caught a broken chain splice. Erasers
+// interleave so the erase path crosses splits too. The epoch manager must
+// have retired and reclaimed the victims by the end. Must be TSan- and
+// ASan-clean.
+TEST(ConcurrentStressTest, SplitTortureReadersChaseMigratingKeys) {
+  constexpr int kWriters = 2;
+  constexpr int kReaders = 2;
+  constexpr int kErasers = 1;
+  constexpr int64_t kPreload = 4096;
+  constexpr int kInsertsPerWriter = 6000;
+
+  Config config;
+  config.max_data_node_keys = 64;  // split after a handful of inserts
+  config.split_fanout = 4;
+  Index index(config);
+
+  // Preloaded keys are never erased: every Get must succeed forever,
+  // across every split that moves them. Spacing of 8 leaves room for the
+  // writers' fresh keys inside the same leaves.
+  std::vector<int64_t> keys, payloads;
+  for (int64_t i = 0; i < kPreload; ++i) {
+    keys.push_back(i * 8);
+    payloads.push_back(PayloadFor(i * 8));
+  }
+  index.BulkLoad(keys.data(), payloads.data(), keys.size());
+
+  std::atomic<int> errors{0};
+  std::atomic<bool> stop{false};
+
+  // Writers insert fresh keys (offsets 1..5 mod 8) straight into the
+  // preloaded leaves, driving them over the split bound again and again.
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&, t] {
+      util::Xoshiro256 rng(5000 + t);
+      for (int i = 0; i < kInsertsPerWriter; ++i) {
+        const int64_t base =
+            static_cast<int64_t>(rng.NextUint64(kPreload)) * 8;
+        const int64_t key = base + 1 + static_cast<int64_t>(t) * 2 +
+                            static_cast<int64_t>(rng.NextUint64(2));
+        index.Insert(key, PayloadFor(key));
+      }
+    });
+  }
+  // Erasers remove only writer-inserted keys, so erase interleaves with
+  // splits without invalidating the readers' ground truth.
+  std::vector<std::thread> erasers;
+  for (int t = 0; t < kErasers; ++t) {
+    erasers.emplace_back([&, t] {
+      util::Xoshiro256 rng(6000 + t);
+      while (!stop.load(std::memory_order_acquire)) {
+        const int64_t base =
+            static_cast<int64_t>(rng.NextUint64(kPreload)) * 8;
+        index.Erase(base + 1 + rng.NextUint64(5));
+      }
+    });
+  }
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      util::Xoshiro256 rng(7000 + r);
+      std::vector<std::pair<int64_t, int64_t>> scan;
+      while (!stop.load(std::memory_order_acquire)) {
+        const int64_t key =
+            static_cast<int64_t>(rng.NextUint64(kPreload)) * 8;
+        int64_t v = 0;
+        if (!index.Get(key, &v) || v != PayloadFor(key)) {
+          errors.fetch_add(1);  // preloaded key lost or corrupted
+        }
+        if (rng.NextUint64(32) == 0) {
+          index.RangeScan(key, 64, &scan);
+          for (size_t i = 0; i < scan.size(); ++i) {
+            if (scan[i].second != PayloadFor(scan[i].first)) {
+              errors.fetch_add(1);
+            }
+            if (i > 0 && !(scan[i - 1].first < scan[i].first)) {
+              errors.fetch_add(1);
+            }
+          }
+        }
+      }
+    });
+  }
+
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& t : erasers) t.join();
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(errors.load(), 0);
+  // Every preloaded key survived the torture.
+  for (int64_t i = 0; i < kPreload; ++i) {
+    int64_t v = 0;
+    ASSERT_TRUE(index.Get(i * 8, &v)) << "lost preloaded key " << (i * 8);
+    EXPECT_EQ(v, PayloadFor(i * 8));
+  }
+  EXPECT_TRUE(index.CheckInvariants());
+  // Splits happened and their victims went through EBR (retired and, by
+  // now, mostly reclaimed — the destructor drains the rest).
+  EXPECT_GT(index.GetStats().num_splits, 0u);
+  EXPECT_GT(index.epoch_manager().freed_count() +
+                index.epoch_manager().retired_count(),
+            0u);
 }
 
 // Chaos mode: writers and readers share one contended Zipf key range, with
