@@ -84,6 +84,46 @@ class ResultSink {
     return buf;
   }
 
+  /// RFC-4180 quoting: a field containing a comma, quote, CR or LF is
+  /// wrapped in double quotes with embedded quotes doubled, so labels
+  /// like "sharded,n=8" cannot corrupt the CSV table.
+  static std::string CsvField(const std::string& s) {
+    if (s.find_first_of(",\"\r\n") == std::string::npos) return s;
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (const char c : s) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+  /// JSON string escaping for keys and non-numeric values.
+  static std::string JsonEscape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+
   /// Writes the requested machine-readable outputs, if any.
   void Flush() const {
     if (g_csv_path != nullptr) WriteCsv(g_csv_path);
@@ -98,12 +138,13 @@ class ResultSink {
     }
     for (size_t c = 0; c < rows_.front().size(); ++c) {
       std::fprintf(f, "%s%s", c == 0 ? "" : ",",
-                   rows_.front()[c].first.c_str());
+                   CsvField(rows_.front()[c].first).c_str());
     }
     std::fputc('\n', f);
     for (const Row& row : rows_) {
       for (size_t c = 0; c < row.size(); ++c) {
-        std::fprintf(f, "%s%s", c == 0 ? "" : ",", row[c].second.c_str());
+        std::fprintf(f, "%s%s", c == 0 ? "" : ",",
+                     CsvField(row[c].second).c_str());
       }
       std::fputc('\n', f);
     }
@@ -119,11 +160,12 @@ class ResultSink {
       std::fputs("  {", f);
       for (size_t c = 0; c < rows_[r].size(); ++c) {
         const auto& [key, value] = rows_[r][c];
-        std::fprintf(f, "%s\"%s\": ", c == 0 ? "" : ", ", key.c_str());
+        std::fprintf(f, "%s\"%s\": ", c == 0 ? "" : ", ",
+                     JsonEscape(key).c_str());
         if (LooksNumeric(value)) {
           std::fprintf(f, "%s", value.c_str());
         } else {
-          std::fprintf(f, "\"%s\"", value.c_str());
+          std::fprintf(f, "\"%s\"", JsonEscape(value).c_str());
         }
       }
       std::fprintf(f, "}%s\n", r + 1 < rows_.size() ? "," : "");

@@ -1,17 +1,21 @@
 // Concurrency scaling across the paper's §7 design space, coarse to
-// lock-free:
+// lock-free to sharded:
 //
 //   * global shared_mutex         (baselines/global_lock_index.h)
 //   * per-leaf + shared tree lock (baselines/per_leaf_lock_index.h)
 //   * lock-free reads + EBR       (core/concurrent_alex.h)
+//   * sharded + learned routing   (shard/sharded_alex.h)
 //
 // A read-mostly YCSB-B-style workload (95% Zipfian point lookups / 5%
-// inserts of fresh keys) runs on T threads against all three wrappers;
-// the table reports aggregate throughput and speedups over the global
-// lock. With the global lock every insert stalls all readers; with
-// per-leaf latches only readers of the written leaf wait but every
-// operation still RMWs the tree lock's shared counter; the lock-free
-// wrapper descends under an epoch guard and touches nothing shared.
+// inserts of fresh keys; bench/read_mostly.h) runs on T threads against
+// all four wrappers; the table reports aggregate throughput and speedups
+// over the global lock. With the global lock every insert stalls all
+// readers; with per-leaf latches only readers of the written leaf wait
+// but every operation still RMWs the tree lock's shared counter; the
+// lock-free wrapper descends under an epoch guard and touches nothing
+// shared; the sharded wrapper additionally partitions leaf latches,
+// splits and epoch advancement across independent shards. Shard-count ×
+// thread-count sweeps live in bench/shard_scaling.cc.
 //
 // Flags / env:
 //   --threads N          worker count (or ALEX_BENCH_THREADS; default 16)
@@ -19,96 +23,18 @@
 //   --quick              CI smoke mode
 //   ALEX_BENCH_SCALE     preloaded key multiplier (default 200k keys)
 //   ALEX_BENCH_SECONDS   seconds per timed run
-#include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <cstdio>
-#include <thread>
-#include <vector>
 
 #include "baselines/global_lock_index.h"
 #include "baselines/per_leaf_lock_index.h"
 #include "bench/common.h"
+#include "bench/read_mostly.h"
 #include "core/concurrent_alex.h"
-#include "util/random.h"
-#include "util/timer.h"
-#include "util/zipf.h"
+#include "shard/sharded_alex.h"
 
 namespace {
-
 using namespace alex;  // NOLINT
-
-/// Runs the 95/5 workload on `threads` threads for the time budget;
-/// returns aggregate ops/s. `Index` is any of the wrappers (same API).
-template <typename Index>
-double RunReadMostly(size_t threads, size_t preload, double seconds) {
-  Index index;
-  std::vector<int64_t> keys, payloads;
-  keys.reserve(preload);
-  payloads.reserve(preload);
-  for (size_t i = 0; i < preload; ++i) {
-    keys.push_back(static_cast<int64_t>(i) * 2);
-    payloads.push_back(static_cast<int64_t>(i));
-  }
-  index.BulkLoad(keys.data(), payloads.data(), keys.size());
-
-  // Per-thread op streams are precomputed so the timed loop measures index
-  // operations, not Zipf generation.
-  constexpr size_t kStreamLen = 1 << 16;
-  std::vector<std::vector<int64_t>> read_streams(threads);
-  for (size_t t = 0; t < threads; ++t) {
-    util::Xoshiro256 rng(17 + t);
-    util::ScrambledZipfGenerator zipf(preload, 0.99);
-    read_streams[t].reserve(kStreamLen);
-    for (size_t i = 0; i < kStreamLen; ++i) {
-      read_streams[t].push_back(static_cast<int64_t>(zipf.Next(rng)) * 2);
-    }
-  }
-
-  std::atomic<bool> go{false};
-  std::atomic<bool> stop{false};
-  std::vector<uint64_t> ops_per_thread(threads, 0);
-  std::vector<std::thread> workers;
-  for (size_t t = 0; t < threads; ++t) {
-    workers.emplace_back([&, t] {
-      // Wait for the timer so spawn-phase ops don't inflate the rate.
-      while (!go.load(std::memory_order_acquire)) {
-        std::this_thread::yield();
-      }
-      const std::vector<int64_t>& reads = read_streams[t];
-      // Fresh keys per thread, disjoint from the preload (odd keys).
-      int64_t next_fresh =
-          static_cast<int64_t>(preload) * 2 + 1 + static_cast<int64_t>(t);
-      const int64_t fresh_step = static_cast<int64_t>(threads) * 2;
-      uint64_t ops = 0;
-      size_t cursor = 0;
-      int64_t v = 0;
-      while (!stop.load(std::memory_order_acquire)) {
-        // 19 reads : 1 insert = the paper's 95/5 interleave.
-        for (int i = 0; i < 19; ++i) {
-          index.Get(reads[cursor], &v);
-          cursor = (cursor + 1) & (kStreamLen - 1);
-        }
-        index.Insert(next_fresh, next_fresh);
-        next_fresh += fresh_step;
-        ops += 20;
-      }
-      ops_per_thread[t] = ops;
-    });
-  }
-  util::Timer timer;
-  go.store(true, std::memory_order_release);
-  while (timer.ElapsedSeconds() < seconds) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
-  }
-  stop.store(true, std::memory_order_release);
-  for (auto& w : workers) w.join();
-  const double elapsed = timer.ElapsedSeconds();
-  uint64_t total = 0;
-  for (const uint64_t ops : ops_per_thread) total += ops;
-  return static_cast<double>(total) / elapsed;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -120,7 +46,8 @@ int main(int argc, char** argv) {
   std::printf("Concurrency scaling: read-mostly 95/5, %zu threads, "
               "%zu preloaded keys, %.2gs per run\n",
               threads, preload, seconds);
-  bench::PrintRule("global lock vs per-leaf latching vs lock-free reads");
+  bench::PrintRule(
+      "global lock vs per-leaf latching vs lock-free reads vs sharded");
 
   struct Variant {
     const char* name;
@@ -128,11 +55,29 @@ int main(int argc, char** argv) {
   };
   const Variant variants[] = {
       {"global shared_mutex",
-       &RunReadMostly<baseline::GlobalLockAlex<int64_t, int64_t>>},
+       [](size_t t, size_t p, double s) {
+         return bench::RunReadMostly(
+             [] { return baseline::GlobalLockAlex<int64_t, int64_t>(); }, t,
+             p, s);
+       }},
       {"per-leaf latches + shared tree lock",
-       &RunReadMostly<baseline::PerLeafLockAlex<int64_t, int64_t>>},
+       [](size_t t, size_t p, double s) {
+         return bench::RunReadMostly(
+             [] { return baseline::PerLeafLockAlex<int64_t, int64_t>(); },
+             t, p, s);
+       }},
       {"lock-free reads + EBR",
-       &RunReadMostly<core::ConcurrentAlex<int64_t, int64_t>>},
+       [](size_t t, size_t p, double s) {
+         return bench::RunReadMostly(
+             [] { return core::ConcurrentAlex<int64_t, int64_t>(); }, t, p,
+             s);
+       }},
+      {"sharded (8 shards) + learned routing",
+       [](size_t t, size_t p, double s) {
+         return bench::RunReadMostly(
+             [] { return shard::ShardedAlex<int64_t, int64_t>(); }, t, p,
+             s);
+       }},
   };
 
   bench::ResultSink sink;

@@ -3,6 +3,11 @@
 // maintains higher throughput than the B+Tree as the dataset grows, and
 // ALEX throughput decays surprisingly slowly because the gap proportion is
 // maintained and expansions recalibrate the models (§5.2.4).
+//
+// A Sharded ALEX column (shard/sharded_alex.h, driven single-threaded
+// here) shows the routing overhead the service layer adds on top of the
+// plain tree — the price paid for the multicore scaling measured in
+// bench/shard_scaling.cc.
 #include <cstdio>
 #include <vector>
 
@@ -20,8 +25,9 @@ using P8 = workload::Payload<8>;
 int main(int argc, char** argv) {
   alex::bench::ParseBenchArgs(argc, argv);
   std::printf("Figure 5a: Scalability (read-heavy, longitudes)\n\n");
-  std::printf("| init keys | ALEX Mops/s | B+Tree Mops/s | ALEX/B+Tree |\n");
-  std::printf("|---|---|---|---|\n");
+  std::printf("| init keys | ALEX Mops/s | B+Tree Mops/s | ALEX/B+Tree | "
+              "Sharded ALEX Mops/s |\n");
+  std::printf("|---|---|---|---|---|\n");
   const size_t sizes[] = {ScaledKeys(25000), ScaledKeys(50000),
                           ScaledKeys(100000), ScaledKeys(200000),
                           ScaledKeys(400000)};
@@ -42,9 +48,16 @@ int main(int argc, char** argv) {
     workload::PrepareIndex(btree, wdata, P8{});
     const auto rb = workload::RunWorkload(btree, wdata, spec);
 
-    std::printf("| %zu | %s | %s | %.2fx |\n", init,
+    shard::ShardedOptions sharded_options;
+    sharded_options.shard_config = GaArmiConfig();
+    workload::ShardedAlexAdapter<double, P8> sharded(sharded_options);
+    workload::PrepareIndex(sharded, wdata, P8{});
+    const auto rs = workload::RunWorkload(sharded, wdata, spec);
+
+    std::printf("| %zu | %s | %s | %.2fx | %s |\n", init,
                 Mops(ra.Throughput()).c_str(), Mops(rb.Throughput()).c_str(),
-                ra.Throughput() / rb.Throughput());
+                ra.Throughput() / rb.Throughput(),
+                Mops(rs.Throughput()).c_str());
   }
   return 0;
 }

@@ -1,0 +1,121 @@
+// Shard scaling: shard count × thread count on the read-mostly 95/5
+// workload (bench/read_mostly.h), with the three single-tree wrappers as
+// baselines at every thread count. This is the service-layer view of the
+// §7 design space: past the lock-free read path, the remaining tree-global
+// costs (one epoch domain, one root, hot-leaf latches) only fall when the
+// key space is partitioned, so the sharded rows should pull away from the
+// single-tree rows as both shard and thread counts grow — on multicore
+// hardware; a single-core container serializes everything.
+//
+// Flags / env:
+//   --threads N          max worker count for the sweep
+//                        (or ALEX_BENCH_THREADS; default 8)
+//   --csv PATH, --json PATH   machine-readable results (bench/common.h);
+//                        sharded labels contain commas ("sharded,n=8") on
+//                        purpose — ResultSink quotes them
+//   --quick              CI smoke mode (small sweep)
+//   ALEX_BENCH_SCALE     preloaded key multiplier (default 200k keys)
+//   ALEX_BENCH_SECONDS   seconds per timed run
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/global_lock_index.h"
+#include "baselines/per_leaf_lock_index.h"
+#include "bench/common.h"
+#include "bench/read_mostly.h"
+#include "core/concurrent_alex.h"
+#include "shard/sharded_alex.h"
+
+namespace {
+using namespace alex;  // NOLINT
+
+std::vector<size_t> Dedup(std::vector<size_t> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  alex::bench::ParseBenchArgs(argc, argv);
+  const size_t max_threads = bench::BenchThreads(8);
+  const size_t preload = bench::ScaledKeys(200000);
+  const double seconds = bench::EnvSeconds();
+
+  const std::vector<size_t> thread_counts =
+      bench::g_quick_mode ? Dedup({1, max_threads})
+                          : Dedup({1, 2, 4, max_threads});
+  const std::vector<size_t> shard_counts =
+      bench::g_quick_mode ? std::vector<size_t>{2, 8}
+                          : std::vector<size_t>{1, 2, 4, 8, 16};
+
+  std::printf("Shard scaling: read-mostly 95/5, %zu preloaded keys, "
+              "%.2gs per run, up to %zu threads\n",
+              preload, seconds, max_threads);
+  bench::PrintRule("shard count x thread count");
+  std::printf("| threads | wrapper | Mops/s | vs global |\n"
+              "|---|---|---|---|\n");
+
+  bench::ResultSink sink;
+  for (const size_t threads : thread_counts) {
+    struct RunResult {
+      std::string label;
+      size_t shards;
+      double ops;
+    };
+    std::vector<RunResult> results;
+    results.push_back(
+        {"global shared_mutex", 0,
+         bench::RunReadMostly(
+             [] { return baseline::GlobalLockAlex<int64_t, int64_t>(); },
+             threads, preload, seconds)});
+    results.push_back(
+        {"per-leaf latches + shared tree lock", 0,
+         bench::RunReadMostly(
+             [] { return baseline::PerLeafLockAlex<int64_t, int64_t>(); },
+             threads, preload, seconds)});
+    results.push_back(
+        {"lock-free reads + EBR", 0,
+         bench::RunReadMostly(
+             [] { return core::ConcurrentAlex<int64_t, int64_t>(); },
+             threads, preload, seconds)});
+    for (const size_t shards : shard_counts) {
+      // The comma in the label exercises ResultSink's CSV quoting.
+      results.push_back(
+          {"sharded,n=" + std::to_string(shards), shards,
+           bench::RunReadMostly(
+               [shards] {
+                 shard::ShardedOptions options;
+                 options.num_shards = shards;
+                 return shard::ShardedAlex<int64_t, int64_t>(options);
+               },
+               threads, preload, seconds)});
+    }
+    const double baseline_ops = results.front().ops;
+    for (const RunResult& r : results) {
+      const double speedup =
+          baseline_ops > 0.0 ? r.ops / baseline_ops : 0.0;
+      std::printf("| %zu | %s | %s | %.2fx |\n", threads, r.label.c_str(),
+                  bench::Mops(r.ops).c_str(), speedup);
+      sink.Add({{"bench", "shard_scaling"},
+                {"workload", "read_mostly_95_5"},
+                {"wrapper", r.label},
+                {"shards", bench::ResultSink::Num(
+                               static_cast<double>(r.shards))},
+                {"threads", bench::ResultSink::Num(
+                                static_cast<double>(threads))},
+                {"preload_keys", bench::ResultSink::Num(
+                                     static_cast<double>(preload))},
+                {"seconds", bench::ResultSink::Num(seconds)},
+                {"mops", bench::ResultSink::Num(r.ops / 1e6)},
+                {"speedup_vs_global",
+                 bench::ResultSink::Num(speedup)}});
+    }
+  }
+  sink.Flush();
+  return 0;
+}

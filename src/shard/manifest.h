@@ -1,0 +1,204 @@
+// On-disk manifest for a sharded snapshot.
+//
+// A ShardedAlex snapshot is one core/serialization.h file per shard plus
+// this manifest, which records the routing state needed to reassemble the
+// index: the boundary array, the router model (so a load restores the
+// bulk-load-quality model instead of a refit from boundaries), and the
+// per-shard key counts (so a load can detect a shard file that was
+// swapped or rebuilt independently of its manifest).
+//
+// Layout: ManifestHeader, boundaries (num_shards-1 keys), per-shard key
+// counts (num_shards uint64s), then a trailing FNV-1a checksum over
+// everything before it. Reading validates magic, version, key size, the
+// declared lengths against the actual file size, and the checksum — each
+// failure maps to a distinct core::SnapshotStatus.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "core/serialization.h"
+#include "models/linear_model.h"
+
+namespace alex::shard {
+
+namespace internal {
+
+// "ALEXSHRD" in ASCII.
+inline constexpr uint64_t kManifestMagic = 0x414C455853485244ULL;
+inline constexpr uint32_t kManifestVersion = 1;
+
+// The checksum primitive is shared with the snapshot body checksum.
+using core::internal::Fnv1a;
+using core::internal::kFnvOffsetBasis;
+
+}  // namespace internal
+
+/// Fixed manifest header.
+struct ManifestHeader {
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  uint32_t key_size = 0;
+  uint64_t num_shards = 0;
+  uint64_t total_keys = 0;
+  // Snapshot generation: shard files are stamped with it, so a save never
+  // overwrites the files the live manifest references — the manifest
+  // rename is the all-or-nothing commit point.
+  uint64_t generation = 0;
+  double router_slope = 0.0;
+  double router_intercept = 0.0;
+};
+
+/// In-memory manifest contents.
+template <typename K>
+struct ShardManifest {
+  std::vector<K> boundaries;         ///< num_shards - 1 shard lower bounds
+  std::vector<uint64_t> shard_keys;  ///< key count per shard
+  model::LinearModel router_model;
+  uint64_t generation = 0;
+
+  size_t num_shards() const { return shard_keys.size(); }
+  uint64_t total_keys() const {
+    uint64_t total = 0;
+    for (const uint64_t n : shard_keys) total += n;
+    return total;
+  }
+};
+
+template <typename K>
+core::SnapshotStatus WriteManifest(const std::string& path,
+                                   const ShardManifest<K>& manifest) {
+  static_assert(std::is_trivially_copyable_v<K>,
+                "keys must be trivially copyable");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return core::SnapshotStatus::kIoError;
+  ManifestHeader header;
+  header.magic = internal::kManifestMagic;
+  header.version = internal::kManifestVersion;
+  header.key_size = sizeof(K);
+  header.num_shards = manifest.num_shards();
+  header.total_keys = manifest.total_keys();
+  header.generation = manifest.generation;
+  header.router_slope = manifest.router_model.slope();
+  header.router_intercept = manifest.router_model.intercept();
+
+  uint64_t checksum = internal::Fnv1a(&header, sizeof(header),
+                                      internal::kFnvOffsetBasis);
+  checksum = internal::Fnv1a(manifest.boundaries.data(),
+                             manifest.boundaries.size() * sizeof(K),
+                             checksum);
+  checksum = internal::Fnv1a(manifest.shard_keys.data(),
+                             manifest.shard_keys.size() * sizeof(uint64_t),
+                             checksum);
+
+  bool ok = std::fwrite(&header, sizeof(header), 1, f) == 1;
+  if (ok && !manifest.boundaries.empty()) {
+    ok = std::fwrite(manifest.boundaries.data(), sizeof(K),
+                     manifest.boundaries.size(),
+                     f) == manifest.boundaries.size();
+  }
+  if (ok && !manifest.shard_keys.empty()) {
+    ok = std::fwrite(manifest.shard_keys.data(), sizeof(uint64_t),
+                     manifest.shard_keys.size(),
+                     f) == manifest.shard_keys.size();
+  }
+  ok = ok && std::fwrite(&checksum, sizeof(checksum), 1, f) == 1;
+  ok = std::fclose(f) == 0 && ok;
+  return ok ? core::SnapshotStatus::kOk : core::SnapshotStatus::kIoError;
+}
+
+template <typename K>
+core::SnapshotStatus ReadManifest(const std::string& path,
+                                  ShardManifest<K>* out) {
+  static_assert(std::is_trivially_copyable_v<K>,
+                "keys must be trivially copyable");
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return core::SnapshotStatus::kIoError;
+  core::internal::FileCloser closer{f};
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    return core::SnapshotStatus::kIoError;
+  }
+  const long end = std::ftell(f);
+  if (end < 0) return core::SnapshotStatus::kIoError;
+  if (std::fseek(f, 0, SEEK_SET) != 0) {
+    return core::SnapshotStatus::kIoError;
+  }
+  const uint64_t file_size = static_cast<uint64_t>(end);
+
+  ManifestHeader header;
+  if (std::fread(&header, sizeof(header), 1, f) != 1) {
+    return core::SnapshotStatus::kTruncated;
+  }
+  if (header.magic != internal::kManifestMagic) {
+    return core::SnapshotStatus::kBadMagic;
+  }
+  if (header.version != internal::kManifestVersion) {
+    return core::SnapshotStatus::kBadVersion;
+  }
+  if (header.key_size != sizeof(K)) {
+    return core::SnapshotStatus::kKeySizeMismatch;
+  }
+  if (header.num_shards == 0) return core::SnapshotStatus::kTruncated;
+  // Validate the declared length against the file before allocating. The
+  // division-based bound comes first so the exact byte count below cannot
+  // overflow on a corrupt shard count.
+  if (file_size < sizeof(header) + sizeof(uint64_t)) {
+    return core::SnapshotStatus::kTruncated;
+  }
+  const uint64_t body_budget = file_size - sizeof(header) - sizeof(uint64_t);
+  if (header.num_shards - 1 > body_budget / (sizeof(K) + sizeof(uint64_t))) {
+    return core::SnapshotStatus::kTruncated;
+  }
+  const uint64_t body_bytes = (header.num_shards - 1) * sizeof(K) +
+                              header.num_shards * sizeof(uint64_t);
+  if (body_budget < body_bytes) {
+    return core::SnapshotStatus::kTruncated;
+  }
+
+  out->boundaries.resize(header.num_shards - 1);
+  out->shard_keys.resize(header.num_shards);
+  if (!out->boundaries.empty() &&
+      std::fread(out->boundaries.data(), sizeof(K), out->boundaries.size(),
+                 f) != out->boundaries.size()) {
+    return core::SnapshotStatus::kTruncated;
+  }
+  if (std::fread(out->shard_keys.data(), sizeof(uint64_t),
+                 out->shard_keys.size(), f) != out->shard_keys.size()) {
+    return core::SnapshotStatus::kTruncated;
+  }
+  uint64_t stored_checksum = 0;
+  if (std::fread(&stored_checksum, sizeof(stored_checksum), 1, f) != 1) {
+    return core::SnapshotStatus::kTruncated;
+  }
+  uint64_t checksum = internal::Fnv1a(&header, sizeof(header),
+                                      internal::kFnvOffsetBasis);
+  checksum = internal::Fnv1a(out->boundaries.data(),
+                             out->boundaries.size() * sizeof(K), checksum);
+  checksum = internal::Fnv1a(out->shard_keys.data(),
+                             out->shard_keys.size() * sizeof(uint64_t),
+                             checksum);
+  if (checksum != stored_checksum) {
+    return core::SnapshotStatus::kChecksumMismatch;
+  }
+  if (header.total_keys != out->total_keys()) {
+    return core::SnapshotStatus::kChecksumMismatch;
+  }
+  // Strictly increasing boundaries are the router's precondition (its
+  // binary-search fallback runs over this array); a checksummed-but-
+  // malformed manifest from a foreign writer must not misroute.
+  for (size_t i = 1; i < out->boundaries.size(); ++i) {
+    if (!(out->boundaries[i - 1] < out->boundaries[i])) {
+      return core::SnapshotStatus::kUnsortedKeys;
+    }
+  }
+  out->generation = header.generation;
+  out->router_model =
+      model::LinearModel(header.router_slope, header.router_intercept);
+  return core::SnapshotStatus::kOk;
+}
+
+}  // namespace alex::shard

@@ -1,0 +1,633 @@
+// Sharded index service layer: N independent ConcurrentAlex shards behind
+// a learned router (ROADMAP "production scale"; the step past the paper's
+// single in-process tree that §7 gestures at).
+//
+// Why: even with the lock-free read path, one ConcurrentAlex has
+// tree-global choke points — bulk loads swap a single root, every split
+// retires through one epoch manager, and a hot leaf's latch serializes all
+// writers of that range. Range-partitioning the key space makes those
+// costs per-shard: bulk loads, splits, epoch advancement and leaf latches
+// in different shards never interact, so the index scales with cores and
+// a crashed process can restore shard-by-shard.
+//
+// Architecture:
+//
+//      ShardedAlex
+//        table_  ──► Table { ShardRouter, shards[] }     (immutable)
+//                          │
+//          ┌───────────────┼──────────────────┐
+//          ▼               ▼                  ▼
+//       Shard 0         Shard 1    ...     Shard N-1
+//     ConcurrentAlex  ConcurrentAlex     ConcurrentAlex
+//     (-inf, b0)      [b0, b1)           [b_{N-2}, +inf)
+//
+// Protocol (mirrors the index's own EBR design one level up):
+//
+//   Routing.   `table_` points at an immutable Table: a ShardRouter (one
+//     linear-model evaluation, binary-search fallback — router.h) plus the
+//     shard array. Readers pin an epoch guard (util/epoch.h), load the
+//     table with one seq_cst load, route, and operate on the shard with no
+//     shard-layer locking of any kind.
+//
+//   Writes.   Writers additionally hold the target shard's `write_gate`
+//     shared for the duration of one committed operation and re-route if
+//     the shard is marked retired. The gate is what lets a rebalance drain
+//     a shard: writers of *other* shards never contend on it, and readers
+//     never touch it. There is no global key counter: size() sums the
+//     per-shard counts, so writes to disjoint shards share no cache line
+//     at the shard layer, and the split skew check (which must read every
+//     shard's size) is amortized to every 1024th key committed into a
+//     shard.
+//
+//   Rebalance.   When a shard's size exceeds the configured skew factor
+//     times the mean (or an absolute bound), a rebalancer takes the
+//     shard's gate exclusive — waiting out in-flight writers and excluding
+//     new ones — extracts the now write-quiescent shard, builds the
+//     replacement shards and a new Table off to the side, publishes the
+//     table with one store, marks the victim retired (stragglers re-route)
+//     and retires the old Table through EBR. Readers concurrently inside
+//     the victim keep reading it: its contents are never erased, and the
+//     Table (and with it the victim shard) is freed only two epoch
+//     advances after retirement.
+//
+//   Scans.   A cross-shard RangeScan pins one table and stitches
+//     per-shard scans in key order; shards are disjoint ascending ranges,
+//     so concatenation is already sorted. Same read-committed contract as
+//     ConcurrentAlex::RangeScan.
+//
+//   Durability.   SaveTo quiesces writers (all gates, in shard order),
+//     writes one serialization.h snapshot per shard plus a checksummed
+//     manifest (manifest.h) holding the boundaries, router model and
+//     per-shard key counts. LoadFrom rebuilds the whole table off to the
+//     side and publishes it only when every shard file validated, mapping
+//     each failure to a distinct core::SnapshotStatus.
+//
+// Lock order: rebalance_mutex_ → write_gate(s) in ascending shard order.
+// Point writes take exactly one gate shared and no mutex; reads take
+// nothing.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/concurrent_alex.h"
+#include "core/config.h"
+#include "core/serialization.h"
+#include "shard/manifest.h"
+#include "shard/router.h"
+#include "util/epoch.h"
+
+namespace alex::shard {
+
+/// Tuning for ShardedAlex.
+struct ShardedOptions {
+  /// Shard count targeted by BulkLoad/LoadFrom (rebalances may grow it).
+  size_t num_shards = 8;
+  /// Split a shard once its size exceeds `rebalance_skew` times the mean
+  /// shard size.
+  double rebalance_skew = 4.0;
+  /// Never split a shard smaller than this (keeps pathological churn away
+  /// from tiny indexes).
+  size_t min_rebalance_keys = 4096;
+  /// Absolute per-shard size bound (0 = none). Lets a single-shard or
+  /// uniformly growing table split even when no relative skew exists.
+  size_t max_shard_keys = 1u << 20;
+  /// How many shards one rebalance splits the victim into.
+  size_t split_ways = 2;
+  /// Maximum keys sampled for the bulk-load router model.
+  size_t router_sample_cap = 4096;
+  /// Configuration applied to every shard's ConcurrentAlex.
+  core::Config shard_config;
+};
+
+/// A range-partitioned, learned-routed collection of ConcurrentAlex
+/// shards. All methods are safe to call from any thread. Point operations
+/// are linearizable; scans are read-committed (see the protocol above).
+template <typename K, typename P>
+class ShardedAlex {
+ public:
+  explicit ShardedAlex(const ShardedOptions& options = ShardedOptions())
+      : options_(options) {
+    auto* table = new Table();
+    table->shards.push_back(
+        std::make_shared<Shard>(options_.shard_config));
+    table_.store(table, std::memory_order_seq_cst);
+  }
+
+  /// Retired tables drain through the epoch manager's destructor. Callers
+  /// must guarantee quiescence, as for any destructor.
+  ~ShardedAlex() { delete table_.load(std::memory_order_relaxed); }
+
+  ShardedAlex(const ShardedAlex&) = delete;
+  ShardedAlex& operator=(const ShardedAlex&) = delete;
+
+  /// Replaces the contents with `n` strictly-increasing keys, partitioned
+  /// evenly across (at most) options.num_shards shards. Concurrent
+  /// operations that landed in the old table linearize before the bulk
+  /// load; in-flight writers are drained shard by shard.
+  void BulkLoad(const K* keys, const P* payloads, size_t n) {
+    std::lock_guard<std::mutex> rebalance(rebalance_mutex_);
+    const size_t shards =
+        std::max<size_t>(1, std::min(options_.num_shards,
+                                     std::max<size_t>(n, 1)));
+    auto* next = new Table();
+    next->router = ShardRouter<K>::FitFromSortedKeys(
+        keys, n, shards, options_.router_sample_cap);
+    next->shards.reserve(shards);
+    for (size_t j = 0; j < shards; ++j) {
+      const size_t lo = j * n / shards;
+      const size_t hi = (j + 1) * n / shards;
+      auto shard = std::make_shared<Shard>(options_.shard_config);
+      shard->index.BulkLoad(keys + lo, payloads + lo, hi - lo);
+      next->shards.push_back(std::move(shard));
+    }
+    Table* old = table_.exchange(next, std::memory_order_seq_cst);
+    util::EpochManager::Guard guard(epoch_);
+    // Drain in-flight writers of every old shard and mark it retired so
+    // stragglers re-route into the new table; once every gate has cycled,
+    // no further commit can land in the old table.
+    for (const auto& shard : old->shards) {
+      std::unique_lock<std::shared_mutex> gate(shard->write_gate);
+      shard->retired.store(true, std::memory_order_seq_cst);
+    }
+    epoch_.Retire(old);
+    epoch_.TryReclaim();
+  }
+
+  /// Inserts; false on duplicate. One route + one shard-gate shared lock
+  /// on top of the shard's own insert path. When the commit leaves the
+  /// target shard oversized, the split runs synchronously on this thread
+  /// before returning (the relative skew check itself is amortized — see
+  /// MaybeSplit).
+  bool Insert(K key, const P& payload) {
+    util::EpochManager::Guard guard(epoch_);
+    while (true) {
+      Table* table = table_.load(std::memory_order_seq_cst);
+      const size_t idx = table->router.Route(key);
+      Shard* shard = table->shards[idx].get();
+      std::shared_lock<std::shared_mutex> gate(shard->write_gate);
+      if (shard->retired.load(std::memory_order_seq_cst)) {
+        continue;  // raced a rebalance/bulk load: re-route
+      }
+      const bool inserted = shard->index.Insert(key, payload);
+      gate.unlock();
+      if (!inserted) return false;
+      // The shard-local commit counter makes the amortized skew check
+      // deterministic: exactly one committing thread observes each
+      // kSkewCheckInterval-th commit, however commits interleave.
+      const uint64_t commit =
+          shard->commit_count.fetch_add(1, std::memory_order_relaxed) + 1;
+      MaybeSplit(table, shard, key, commit);
+      return true;
+    }
+  }
+
+  /// Removes `key`; false when absent.
+  bool Erase(K key) {
+    util::EpochManager::Guard guard(epoch_);
+    while (true) {
+      Table* table = table_.load(std::memory_order_seq_cst);
+      Shard* shard = table->shards[table->router.Route(key)].get();
+      std::shared_lock<std::shared_mutex> gate(shard->write_gate);
+      if (shard->retired.load(std::memory_order_seq_cst)) continue;
+      return shard->index.Erase(key);
+    }
+  }
+
+  /// Overwrites an existing payload; false when absent.
+  bool Update(K key, const P& payload) {
+    util::EpochManager::Guard guard(epoch_);
+    while (true) {
+      Table* table = table_.load(std::memory_order_seq_cst);
+      Shard* shard = table->shards[table->router.Route(key)].get();
+      std::shared_lock<std::shared_mutex> gate(shard->write_gate);
+      if (shard->retired.load(std::memory_order_seq_cst)) continue;
+      return shard->index.Update(key, payload);
+    }
+  }
+
+  /// Copies the payload of `key` into `*out`; returns false when absent.
+  /// No shard-layer locking: epoch guard + table load + route only.
+  bool Get(K key, P* out) const {
+    util::EpochManager::Guard guard(epoch_);
+    Table* table = table_.load(std::memory_order_seq_cst);
+    return table->shards[table->router.Route(key)]->index.Get(key, out);
+  }
+
+  /// True when `key` is present (same lock-free path as Get).
+  bool Contains(K key) const {
+    util::EpochManager::Guard guard(epoch_);
+    Table* table = table_.load(std::memory_order_seq_cst);
+    return table->shards[table->router.Route(key)]->index.Contains(key);
+  }
+
+  /// Cross-shard range scan: stitches per-shard scans in key order (the
+  /// shards are disjoint ascending ranges, so the concatenation is
+  /// sorted). Read-committed, like ConcurrentAlex::RangeScan; the whole
+  /// scan uses the table pinned at entry, so a concurrent rebalance never
+  /// tears it.
+  size_t RangeScan(K start, size_t max_results,
+                   std::vector<std::pair<K, P>>* out) const {
+    out->clear();
+    util::EpochManager::Guard guard(epoch_);
+    Table* table = table_.load(std::memory_order_seq_cst);
+    size_t idx = table->router.Route(start);
+    K resume = start;
+    std::vector<std::pair<K, P>> chunk;
+    while (out->size() < max_results && idx < table->shards.size()) {
+      table->shards[idx]->index.RangeScan(
+          resume, max_results - out->size(), &chunk);
+      out->insert(out->end(), chunk.begin(), chunk.end());
+      ++idx;
+      if (idx < table->shards.size()) {
+        resume = table->router.LowerBoundOf(idx);
+      }
+    }
+    return out->size();
+  }
+
+  /// Total key count: the sum of per-shard counts, point-in-time per
+  /// shard. There is deliberately no global counter for writers to
+  /// contend on.
+  size_t size() const {
+    util::EpochManager::Guard guard(epoch_);
+    return TotalKeys(table_.load(std::memory_order_seq_cst));
+  }
+
+  size_t num_shards() const {
+    util::EpochManager::Guard guard(epoch_);
+    return table_.load(std::memory_order_seq_cst)->shards.size();
+  }
+
+  /// Completed shard splits (diagnostics/tests).
+  uint64_t rebalance_count() const {
+    return rebalances_.load(std::memory_order_relaxed);
+  }
+
+  /// Current shard lower bounds (diagnostics/tests).
+  std::vector<K> ShardBoundaries() const {
+    util::EpochManager::Guard guard(epoch_);
+    return table_.load(std::memory_order_seq_cst)->router.boundaries();
+  }
+
+  /// Shard index `key` routes to (diagnostics/tests).
+  size_t ShardOf(K key) const {
+    util::EpochManager::Guard guard(epoch_);
+    return table_.load(std::memory_order_seq_cst)->router.Route(key);
+  }
+
+  /// Whole-table accounting; call only while no writers are in flight
+  /// (bench/reporting hook), like the per-shard equivalents.
+  size_t IndexSizeBytes() const {
+    util::EpochManager::Guard guard(epoch_);
+    Table* table = table_.load(std::memory_order_seq_cst);
+    size_t total = table->router.SizeBytes();
+    for (const auto& shard : table->shards) {
+      total += shard->index.IndexSizeBytes();
+    }
+    return total;
+  }
+
+  size_t DataSizeBytes() const {
+    util::EpochManager::Guard guard(epoch_);
+    Table* table = table_.load(std::memory_order_seq_cst);
+    size_t total = 0;
+    for (const auto& shard : table->shards) {
+      total += shard->index.DataSizeBytes();
+    }
+    return total;
+  }
+
+  // ---- Durability ----
+
+  /// Path of the manifest / per-shard snapshot files for `prefix`. Shard
+  /// files are stamped with the manifest's generation so a save never
+  /// touches the files the committed manifest references.
+  static std::string ManifestPath(const std::string& prefix) {
+    return prefix + ".manifest";
+  }
+  static std::string ShardPath(const std::string& prefix,
+                               uint64_t generation, size_t shard) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), ".g%llu.shard-%04zu",
+                  static_cast<unsigned long long>(generation), shard);
+    return prefix + buf;
+  }
+
+  /// Writes one snapshot file per shard plus the manifest. Quiesces
+  /// writers for the duration (all gates, ascending shard order), so the
+  /// snapshot is a fully consistent point-in-time image; readers are
+  /// never blocked. The save is all-or-nothing with respect to a
+  /// previous snapshot at the same prefix: shard files are written under
+  /// a fresh generation stamp, the manifest is committed with an atomic
+  /// rename, and only then is the previous generation's data removed —
+  /// a failure at any step leaves the old snapshot loadable.
+  core::SnapshotStatus SaveTo(const std::string& prefix) const {
+    std::lock_guard<std::mutex> rebalance(rebalance_mutex_);
+    util::EpochManager::Guard guard(epoch_);
+    // rebalance_mutex_ excludes table replacement, so this table stays
+    // current for the whole save.
+    Table* table = table_.load(std::memory_order_seq_cst);
+    std::vector<std::unique_lock<std::shared_mutex>> gates;
+    gates.reserve(table->shards.size());
+    for (const auto& shard : table->shards) {
+      gates.emplace_back(shard->write_gate);
+    }
+    // A committed snapshot at this prefix determines the previous
+    // generation (for post-commit cleanup) and the next stamp.
+    ShardManifest<K> previous;
+    const bool had_previous =
+        ReadManifest<K>(ManifestPath(prefix), &previous) ==
+        core::SnapshotStatus::kOk;
+    ShardManifest<K> manifest;
+    manifest.generation = had_previous ? previous.generation + 1 : 1;
+    manifest.boundaries = table->router.boundaries();
+    manifest.router_model = table->router.model();
+    manifest.shard_keys.reserve(table->shards.size());
+    for (size_t i = 0; i < table->shards.size(); ++i) {
+      const core::SnapshotStatus status = table->shards[i]->index.SaveToFile(
+          ShardPath(prefix, manifest.generation, i));
+      if (status != core::SnapshotStatus::kOk) return status;
+      manifest.shard_keys.push_back(table->shards[i]->index.size());
+    }
+    // Commit: write the manifest beside its final name, then rename over
+    // it (atomic replace on POSIX).
+    const std::string tmp = ManifestPath(prefix) + ".tmp";
+    const core::SnapshotStatus status = WriteManifest(tmp, manifest);
+    if (status != core::SnapshotStatus::kOk) return status;
+    if (std::rename(tmp.c_str(), ManifestPath(prefix).c_str()) != 0) {
+      std::remove(tmp.c_str());
+      return core::SnapshotStatus::kIoError;
+    }
+    // Best-effort cleanup of the superseded generation's shard files.
+    if (had_previous) {
+      for (size_t i = 0; i < previous.num_shards(); ++i) {
+        std::remove(
+            ShardPath(prefix, previous.generation, i).c_str());
+      }
+    }
+    return core::SnapshotStatus::kOk;
+  }
+
+  /// Replaces the contents from a SaveTo image. The replacement table is
+  /// built entirely off to the side and published only when the manifest
+  /// and every shard file validated; on any non-kOk status the live index
+  /// is untouched. A shard file the manifest references but the
+  /// filesystem lacks yields kMissingShard; a shard file whose key count
+  /// disagrees with the manifest, or whose keys fall outside the shard's
+  /// boundary range (a swapped or foreign file), yields
+  /// kManifestMismatch.
+  core::SnapshotStatus LoadFrom(const std::string& prefix) {
+    std::lock_guard<std::mutex> rebalance(rebalance_mutex_);
+    ShardManifest<K> manifest;
+    core::SnapshotStatus status =
+        ReadManifest<K>(ManifestPath(prefix), &manifest);
+    if (status != core::SnapshotStatus::kOk) return status;
+    auto next = std::make_unique<Table>();
+    next->router = ShardRouter<K>(manifest.boundaries,
+                                  manifest.router_model);
+    next->shards.reserve(manifest.num_shards());
+    for (size_t i = 0; i < manifest.num_shards(); ++i) {
+      std::vector<K> keys;
+      std::vector<P> payloads;
+      const std::string shard_path =
+          ShardPath(prefix, manifest.generation, i);
+      status = core::ReadSnapshotFile<K, P>(shard_path, &keys, &payloads);
+      if (status == core::SnapshotStatus::kIoError) {
+        // Only a file that is actually gone is "missing"; a file that
+        // exists but cannot be opened or read (permissions, disk) stays
+        // kIoError — keep the statuses honest.
+        std::FILE* probe = std::fopen(shard_path.c_str(), "rb");
+        if (probe != nullptr) {
+          std::fclose(probe);
+          return core::SnapshotStatus::kIoError;
+        }
+        return errno == ENOENT ? core::SnapshotStatus::kMissingShard
+                               : core::SnapshotStatus::kIoError;
+      }
+      if (status != core::SnapshotStatus::kOk) return status;
+      if (keys.size() != manifest.shard_keys[i]) {
+        return core::SnapshotStatus::kManifestMismatch;
+      }
+      // Snapshots are sorted, so first/last bound the whole file: every
+      // key must lie inside [boundaries[i-1], boundaries[i]). Catches
+      // shard files that were swapped or replaced on disk even when the
+      // key counts happen to agree.
+      if (!keys.empty()) {
+        if (i > 0 && keys.front() < manifest.boundaries[i - 1]) {
+          return core::SnapshotStatus::kManifestMismatch;
+        }
+        if (i + 1 < manifest.num_shards() &&
+            !(keys.back() < manifest.boundaries[i])) {
+          return core::SnapshotStatus::kManifestMismatch;
+        }
+      }
+      auto shard = std::make_shared<Shard>(options_.shard_config);
+      shard->index.BulkLoad(keys.data(), payloads.data(), keys.size());
+      next->shards.push_back(std::move(shard));
+    }
+    Table* old = table_.exchange(next.release(),
+                                 std::memory_order_seq_cst);
+    util::EpochManager::Guard guard(epoch_);
+    for (const auto& shard : old->shards) {
+      std::unique_lock<std::shared_mutex> gate(shard->write_gate);
+      shard->retired.store(true, std::memory_order_seq_cst);
+    }
+    epoch_.Retire(old);
+    epoch_.TryReclaim();
+    return core::SnapshotStatus::kOk;
+  }
+
+  /// Full structural check: per-shard invariants, strictly increasing
+  /// boundaries, every key routed to the shard that holds it, and the
+  /// global count. Requires quiescence. Test hook; O(n).
+  bool CheckInvariants() const {
+    util::EpochManager::Guard guard(epoch_);
+    Table* table = table_.load(std::memory_order_seq_cst);
+    const std::vector<K>& bounds = table->router.boundaries();
+    if (bounds.size() + 1 != table->shards.size()) return false;
+    for (size_t i = 1; i < bounds.size(); ++i) {
+      if (!(bounds[i - 1] < bounds[i])) return false;
+    }
+    size_t total = 0;
+    std::vector<std::pair<K, P>> pairs;
+    for (size_t i = 0; i < table->shards.size(); ++i) {
+      const auto& shard = table->shards[i];
+      if (!shard->index.CheckInvariants()) return false;
+      shard->index.RangeScan(std::numeric_limits<K>::lowest(),
+                             std::numeric_limits<size_t>::max(), &pairs);
+      if (pairs.size() != shard->index.size()) return false;
+      for (const auto& [key, payload] : pairs) {
+        (void)payload;
+        if (table->router.Route(key) != i) return false;
+      }
+      total += pairs.size();
+    }
+    return total == size();
+  }
+
+ private:
+  /// One shard: the index plus the write gate that lets a rebalance drain
+  /// it. Shards are shared between successive tables (via shared_ptr) and
+  /// die with the last table that references them, two epoch advances
+  /// after that table retired.
+  struct Shard {
+    explicit Shard(const core::Config& config) : index(config) {}
+    core::ConcurrentAlex<K, P> index;
+    // Writers hold this shared for one committed operation; rebalance,
+    // bulk load and save hold it exclusive. Readers never touch it.
+    mutable std::shared_mutex write_gate;
+    // Set under the exclusive gate, after the replacement table is
+    // published: writers that still routed here re-route.
+    std::atomic<bool> retired{false};
+    // Committed-insert counter driving the amortized skew check. Shard-
+    // local, so writers to different shards share no cache line.
+    std::atomic<uint64_t> commit_count{0};
+  };
+
+  /// An immutable routing table: published with one store, read under an
+  /// epoch guard, retired through EBR when replaced.
+  struct Table {
+    ShardRouter<K> router;
+    std::vector<std::shared_ptr<Shard>> shards;
+  };
+
+  static size_t TotalKeys(const Table* table) {
+    size_t total = 0;
+    for (const auto& shard : table->shards) {
+      total += shard->index.size();
+    }
+    return total;
+  }
+
+  bool ShouldSplit(size_t shard_keys, size_t total,
+                   size_t num_shards) const {
+    if (shard_keys < options_.min_rebalance_keys) return false;
+    if (options_.max_shard_keys > 0 &&
+        shard_keys > options_.max_shard_keys) {
+      return true;
+    }
+    const double mean = static_cast<double>(total) /
+                        static_cast<double>(num_shards);
+    return static_cast<double>(shard_keys) >
+           options_.rebalance_skew * mean;
+  }
+
+  /// Post-commit split trigger. The absolute bound costs one load of the
+  /// just-written shard's own size; the relative skew check must read
+  /// every shard's size, so it runs only on every kSkewCheckInterval-th
+  /// commit into the shard (`commit` comes from the shard's own counter,
+  /// so the trigger is deterministic under any interleaving) — the write
+  /// hot path performs no cross-shard reads.
+  static constexpr uint64_t kSkewCheckInterval = 1024;
+  void MaybeSplit(Table* table, Shard* shard, K hint_key,
+                  uint64_t commit) {
+    const size_t shard_keys = shard->index.size();
+    if (shard_keys < options_.min_rebalance_keys) return;
+    const bool over_absolute = options_.max_shard_keys > 0 &&
+                               shard_keys > options_.max_shard_keys;
+    if (!over_absolute && (commit & (kSkewCheckInterval - 1)) != 0) {
+      return;
+    }
+    if (!ShouldSplit(shard_keys, TotalKeys(table),
+                     table->shards.size())) {
+      return;
+    }
+    RebalanceShard(hint_key);
+  }
+
+  /// Splits the shard owning `hint_key` into options.split_ways shards.
+  /// Non-blocking for rivals: bails out when another rebalance is in
+  /// flight. Caller must hold an epoch guard.
+  void RebalanceShard(K hint_key) {
+    std::unique_lock<std::mutex> rebalance(rebalance_mutex_,
+                                           std::try_to_lock);
+    if (!rebalance.owns_lock()) return;
+    Table* table = table_.load(std::memory_order_seq_cst);
+    const size_t idx = table->router.Route(hint_key);
+    const std::shared_ptr<Shard>& victim = table->shards[idx];
+    // Re-check under the rebalance lock: a rival may already have split
+    // this range, or erases may have deflated it.
+    if (!ShouldSplit(victim->index.size(), TotalKeys(table),
+                     table->shards.size())) {
+      return;
+    }
+    const size_t ways = std::max<size_t>(2, options_.split_ways);
+    // Drain the victim's writers; readers continue unhindered.
+    std::unique_lock<std::shared_mutex> gate(victim->write_gate);
+    std::vector<std::pair<K, P>> pairs;
+    victim->index.RangeScan(std::numeric_limits<K>::lowest(),
+                            std::numeric_limits<size_t>::max(), &pairs);
+    const size_t n = pairs.size();
+    if (n < ways) return;
+
+    auto* next = new Table();
+    next->shards.reserve(table->shards.size() + ways - 1);
+    std::vector<K> boundaries = table->router.boundaries();
+    std::vector<K> split_keys;
+    split_keys.reserve(ways - 1);
+    std::vector<K> part_keys;
+    std::vector<P> part_payloads;
+    std::vector<std::shared_ptr<Shard>> replacements;
+    replacements.reserve(ways);
+    for (size_t j = 0; j < ways; ++j) {
+      const size_t lo = j * n / ways;
+      const size_t hi = (j + 1) * n / ways;
+      if (j > 0) split_keys.push_back(pairs[lo].first);
+      part_keys.clear();
+      part_payloads.clear();
+      part_keys.reserve(hi - lo);
+      part_payloads.reserve(hi - lo);
+      for (size_t i = lo; i < hi; ++i) {
+        part_keys.push_back(pairs[i].first);
+        part_payloads.push_back(pairs[i].second);
+      }
+      auto shard = std::make_shared<Shard>(options_.shard_config);
+      shard->index.BulkLoad(part_keys.data(), part_payloads.data(),
+                            part_keys.size());
+      replacements.push_back(std::move(shard));
+    }
+    boundaries.insert(
+        boundaries.begin() + static_cast<std::ptrdiff_t>(idx),
+        split_keys.begin(), split_keys.end());
+    next->router = ShardRouter<K>::FitFromBoundaries(std::move(boundaries));
+    for (size_t i = 0; i < table->shards.size(); ++i) {
+      if (i == idx) {
+        for (auto& shard : replacements) {
+          next->shards.push_back(std::move(shard));
+        }
+      } else {
+        next->shards.push_back(table->shards[i]);
+      }
+    }
+    table_.store(next, std::memory_order_seq_cst);
+    victim->retired.store(true, std::memory_order_seq_cst);
+    gate.unlock();
+    rebalances_.fetch_add(1, std::memory_order_relaxed);
+    // The old table (and, once no newer table shares them, its replaced
+    // shard) is freed only after every reader that could hold it unpins.
+    epoch_.Retire(table);
+    epoch_.TryReclaim();
+  }
+
+  ShardedOptions options_;
+  mutable util::EpochManager epoch_;
+  // Serializes table replacement (rebalance, bulk load, save/load). Never
+  // touched by point reads or writes.
+  mutable std::mutex rebalance_mutex_;
+  std::atomic<Table*> table_{nullptr};
+  std::atomic<uint64_t> rebalances_{0};
+};
+
+}  // namespace alex::shard

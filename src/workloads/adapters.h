@@ -1,6 +1,7 @@
-// Uniform adapter interface over the three indexes (ALEX, B+Tree, Learned
-// Index) so the workload runner and benches are index-agnostic. Adapters
-// are thin: they forward calls and expose the paper's two size metrics.
+// Uniform adapter interface over the four indexes (ALEX, B+Tree, Learned
+// Index, Sharded ALEX) so the workload runner and benches are
+// index-agnostic. Adapters are thin: they forward calls and expose the
+// paper's two size metrics.
 #pragma once
 
 #include <cstddef>
@@ -12,6 +13,7 @@
 #include "baselines/btree.h"
 #include "baselines/learned_index.h"
 #include "core/alex.h"
+#include "shard/sharded_alex.h"
 
 namespace alex::workload {
 
@@ -115,6 +117,40 @@ class LearnedIndexAdapter {
 
  private:
   baseline::LearnedIndex<K, P> index_;
+};
+
+/// Adapter over shard::ShardedAlex — the sharded service layer. Unlike
+/// the other adapters it is also safe to drive from many threads.
+template <typename K, typename P>
+class ShardedAlexAdapter {
+ public:
+  using key_type = K;
+  using payload_type = P;
+
+  explicit ShardedAlexAdapter(
+      const shard::ShardedOptions& options = shard::ShardedOptions())
+      : index_(options) {}
+
+  static const char* Name() { return "Sharded ALEX"; }
+
+  void BulkLoad(const K* keys, const P* payloads, size_t n) {
+    index_.BulkLoad(keys, payloads, n);
+  }
+  bool Insert(K key, const P& payload) { return index_.Insert(key, payload); }
+  bool Find(K key) { return index_.Contains(key); }
+  bool Erase(K key) { return index_.Erase(key); }
+  size_t RangeScan(K start, size_t max_results,
+                   std::vector<std::pair<K, P>>* out) {
+    return index_.RangeScan(start, max_results, out);
+  }
+  size_t IndexSizeBytes() const { return index_.IndexSizeBytes(); }
+  size_t DataSizeBytes() const { return index_.DataSizeBytes(); }
+  size_t size() const { return index_.size(); }
+
+  shard::ShardedAlex<K, P>& index() { return index_; }
+
+ private:
+  shard::ShardedAlex<K, P> index_;
 };
 
 }  // namespace alex::workload

@@ -2,12 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/alex.h"
+#include "core/concurrent_alex.h"
 #include "util/random.h"
 
 namespace alex::core {
@@ -99,6 +103,194 @@ TEST(SerializationTest, RejectsPayloadSizeMismatch) {
   ASSERT_TRUE(SaveIndex(wide, path));
   Alex<int64_t, int32_t> narrow;
   EXPECT_FALSE(LoadIndex(&narrow, path));
+  std::remove(path.c_str());
+}
+
+// ---- header robustness: every failure mode gets a distinct status ----
+
+// Patches `bytes` at `offset` in an existing file.
+void PatchFile(const std::string& path, long offset, const void* bytes,
+               size_t n) {
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+  ASSERT_EQ(std::fwrite(bytes, 1, n, f), n);
+  std::fclose(f);
+}
+
+void TruncateFile(const std::string& path, size_t keep_bytes) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(in, nullptr);
+  std::vector<char> head(keep_bytes);
+  ASSERT_EQ(std::fread(head.data(), 1, keep_bytes, in), keep_bytes);
+  std::fclose(in);
+  std::FILE* out = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(out, nullptr);
+  ASSERT_EQ(std::fwrite(head.data(), 1, keep_bytes, out), keep_bytes);
+  std::fclose(out);
+}
+
+std::string WriteSmallSnapshot(const char* name) {
+  AlexInt index;
+  for (int64_t i = 0; i < 5000; ++i) index.Insert(i * 2, i);
+  const std::string path = TempPath(name);
+  EXPECT_TRUE(SaveIndex(index, path));
+  return path;
+}
+
+TEST(SerializationRobustnessTest, TruncatedFileIsDetectedNotMisloaded) {
+  const std::string path = WriteSmallSnapshot("truncated.alex");
+  TruncateFile(path, sizeof(SnapshotHeader) + 1234);
+  AlexInt loaded;
+  loaded.Insert(1, 1);
+  EXPECT_EQ(LoadIndexEx(&loaded, path), SnapshotStatus::kTruncated);
+  // The failed load left the index untouched.
+  EXPECT_EQ(loaded.size(), 1u);
+  EXPECT_NE(loaded.Find(1), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationRobustnessTest, BogusKeyCountCannotOverAllocate) {
+  const std::string path = WriteSmallSnapshot("bogus-count.alex");
+  // A corrupt count in the exabyte range must be rejected against the
+  // actual file size, not trusted by resize().
+  const uint64_t bogus = 1ULL << 60;
+  PatchFile(path, offsetof(SnapshotHeader, num_keys), &bogus,
+            sizeof(bogus));
+  AlexInt loaded;
+  EXPECT_EQ(LoadIndexEx(&loaded, path), SnapshotStatus::kTruncated);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationRobustnessTest, InteriorCorruptionIsDetected) {
+  // Flip one byte in the middle of the key array: counts, first and last
+  // keys all stay plausible, so only the body checksum can catch it.
+  const std::string path = WriteSmallSnapshot("interior-flip.alex");
+  const unsigned char flip = 0xA5;
+  PatchFile(path,
+            static_cast<long>(sizeof(SnapshotHeader) +
+                              2500 * sizeof(int64_t) + 3),
+            &flip, 1);
+  AlexInt loaded;
+  EXPECT_EQ(LoadIndexEx(&loaded, path), SnapshotStatus::kChecksumMismatch);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationRobustnessTest, UnsortedKeysAreRejected) {
+  // A checksummed-but-unsorted file (foreign writer) must not reach
+  // BulkLoad, whose precondition is strictly increasing keys.
+  const int64_t keys[] = {10, 5, 20};
+  const int64_t payloads[] = {1, 2, 3};
+  const std::string path = TempPath("unsorted.alex");
+  ASSERT_EQ(WriteSnapshotFile(path, keys, payloads, 3),
+            SnapshotStatus::kOk);
+  AlexInt loaded;
+  EXPECT_EQ(LoadIndexEx(&loaded, path), SnapshotStatus::kUnsortedKeys);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationRobustnessTest, WrongVersionIsDistinct) {
+  const std::string path = WriteSmallSnapshot("wrong-version.alex");
+  const uint32_t future = 999;
+  PatchFile(path, offsetof(SnapshotHeader, version), &future,
+            sizeof(future));
+  AlexInt loaded;
+  EXPECT_EQ(LoadIndexEx(&loaded, path), SnapshotStatus::kBadVersion);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationRobustnessTest, SizeMismatchesAreDistinct) {
+  const std::string path = WriteSmallSnapshot("sizes.alex");
+  Alex<int64_t, int32_t> narrow_payload;
+  EXPECT_EQ(LoadIndexEx(&narrow_payload, path),
+            SnapshotStatus::kPayloadSizeMismatch);
+  Alex<int32_t, int64_t> narrow_key;
+  EXPECT_EQ(LoadIndexEx(&narrow_key, path),
+            SnapshotStatus::kKeySizeMismatch);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationRobustnessTest, StatusNamesAreStable) {
+  EXPECT_STREQ(SnapshotStatusName(SnapshotStatus::kOk), "ok");
+  EXPECT_STREQ(SnapshotStatusName(SnapshotStatus::kTruncated),
+               "truncated");
+  EXPECT_STREQ(SnapshotStatusName(SnapshotStatus::kMissingShard),
+               "missing-shard");
+}
+
+// ---- ConcurrentAlex snapshots (the shard layer's durability building
+// block) ----
+
+TEST(ConcurrentSnapshotTest, RoundTripPreservesAllPairs) {
+  core::ConcurrentAlex<int64_t, int64_t> index;
+  std::vector<int64_t> keys, payloads;
+  for (int64_t i = 0; i < 20000; ++i) {
+    keys.push_back(i * 3);
+    payloads.push_back(i);
+  }
+  index.BulkLoad(keys.data(), payloads.data(), keys.size());
+  const std::string path = TempPath("concurrent-roundtrip.alex");
+  ASSERT_EQ(index.SaveToFile(path), SnapshotStatus::kOk);
+
+  core::ConcurrentAlex<int64_t, int64_t> loaded;
+  ASSERT_EQ(loaded.LoadFromFile(path), SnapshotStatus::kOk);
+  EXPECT_EQ(loaded.size(), index.size());
+  int64_t v = 0;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(loaded.Get(keys[i], &v));
+    ASSERT_EQ(v, payloads[i]);
+  }
+  EXPECT_TRUE(loaded.CheckInvariants());
+  std::remove(path.c_str());
+}
+
+TEST(ConcurrentSnapshotTest, SnapshotsLoadIntoSingleThreadedAlex) {
+  // The concurrent writer and the plain loader share one format.
+  core::ConcurrentAlex<int64_t, int64_t> source;
+  for (int64_t i = 0; i < 3000; ++i) source.Insert(i * 5, i);
+  const std::string path = TempPath("cross-class.alex");
+  ASSERT_EQ(source.SaveToFile(path), SnapshotStatus::kOk);
+  AlexInt loaded;
+  ASSERT_EQ(LoadIndexEx(&loaded, path), SnapshotStatus::kOk);
+  EXPECT_EQ(loaded.size(), 3000u);
+  EXPECT_EQ(*loaded.Find(10), 2);
+  std::remove(path.c_str());
+}
+
+TEST(ConcurrentSnapshotTest, SaveWithConcurrentWritersIsWellFormed) {
+  // A snapshot taken mid-write-storm must load cleanly and contain every
+  // key committed before the save began (read-committed contract).
+  core::ConcurrentAlex<int64_t, int64_t> index;
+  std::vector<int64_t> keys, payloads;
+  constexpr int64_t kPreload = 20000;
+  for (int64_t i = 0; i < kPreload; ++i) {
+    keys.push_back(i * 2);
+    payloads.push_back(i);
+  }
+  index.BulkLoad(keys.data(), payloads.data(), keys.size());
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    int64_t next = kPreload * 2 + 1;
+    while (!stop.load(std::memory_order_acquire)) {
+      index.Insert(next, next);
+      next += 2;
+    }
+  });
+  const std::string path = TempPath("concurrent-save.alex");
+  const SnapshotStatus status = index.SaveToFile(path);
+  stop.store(true, std::memory_order_release);
+  writer.join();
+  ASSERT_EQ(status, SnapshotStatus::kOk);
+
+  core::ConcurrentAlex<int64_t, int64_t> loaded;
+  ASSERT_EQ(loaded.LoadFromFile(path), SnapshotStatus::kOk);
+  EXPECT_TRUE(loaded.CheckInvariants());
+  int64_t v = 0;
+  for (int64_t i = 0; i < kPreload; ++i) {
+    ASSERT_TRUE(loaded.Get(i * 2, &v)) << i;
+    ASSERT_EQ(v, i);
+  }
   std::remove(path.c_str());
 }
 
