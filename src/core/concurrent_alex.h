@@ -63,6 +63,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
@@ -88,7 +89,17 @@ class ConcurrentAlex {
   using DataNodeT = typename Alex<K, P>::DataNodeT;
 
   explicit ConcurrentAlex(const Config& config = Config())
-      : index_(config) {}
+      : owned_epoch_(new util::EpochManager()),
+        epoch_(owned_epoch_.get()),
+        index_(config) {}
+
+  /// Shares an external reclamation domain instead of owning one. The
+  /// shard layer passes its own manager here so one sharded operation
+  /// pins exactly one epoch guard: the guard the index takes below is
+  /// then a reentrant no-op on the caller's pin (see util/epoch.h).
+  /// `shared_epoch` must outlive the index and every node it retires.
+  ConcurrentAlex(const Config& config, util::EpochManager* shared_epoch)
+      : epoch_(shared_epoch), index_(config) {}
 
   /// Retired nodes drain through the epoch manager's destructor; the live
   /// tree is freed by the inner Alex. Callers must guarantee quiescence
@@ -106,7 +117,7 @@ class ConcurrentAlex {
       old = index_.root_.exchange(fresh, std::memory_order_seq_cst);
     }
     BumpVersion();
-    util::EpochManager::Guard guard(epoch_);
+    util::EpochManager::Guard guard(*epoch_);
     // The quiescer counts the old tree's final keys as it drains each
     // leaf's latch. Every counter bump for an old-tree commit happens
     // under the leaf latch, so that count captures exactly the old tree's
@@ -115,13 +126,13 @@ class ConcurrentAlex {
     // would overwrite) intact.
     const size_t old_total = QuiesceAndRetire(old);
     index_.num_keys_.fetch_add(n - old_total, std::memory_order_relaxed);
-    epoch_.TryReclaim();
+    epoch_->TryReclaim();
   }
 
   /// Copies the payload of `key` into `*out`; returns false when absent.
   /// Epoch guard + one shared leaf latch; no shared mutex anywhere.
   bool Get(K key, P* out) const {
-    util::EpochManager::Guard guard(epoch_);
+    util::EpochManager::Guard guard(*epoch_);
     while (true) {
       const DataNodeT* leaf = DescendAcquire(key);
       std::shared_lock<std::shared_mutex> latch(leaf->latch());
@@ -135,7 +146,7 @@ class ConcurrentAlex {
 
   /// True when `key` is present (epoch guard + shared leaf latch only).
   bool Contains(K key) const {
-    util::EpochManager::Guard guard(epoch_);
+    util::EpochManager::Guard guard(*epoch_);
     while (true) {
       const DataNodeT* leaf = DescendAcquire(key);
       std::shared_lock<std::shared_mutex> latch(leaf->latch());
@@ -165,7 +176,7 @@ class ConcurrentAlex {
   /// same node object) happens under the leaf latch; the structure never
   /// changes, so erase never escalates.
   bool Erase(K key) {
-    util::EpochManager::Guard guard(epoch_);
+    util::EpochManager::Guard guard(*epoch_);
     while (true) {
       DataNodeT* leaf = DescendAcquire(key);
       std::unique_lock<std::shared_mutex> latch(leaf->latch());
@@ -179,7 +190,7 @@ class ConcurrentAlex {
   /// Overwrites an existing payload; false when absent (leaf-exclusive:
   /// the write must not race shared readers copying the payload).
   bool Update(K key, const P& payload) {
-    util::EpochManager::Guard guard(epoch_);
+    util::EpochManager::Guard guard(*epoch_);
     while (true) {
       DataNodeT* leaf = DescendAcquire(key);
       std::unique_lock<std::shared_mutex> latch(leaf->latch());
@@ -195,7 +206,7 @@ class ConcurrentAlex {
   size_t RangeScan(K start, size_t max_results,
                    std::vector<std::pair<K, P>>* out) const {
     out->clear();
-    util::EpochManager::Guard guard(epoch_);
+    util::EpochManager::Guard guard(*epoch_);
     K resume = start;
     bool emitted = false;
     const DataNodeT* leaf = DescendAcquire(resume);
@@ -258,12 +269,12 @@ class ConcurrentAlex {
   /// Whole-tree accounting walks every node's internals without latches;
   /// call only while no writers are in flight (bench/reporting hook).
   size_t IndexSizeBytes() const {
-    util::EpochManager::Guard guard(epoch_);
+    util::EpochManager::Guard guard(*epoch_);
     return index_.IndexSizeBytes();
   }
 
   size_t DataSizeBytes() const {
-    util::EpochManager::Guard guard(epoch_);
+    util::EpochManager::Guard guard(*epoch_);
     return index_.DataSizeBytes();
   }
 
@@ -279,12 +290,12 @@ class ConcurrentAlex {
 
   /// The reclamation engine, exposed read-only for tests/diagnostics
   /// (epoch(), retired_count(), freed_count()).
-  const util::EpochManager& epoch_manager() const { return epoch_; }
+  const util::EpochManager& epoch_manager() const { return *epoch_; }
 
   /// Full structural-invariant check. Requires quiescence (no concurrent
   /// writers). Test hook.
   bool CheckInvariants() const {
-    util::EpochManager::Guard guard(epoch_);
+    util::EpochManager::Guard guard(*epoch_);
     return index_.CheckInvariants();
   }
 
@@ -295,7 +306,7 @@ class ConcurrentAlex {
   /// and writes of *other* leaves must still complete, which is exactly
   /// what the lock-free-read-path test asserts.
   std::unique_lock<std::shared_mutex> LatchLeafForTest(K key) {
-    util::EpochManager::Guard guard(epoch_);
+    util::EpochManager::Guard guard(*epoch_);
     while (true) {
       DataNodeT* leaf = DescendAcquire(key);
       std::unique_lock<std::shared_mutex> latch(leaf->latch());
@@ -340,7 +351,7 @@ class ConcurrentAlex {
 
   void InsertOrPut(K key, const P& payload, bool overwrite_duplicate,
                    bool* inserted) {
-    util::EpochManager::Guard guard(epoch_);
+    util::EpochManager::Guard guard(*epoch_);
     while (true) {
       InnerNodeT* parent = nullptr;
       DataNodeT* leaf = DescendAcquire(key, &parent);
@@ -461,8 +472,8 @@ class ConcurrentAlex {
     ++index_.stats_->num_splits;
     // Freed only after every reader that could hold it unpins; our own
     // guard keeps it alive through the latch release below.
-    epoch_.Retire(leaf);
-    epoch_.TryReclaim();
+    epoch_->Retire(leaf);
+    epoch_->TryReclaim();
     return true;
   }
 
@@ -481,7 +492,7 @@ class ConcurrentAlex {
         drained = leaf->num_keys();
         leaf->MarkRetired();
       }
-      epoch_.Retire(leaf);
+      epoch_->Retire(leaf);
       return drained;
     }
     auto* inner = static_cast<InnerNodeT*>(node);
@@ -498,11 +509,16 @@ class ConcurrentAlex {
         prev = child;
       }
     }
-    epoch_.Retire(inner);
+    epoch_->Retire(inner);
     return drained;
   }
 
-  mutable util::EpochManager epoch_;
+  // Owned when default-constructed; null when the caller shares a
+  // domain. Declared before index_ so a drain of retired nodes (which
+  // happens in the manager's destructor) runs after the live tree is
+  // gone either way.
+  std::unique_ptr<util::EpochManager> owned_epoch_;
+  util::EpochManager* const epoch_;
   // Guards the root slot's structural transitions (root-leaf split, bulk
   // load swap). Never touched by reads.
   std::mutex root_split_mutex_;

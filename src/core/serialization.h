@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <ostream>
 #include <string>
 #include <type_traits>
 #include <utility>
@@ -45,6 +46,8 @@ enum class SnapshotStatus {
   kUnsortedKeys,         ///< keys/boundaries not strictly increasing
   kMissingShard,         ///< a manifest references a shard file that is gone
   kManifestMismatch,     ///< a shard file disagrees with its manifest entry
+  kWalReplayFailed,      ///< the WAL tail could not be replayed (see the
+                         ///< wal::RecoveryReport for the distinct WalStatus)
 };
 
 inline const char* SnapshotStatusName(SnapshotStatus status) {
@@ -61,8 +64,20 @@ inline const char* SnapshotStatusName(SnapshotStatus status) {
     case SnapshotStatus::kUnsortedKeys: return "unsorted-keys";
     case SnapshotStatus::kMissingShard: return "missing-shard";
     case SnapshotStatus::kManifestMismatch: return "manifest-mismatch";
+    case SnapshotStatus::kWalReplayFailed: return "wal-replay-failed";
   }
   return "unknown";
+}
+
+/// Spelled like the WAL's ToString(WalStatus) so call sites and test
+/// output read uniformly.
+inline const char* ToString(SnapshotStatus status) {
+  return SnapshotStatusName(status);
+}
+
+/// Lets gtest and diagnostics print status names instead of raw ints.
+inline std::ostream& operator<<(std::ostream& os, SnapshotStatus status) {
+  return os << SnapshotStatusName(status);
 }
 
 namespace internal {

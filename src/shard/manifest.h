@@ -7,11 +7,16 @@
 // per-shard key counts (so a load can detect a shard file that was
 // swapped or rebuilt independently of its manifest).
 //
-// Layout: ManifestHeader, boundaries (num_shards-1 keys), per-shard key
-// counts (num_shards uint64s), then a trailing FNV-1a checksum over
-// everything before it. Reading validates magic, version, key size, the
-// declared lengths against the actual file size, and the checksum — each
-// failure maps to a distinct core::SnapshotStatus.
+// Layout (format v2): ManifestHeader, boundaries (num_shards-1 keys),
+// per-shard key counts (num_shards uint64s), per-shard WAL ids and
+// checkpoint LSNs (num_shards uint64s each; all zero when the WAL is
+// disabled), then a trailing FNV-1a checksum over everything before it.
+// The WAL fields make the manifest the checkpoint record: shard i's
+// snapshot file captures exactly the effects of its log's records up to
+// checkpoint_lsns[i], so recovery replays only what came after. Reading
+// validates magic, version, key size, the declared lengths against the
+// actual file size, and the checksum — each failure maps to a distinct
+// core::SnapshotStatus.
 #pragma once
 
 #include <cstddef>
@@ -30,7 +35,8 @@ namespace internal {
 
 // "ALEXSHRD" in ASCII.
 inline constexpr uint64_t kManifestMagic = 0x414C455853485244ULL;
-inline constexpr uint32_t kManifestVersion = 1;
+// Version 2 added the per-shard WAL ids and checkpoint LSNs.
+inline constexpr uint32_t kManifestVersion = 2;
 
 // The checksum primitive is shared with the snapshot body checksum.
 using core::internal::Fnv1a;
@@ -49,6 +55,9 @@ struct ManifestHeader {
   // overwrites the files the live manifest references — the manifest
   // rename is the all-or-nothing commit point.
   uint64_t generation = 0;
+  // Lower bound on the next WAL id a recovered index may allocate (the
+  // directory scan can only raise it); 0 when the WAL is disabled.
+  uint64_t next_wal_id = 0;
   double router_slope = 0.0;
   double router_intercept = 0.0;
 };
@@ -58,8 +67,14 @@ template <typename K>
 struct ShardManifest {
   std::vector<K> boundaries;         ///< num_shards - 1 shard lower bounds
   std::vector<uint64_t> shard_keys;  ///< key count per shard
+  /// Per-shard WAL id (0 = shard is not logging) and the LSN up to which
+  /// that log's effects are captured by this snapshot. Either empty (WAL
+  /// never enabled) or exactly num_shards long.
+  std::vector<uint64_t> wal_ids;
+  std::vector<uint64_t> checkpoint_lsns;
   model::LinearModel router_model;
   uint64_t generation = 0;
+  uint64_t next_wal_id = 0;
 
   size_t num_shards() const { return shard_keys.size(); }
   uint64_t total_keys() const {
@@ -83,8 +98,16 @@ core::SnapshotStatus WriteManifest(const std::string& path,
   header.num_shards = manifest.num_shards();
   header.total_keys = manifest.total_keys();
   header.generation = manifest.generation;
+  header.next_wal_id = manifest.next_wal_id;
   header.router_slope = manifest.router_model.slope();
   header.router_intercept = manifest.router_model.intercept();
+
+  // The WAL arrays are optional in memory (an index that never enabled
+  // the WAL leaves them empty) but fixed-size on disk: pad with zeros.
+  std::vector<uint64_t> wal_ids = manifest.wal_ids;
+  std::vector<uint64_t> checkpoint_lsns = manifest.checkpoint_lsns;
+  wal_ids.resize(manifest.num_shards(), 0);
+  checkpoint_lsns.resize(manifest.num_shards(), 0);
 
   uint64_t checksum = internal::Fnv1a(&header, sizeof(header),
                                       internal::kFnvOffsetBasis);
@@ -93,6 +116,11 @@ core::SnapshotStatus WriteManifest(const std::string& path,
                              checksum);
   checksum = internal::Fnv1a(manifest.shard_keys.data(),
                              manifest.shard_keys.size() * sizeof(uint64_t),
+                             checksum);
+  checksum = internal::Fnv1a(wal_ids.data(),
+                             wal_ids.size() * sizeof(uint64_t), checksum);
+  checksum = internal::Fnv1a(checkpoint_lsns.data(),
+                             checkpoint_lsns.size() * sizeof(uint64_t),
                              checksum);
 
   bool ok = std::fwrite(&header, sizeof(header), 1, f) == 1;
@@ -105,6 +133,13 @@ core::SnapshotStatus WriteManifest(const std::string& path,
     ok = std::fwrite(manifest.shard_keys.data(), sizeof(uint64_t),
                      manifest.shard_keys.size(),
                      f) == manifest.shard_keys.size();
+  }
+  if (ok && !wal_ids.empty()) {
+    ok = std::fwrite(wal_ids.data(), sizeof(uint64_t), wal_ids.size(),
+                     f) == wal_ids.size();
+    ok = ok && std::fwrite(checkpoint_lsns.data(), sizeof(uint64_t),
+                           checkpoint_lsns.size(),
+                           f) == checkpoint_lsns.size();
   }
   ok = ok && std::fwrite(&checksum, sizeof(checksum), 1, f) == 1;
   ok = std::fclose(f) == 0 && ok;
@@ -150,17 +185,22 @@ core::SnapshotStatus ReadManifest(const std::string& path,
     return core::SnapshotStatus::kTruncated;
   }
   const uint64_t body_budget = file_size - sizeof(header) - sizeof(uint64_t);
-  if (header.num_shards - 1 > body_budget / (sizeof(K) + sizeof(uint64_t))) {
+  // Per shard the body holds one boundary key (except the first shard)
+  // plus three uint64s (key count, wal id, checkpoint LSN).
+  if (header.num_shards - 1 >
+      body_budget / (sizeof(K) + 3 * sizeof(uint64_t))) {
     return core::SnapshotStatus::kTruncated;
   }
   const uint64_t body_bytes = (header.num_shards - 1) * sizeof(K) +
-                              header.num_shards * sizeof(uint64_t);
+                              header.num_shards * 3 * sizeof(uint64_t);
   if (body_budget < body_bytes) {
     return core::SnapshotStatus::kTruncated;
   }
 
   out->boundaries.resize(header.num_shards - 1);
   out->shard_keys.resize(header.num_shards);
+  out->wal_ids.resize(header.num_shards);
+  out->checkpoint_lsns.resize(header.num_shards);
   if (!out->boundaries.empty() &&
       std::fread(out->boundaries.data(), sizeof(K), out->boundaries.size(),
                  f) != out->boundaries.size()) {
@@ -168,6 +208,15 @@ core::SnapshotStatus ReadManifest(const std::string& path,
   }
   if (std::fread(out->shard_keys.data(), sizeof(uint64_t),
                  out->shard_keys.size(), f) != out->shard_keys.size()) {
+    return core::SnapshotStatus::kTruncated;
+  }
+  if (std::fread(out->wal_ids.data(), sizeof(uint64_t),
+                 out->wal_ids.size(), f) != out->wal_ids.size()) {
+    return core::SnapshotStatus::kTruncated;
+  }
+  if (std::fread(out->checkpoint_lsns.data(), sizeof(uint64_t),
+                 out->checkpoint_lsns.size(),
+                 f) != out->checkpoint_lsns.size()) {
     return core::SnapshotStatus::kTruncated;
   }
   uint64_t stored_checksum = 0;
@@ -180,6 +229,12 @@ core::SnapshotStatus ReadManifest(const std::string& path,
                              out->boundaries.size() * sizeof(K), checksum);
   checksum = internal::Fnv1a(out->shard_keys.data(),
                              out->shard_keys.size() * sizeof(uint64_t),
+                             checksum);
+  checksum = internal::Fnv1a(out->wal_ids.data(),
+                             out->wal_ids.size() * sizeof(uint64_t),
+                             checksum);
+  checksum = internal::Fnv1a(out->checkpoint_lsns.data(),
+                             out->checkpoint_lsns.size() * sizeof(uint64_t),
                              checksum);
   if (checksum != stored_checksum) {
     return core::SnapshotStatus::kChecksumMismatch;
@@ -196,6 +251,7 @@ core::SnapshotStatus ReadManifest(const std::string& path,
     }
   }
   out->generation = header.generation;
+  out->next_wal_id = header.next_wal_id;
   out->router_model =
       model::LinearModel(header.router_slope, header.router_intercept);
   return core::SnapshotStatus::kOk;

@@ -62,9 +62,29 @@
 //     side and publishes it only when every shard file validated, mapping
 //     each failure to a distinct core::SnapshotStatus.
 //
+//   Write-ahead logging.   EnableWal attaches one src/wal/ log per shard
+//     and anchors it with a checkpoint. From then on every write is
+//     log-before-apply under the same shared gate that already covers the
+//     apply, so a checkpoint's exclusive gates see log and index in
+//     lockstep. SaveTo doubles as the checkpoint: it records each log's
+//     LSN in the manifest, rotates the segments, and deletes everything
+//     the snapshot made redundant. LoadFrom doubles as recovery: snapshot
+//     first, then the per-shard log tails replayed in wal-id order
+//     (parent-before-child across shard splits — wal/wal_format.h), with
+//     a torn final record truncated and every other corruption surfaced
+//     as a distinct wal::WalStatus in the RecoveryReport. A shard split
+//     seals the victim's log at the publish LSN (under the same
+//     exclusive gate that drained its writers) and opens fresh segments
+//     for the replacements. Recovery linearizes concurrent same-key
+//     writes in log order, which for operations that overlapped in real
+//     time may differ from apply order — either is a valid linearization
+//     of the acknowledged history.
+//
 // Lock order: rebalance_mutex_ → write_gate(s) in ascending shard order.
 // Point writes take exactly one gate shared and no mutex; reads take
-// nothing.
+// nothing. One epoch guard per operation: the shards share this layer's
+// reclamation domain (the guard ConcurrentAlex pins internally is a
+// reentrant no-op on ours).
 #pragma once
 
 #include <algorithm>
@@ -74,6 +94,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <limits>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -87,6 +108,9 @@
 #include "shard/manifest.h"
 #include "shard/router.h"
 #include "util/epoch.h"
+#include "wal/log_reader.h"
+#include "wal/log_writer.h"
+#include "wal/wal_format.h"
 
 namespace alex::shard {
 
@@ -121,7 +145,7 @@ class ShardedAlex {
       : options_(options) {
     auto* table = new Table();
     table->shards.push_back(
-        std::make_shared<Shard>(options_.shard_config));
+        std::make_shared<Shard>(options_.shard_config, &epoch_));
     table_.store(table, std::memory_order_seq_cst);
   }
 
@@ -135,7 +159,13 @@ class ShardedAlex {
   /// Replaces the contents with `n` strictly-increasing keys, partitioned
   /// evenly across (at most) options.num_shards shards. Concurrent
   /// operations that landed in the old table linearize before the bulk
-  /// load; in-flight writers are drained shard by shard.
+  /// load; in-flight writers are drained shard by shard. While the WAL is
+  /// enabled the load seals the old shards' logs, opens fresh ones, and
+  /// re-checkpoints automatically (the bulk-loaded contents exist in no
+  /// log, so only a snapshot can anchor them); a checkpoint failure
+  /// disables logging — nothing could truthfully be called durable
+  /// without the anchor — and records kCheckpointFailed in
+  /// last_wal_error().
   void BulkLoad(const K* keys, const P* payloads, size_t n) {
     std::lock_guard<std::mutex> rebalance(rebalance_mutex_);
     const size_t shards =
@@ -148,21 +178,42 @@ class ShardedAlex {
     for (size_t j = 0; j < shards; ++j) {
       const size_t lo = j * n / shards;
       const size_t hi = (j + 1) * n / shards;
-      auto shard = std::make_shared<Shard>(options_.shard_config);
+      auto shard = std::make_shared<Shard>(options_.shard_config, &epoch_);
       shard->index.BulkLoad(keys + lo, payloads + lo, hi - lo);
       next->shards.push_back(std::move(shard));
+    }
+    if (wal_enabled_ && !AttachFreshLogs(&next->shards, /*parent=*/0)) {
+      // Could not open log files: surface the error and stop logging
+      // rather than silently running some shards unlogged.
+      wal_enabled_ = false;
+      last_wal_error_.store(wal::WalStatus::kIoError,
+                            std::memory_order_relaxed);
     }
     Table* old = table_.exchange(next, std::memory_order_seq_cst);
     util::EpochManager::Guard guard(epoch_);
     // Drain in-flight writers of every old shard and mark it retired so
     // stragglers re-route into the new table; once every gate has cycled,
-    // no further commit can land in the old table.
+    // no further commit can land in the old table. The sealed logs keep
+    // the old lineage replayable until the checkpoint below supersedes
+    // it.
     for (const auto& shard : old->shards) {
       std::unique_lock<std::shared_mutex> gate(shard->write_gate);
       shard->retired.store(true, std::memory_order_seq_cst);
+      if (shard->log != nullptr) shard->log->Seal();
     }
     epoch_.Retire(old);
     epoch_.TryReclaim();
+    if (wal_enabled_ &&
+        SaveToLocked(wal_prefix_) != core::SnapshotStatus::kOk) {
+      // The bulk-loaded baseline now exists in no snapshot and no log;
+      // continuing to log would let a recovery silently roll the index
+      // back to the pre-load state while claiming the post-load writes
+      // were durable. Fail closed: stop logging and surface the error.
+      DetachLogs(table_.load(std::memory_order_seq_cst));
+      wal_enabled_ = false;
+      last_wal_error_.store(wal::WalStatus::kCheckpointFailed,
+                            std::memory_order_relaxed);
+    }
   }
 
   /// Inserts; false on duplicate. One route + one shard-gate shared lock
@@ -179,6 +230,11 @@ class ShardedAlex {
       std::shared_lock<std::shared_mutex> gate(shard->write_gate);
       if (shard->retired.load(std::memory_order_seq_cst)) {
         continue;  // raced a rebalance/bulk load: re-route
+      }
+      // Log-before-apply: the record replays as insert-if-absent, so a
+      // duplicate that fails below is a no-op on replay too.
+      if (!LogWrite(shard, wal::WalRecordType::kInsert, key, &payload)) {
+        return false;
       }
       const bool inserted = shard->index.Insert(key, payload);
       gate.unlock();
@@ -201,6 +257,9 @@ class ShardedAlex {
       Shard* shard = table->shards[table->router.Route(key)].get();
       std::shared_lock<std::shared_mutex> gate(shard->write_gate);
       if (shard->retired.load(std::memory_order_seq_cst)) continue;
+      if (!LogWrite(shard, wal::WalRecordType::kErase, key, nullptr)) {
+        return false;
+      }
       return shard->index.Erase(key);
     }
   }
@@ -213,6 +272,9 @@ class ShardedAlex {
       Shard* shard = table->shards[table->router.Route(key)].get();
       std::shared_lock<std::shared_mutex> gate(shard->write_gate);
       if (shard->retired.load(std::memory_order_seq_cst)) continue;
+      if (!LogWrite(shard, wal::WalRecordType::kUpdate, key, &payload)) {
+        return false;
+      }
       return shard->index.Update(key, payload);
     }
   }
@@ -333,77 +395,83 @@ class ShardedAlex {
   /// a fresh generation stamp, the manifest is committed with an atomic
   /// rename, and only then is the previous generation's data removed —
   /// a failure at any step leaves the old snapshot loadable.
+  ///
+  /// With the WAL enabled (and `prefix` equal to the WAL prefix) this is
+  /// the *checkpoint*: the manifest records each shard log's LSN, the
+  /// logs rotate onto fresh segments, and every segment the snapshot
+  /// made redundant is deleted. Saving to a different prefix is a plain
+  /// export and leaves the logs alone.
   core::SnapshotStatus SaveTo(const std::string& prefix) const {
     std::lock_guard<std::mutex> rebalance(rebalance_mutex_);
-    util::EpochManager::Guard guard(epoch_);
-    // rebalance_mutex_ excludes table replacement, so this table stays
-    // current for the whole save.
-    Table* table = table_.load(std::memory_order_seq_cst);
-    std::vector<std::unique_lock<std::shared_mutex>> gates;
-    gates.reserve(table->shards.size());
-    for (const auto& shard : table->shards) {
-      gates.emplace_back(shard->write_gate);
-    }
-    // A committed snapshot at this prefix determines the previous
-    // generation (for post-commit cleanup) and the next stamp.
-    ShardManifest<K> previous;
-    const bool had_previous =
-        ReadManifest<K>(ManifestPath(prefix), &previous) ==
-        core::SnapshotStatus::kOk;
-    ShardManifest<K> manifest;
-    manifest.generation = had_previous ? previous.generation + 1 : 1;
-    manifest.boundaries = table->router.boundaries();
-    manifest.router_model = table->router.model();
-    manifest.shard_keys.reserve(table->shards.size());
-    for (size_t i = 0; i < table->shards.size(); ++i) {
-      const core::SnapshotStatus status = table->shards[i]->index.SaveToFile(
-          ShardPath(prefix, manifest.generation, i));
-      if (status != core::SnapshotStatus::kOk) return status;
-      manifest.shard_keys.push_back(table->shards[i]->index.size());
-    }
-    // Commit: write the manifest beside its final name, then rename over
-    // it (atomic replace on POSIX).
-    const std::string tmp = ManifestPath(prefix) + ".tmp";
-    const core::SnapshotStatus status = WriteManifest(tmp, manifest);
-    if (status != core::SnapshotStatus::kOk) return status;
-    if (std::rename(tmp.c_str(), ManifestPath(prefix).c_str()) != 0) {
-      std::remove(tmp.c_str());
-      return core::SnapshotStatus::kIoError;
-    }
-    // Best-effort cleanup of the superseded generation's shard files.
-    if (had_previous) {
-      for (size_t i = 0; i < previous.num_shards(); ++i) {
-        std::remove(
-            ShardPath(prefix, previous.generation, i).c_str());
-      }
-    }
-    return core::SnapshotStatus::kOk;
+    return SaveToLocked(prefix);
   }
 
-  /// Replaces the contents from a SaveTo image. The replacement table is
-  /// built entirely off to the side and published only when the manifest
-  /// and every shard file validated; on any non-kOk status the live index
+  /// Replaces the contents from a SaveTo image — and, when WAL segments
+  /// exist at the prefix, *recovers*: the snapshot is loaded first, then
+  /// each log's tail (records past its checkpoint LSN) is replayed in
+  /// wal-id order. The replacement table is built entirely off to the
+  /// side and published only when the manifest, every shard file, and
+  /// every log segment validated; on any non-kOk status the live index
   /// is untouched. A shard file the manifest references but the
   /// filesystem lacks yields kMissingShard; a shard file whose key count
   /// disagrees with the manifest, or whose keys fall outside the shard's
   /// boundary range (a swapped or foreign file), yields
-  /// kManifestMismatch.
-  core::SnapshotStatus LoadFrom(const std::string& prefix) {
+  /// kManifestMismatch; an unreplayable log yields kWalReplayFailed with
+  /// the distinct wal::WalStatus (and, on success, replay counts) in
+  /// `*report`. A torn final record is tolerated: replay truncates it
+  /// away and loses at most that one unacknowledged write.
+  ///
+  /// Recovery does not resume logging: call EnableWal afterwards, whose
+  /// anchor checkpoint also retires the replayed segments.
+  core::SnapshotStatus LoadFrom(const std::string& prefix,
+                                wal::RecoveryReport* report = nullptr) {
     std::lock_guard<std::mutex> rebalance(rebalance_mutex_);
+    if (report != nullptr) *report = wal::RecoveryReport{};
+    // While this index is itself logging, quiesce its writers for the
+    // whole load: replay must never read (let alone truncate as "torn")
+    // a batch a live group commit is still appending. Holding the gates
+    // — rather than sealing the logs up front — means a load that
+    // *fails* validation leaves the live index logging exactly as
+    // before; only a successful load ends the old lineage.
+    const bool was_logging = wal_enabled_;
+    std::vector<std::unique_lock<std::shared_mutex>> quiesce;
+    if (was_logging) {
+      Table* live = table_.load(std::memory_order_seq_cst);
+      quiesce.reserve(live->shards.size());
+      for (const auto& shard : live->shards) {
+        quiesce.emplace_back(shard->write_gate);
+      }
+    }
     ShardManifest<K> manifest;
-    core::SnapshotStatus status =
-        ReadManifest<K>(ManifestPath(prefix), &manifest);
-    if (status != core::SnapshotStatus::kOk) return status;
-    auto next = std::make_unique<Table>();
-    next->router = ShardRouter<K>(manifest.boundaries,
-                                  manifest.router_model);
-    next->shards.reserve(manifest.num_shards());
+    bool have_manifest = false;
+    {
+      // Distinguish "no snapshot was ever committed" (recovery can still
+      // proceed from the logs alone) from an unreadable/corrupt one.
+      std::FILE* probe = std::fopen(ManifestPath(prefix).c_str(), "rb");
+      if (probe != nullptr) {
+        std::fclose(probe);
+        const core::SnapshotStatus status =
+            ReadManifest<K>(ManifestPath(prefix), &manifest);
+        if (status != core::SnapshotStatus::kOk) return status;
+        have_manifest = true;
+      }
+    }
+    const std::vector<wal::WalSegmentFile> segments =
+        wal::ListWalSegments(prefix);
+    if (!have_manifest && segments.empty()) {
+      return core::SnapshotStatus::kIoError;  // nothing at this prefix
+    }
+
+    // Load and validate every snapshot shard file.
+    std::vector<std::vector<K>> shard_keys(manifest.num_shards());
+    std::vector<std::vector<P>> shard_payloads(manifest.num_shards());
     for (size_t i = 0; i < manifest.num_shards(); ++i) {
-      std::vector<K> keys;
-      std::vector<P> payloads;
+      std::vector<K>& keys = shard_keys[i];
+      std::vector<P>& payloads = shard_payloads[i];
       const std::string shard_path =
           ShardPath(prefix, manifest.generation, i);
-      status = core::ReadSnapshotFile<K, P>(shard_path, &keys, &payloads);
+      core::SnapshotStatus status =
+          core::ReadSnapshotFile<K, P>(shard_path, &keys, &payloads);
       if (status == core::SnapshotStatus::kIoError) {
         // Only a file that is actually gone is "missing"; a file that
         // exists but cannot be opened or read (permissions, disk) stays
@@ -433,20 +501,173 @@ class ShardedAlex {
           return core::SnapshotStatus::kManifestMismatch;
         }
       }
-      auto shard = std::make_shared<Shard>(options_.shard_config);
-      shard->index.BulkLoad(keys.data(), payloads.data(), keys.size());
-      next->shards.push_back(std::move(shard));
     }
+
+    std::unique_ptr<Table> next;
+    uint64_t floor_wal_id = manifest.next_wal_id;
+    if (segments.empty()) {
+      // Pure snapshot load: rebuild the saved table exactly (same
+      // shards, boundaries, and router model).
+      next = std::make_unique<Table>();
+      next->router = ShardRouter<K>(manifest.boundaries,
+                                    manifest.router_model);
+      next->shards.reserve(manifest.num_shards());
+      for (size_t i = 0; i < manifest.num_shards(); ++i) {
+        auto shard =
+            std::make_shared<Shard>(options_.shard_config, &epoch_);
+        shard->index.BulkLoad(shard_keys[i].data(),
+                              shard_payloads[i].data(),
+                              shard_keys[i].size());
+        next->shards.push_back(std::move(shard));
+      }
+    } else {
+      // Recovery: merge the snapshot into one logical map, replay the
+      // log tails over it, and repartition. Ascending wal-id order is
+      // parent-before-child across shard splits, the only cross-log
+      // ordering replay needs (lineages own disjoint key ranges).
+      std::map<K, P> state;
+      for (size_t i = 0; i < manifest.num_shards(); ++i) {
+        for (size_t j = 0; j < shard_keys[i].size(); ++j) {
+          // Shards and their keys arrive in ascending order, so end()
+          // is always the right hint: O(1) amortized per key.
+          state.emplace_hint(state.end(), shard_keys[i][j],
+                             shard_payloads[i][j]);
+        }
+      }
+      std::map<uint64_t, uint64_t> checkpoints;
+      for (size_t i = 0; i < manifest.wal_ids.size(); ++i) {
+        if (manifest.wal_ids[i] != 0) {
+          checkpoints[manifest.wal_ids[i]] = manifest.checkpoint_lsns[i];
+        }
+      }
+      wal::RecoveryReport local_report;
+      wal::RecoveryReport* rep =
+          report != nullptr ? report : &local_report;
+      // Never physically truncate while the segments might belong to
+      // this index's own live logs (their writers hold fd offsets past
+      // the truncation point); with a manifest, unknown-root lineages
+      // must not replay (see ReplayWal).
+      const wal::WalStatus wal_status = wal::ReplayWal<K, P>(
+          prefix, checkpoints, &state, rep,
+          /*truncate_torn_tail=*/!was_logging,
+          /*require_known_roots=*/have_manifest);
+      if (wal_status != wal::WalStatus::kOk) {
+        return core::SnapshotStatus::kWalReplayFailed;
+      }
+      floor_wal_id = std::max(floor_wal_id, rep->max_wal_id + 1);
+
+      std::vector<K> keys;
+      std::vector<P> payloads;
+      keys.reserve(state.size());
+      payloads.reserve(state.size());
+      for (const auto& [key, payload] : state) {
+        keys.push_back(key);
+        payloads.push_back(payload);
+      }
+      const size_t target =
+          have_manifest ? manifest.num_shards() : options_.num_shards;
+      const size_t shards = std::max<size_t>(
+          1, std::min(target, std::max<size_t>(keys.size(), 1)));
+      next = std::make_unique<Table>();
+      next->router = ShardRouter<K>::FitFromSortedKeys(
+          keys.data(), keys.size(), shards, options_.router_sample_cap);
+      next->shards.reserve(shards);
+      for (size_t j = 0; j < shards; ++j) {
+        const size_t lo = j * keys.size() / shards;
+        const size_t hi = (j + 1) * keys.size() / shards;
+        auto shard =
+            std::make_shared<Shard>(options_.shard_config, &epoch_);
+        shard->index.BulkLoad(keys.data() + lo, payloads.data() + lo,
+                              hi - lo);
+        next->shards.push_back(std::move(shard));
+      }
+    }
+
+    if (floor_wal_id > next_wal_id_) next_wal_id_ = floor_wal_id;
+    // The recovered table starts unlogged (see the method comment); any
+    // logs of the replaced table belong to an abandoned lineage, get
+    // sealed below, and are swept by the next checkpoint. The quiesce
+    // gates must drop before the retire loop re-takes them.
+    wal_enabled_ = false;
+    quiesce.clear();
     Table* old = table_.exchange(next.release(),
                                  std::memory_order_seq_cst);
     util::EpochManager::Guard guard(epoch_);
     for (const auto& shard : old->shards) {
       std::unique_lock<std::shared_mutex> gate(shard->write_gate);
       shard->retired.store(true, std::memory_order_seq_cst);
+      if (shard->log != nullptr) shard->log->Seal();
     }
     epoch_.Retire(old);
     epoch_.TryReclaim();
     return core::SnapshotStatus::kOk;
+  }
+
+  // ---- Write-ahead logging ----
+
+  /// Starts logging every write to per-shard logs at `prefix` and
+  /// anchors them with an initial checkpoint (so recovery always has a
+  /// snapshot to replay onto). Typical lifecycles:
+  ///
+  ///   fresh:    ShardedAlex idx; idx.BulkLoad(...); idx.EnableWal(p);
+  ///   restart:  ShardedAlex idx; idx.LoadFrom(p);   idx.EnableWal(p);
+  ///
+  /// The anchor checkpoint also sweeps any segments a previous
+  /// incarnation left at the prefix, so enable-after-recover retires the
+  /// very logs that were just replayed. Fails with kAlreadyEnabled when
+  /// logging is already on, kIoError when a log file cannot be opened,
+  /// and kCheckpointFailed when the anchor snapshot cannot commit (in
+  /// which case logging stays off and the index is unchanged).
+  wal::WalStatus EnableWal(
+      const std::string& prefix,
+      const wal::WalOptions& options = wal::WalOptions()) {
+    std::lock_guard<std::mutex> rebalance(rebalance_mutex_);
+    if (wal_enabled_) return wal::WalStatus::kAlreadyEnabled;
+    util::EpochManager::Guard guard(epoch_);
+    Table* table = table_.load(std::memory_order_seq_cst);
+    // New ids must clear whatever is already on disk at this prefix so
+    // fresh segments never collide with (or get mistaken for) old ones.
+    for (const wal::WalSegmentFile& f : wal::ListWalSegments(prefix)) {
+      if (f.wal_id >= next_wal_id_) next_wal_id_ = f.wal_id + 1;
+    }
+    wal_prefix_ = prefix;
+    wal_options_ = options;
+    if (!AttachFreshLogs(&table->shards, /*parent=*/0)) {
+      DetachLogs(table);
+      return wal::WalStatus::kIoError;
+    }
+    wal_enabled_ = true;
+    if (SaveToLocked(prefix) != core::SnapshotStatus::kOk) {
+      DetachLogs(table);
+      wal_enabled_ = false;
+      return wal::WalStatus::kCheckpointFailed;
+    }
+    return wal::WalStatus::kOk;
+  }
+
+  bool wal_enabled() const {
+    std::lock_guard<std::mutex> rebalance(rebalance_mutex_);
+    return wal_enabled_;
+  }
+
+  /// First WAL failure the write path swallowed (writes fail closed —
+  /// they return false — but bool returns cannot say why). kOk when none.
+  wal::WalStatus last_wal_error() const {
+    return last_wal_error_.load(std::memory_order_relaxed);
+  }
+
+  /// Per-shard WAL ids, 0 for an unlogged shard (diagnostics/tests;
+  /// requires quiescence like the other whole-table accessors).
+  std::vector<uint64_t> WalIds() const {
+    util::EpochManager::Guard guard(epoch_);
+    Table* table = table_.load(std::memory_order_seq_cst);
+    std::vector<uint64_t> ids;
+    ids.reserve(table->shards.size());
+    for (const auto& shard : table->shards) {
+      std::shared_lock<std::shared_mutex> gate(shard->write_gate);
+      ids.push_back(shard->log != nullptr ? shard->log->wal_id() : 0);
+    }
+    return ids;
   }
 
   /// Full structural check: per-shard invariants, strictly increasing
@@ -483,8 +704,13 @@ class ShardedAlex {
   /// die with the last table that references them, two epoch advances
   /// after that table retired.
   struct Shard {
-    explicit Shard(const core::Config& config) : index(config) {}
+    Shard(const core::Config& config, util::EpochManager* epoch)
+        : index(config, epoch) {}
     core::ConcurrentAlex<K, P> index;
+    // The shard's write-ahead log; null while the WAL is disabled.
+    // Written under the exclusive gate (attach/detach), read under the
+    // shared gate (the write path) — never touched by readers.
+    std::shared_ptr<wal::ShardLog<K, P>> log;
     // Writers hold this shared for one committed operation; rebalance,
     // bulk load and save hold it exclusive. Readers never touch it.
     mutable std::shared_mutex write_gate;
@@ -509,6 +735,231 @@ class ShardedAlex {
       total += shard->index.size();
     }
     return total;
+  }
+
+  // ---- WAL plumbing ----
+
+  /// Logs one write (no-op while the WAL is off). Called with the
+  /// shard's gate held shared, which is what orders it against
+  /// checkpoints: a checkpoint's exclusive gate waits out the whole
+  /// log+apply pair. False = the record could not be committed; the
+  /// caller must fail the operation (fail closed, never apply an
+  /// unlogged write).
+  bool LogWrite(Shard* shard, wal::WalRecordType type, const K& key,
+                const P* payload) {
+    if (shard->log == nullptr) return true;
+    const wal::WalStatus status = shard->log->Log(type, key, payload);
+    if (status == wal::WalStatus::kOk) return true;
+    wal::WalStatus expected = wal::WalStatus::kOk;
+    last_wal_error_.compare_exchange_strong(expected, status,
+                                            std::memory_order_relaxed);
+    return false;
+  }
+
+  /// Opens one fresh log (new wal id, seq 1, LSN 0) per shard and
+  /// attaches it under the shard's exclusive gate. On any open failure
+  /// every log created here is removed again and false is returned.
+  /// Caller holds rebalance_mutex_ (which guards next_wal_id_).
+  bool AttachFreshLogs(std::vector<std::shared_ptr<Shard>>* shards,
+                       uint64_t parent) {
+    std::vector<std::shared_ptr<wal::ShardLog<K, P>>> logs;
+    logs.reserve(shards->size());
+    for (size_t i = 0; i < shards->size(); ++i) {
+      auto log = std::make_shared<wal::ShardLog<K, P>>(
+          wal_prefix_, next_wal_id_, parent, /*seq=*/1, /*start_lsn=*/0,
+          wal_options_);
+      if (log->Open() != wal::WalStatus::kOk) {
+        for (const auto& created : logs) {
+          std::remove(created->current_path().c_str());
+        }
+        return false;
+      }
+      ++next_wal_id_;
+      logs.push_back(std::move(log));
+    }
+    for (size_t i = 0; i < shards->size(); ++i) {
+      std::unique_lock<std::shared_mutex> gate((*shards)[i]->write_gate);
+      (*shards)[i]->log = std::move(logs[i]);
+    }
+    return true;
+  }
+
+  void DetachLogs(Table* table) {
+    for (const auto& shard : table->shards) {
+      std::unique_lock<std::shared_mutex> gate(shard->write_gate);
+      if (shard->log != nullptr) {
+        std::remove(shard->log->current_path().c_str());
+        shard->log.reset();
+      }
+    }
+  }
+
+  /// SaveTo minus the rebalance lock (BulkLoad and EnableWal checkpoint
+  /// while already holding it). See SaveTo for the contract.
+  core::SnapshotStatus SaveToLocked(const std::string& prefix) const {
+    util::EpochManager::Guard guard(epoch_);
+    // rebalance_mutex_ (held by the caller) excludes table replacement,
+    // so this table stays current for the whole save.
+    Table* table = table_.load(std::memory_order_seq_cst);
+    std::vector<std::unique_lock<std::shared_mutex>> gates;
+    gates.reserve(table->shards.size());
+    for (const auto& shard : table->shards) {
+      gates.emplace_back(shard->write_gate);
+    }
+    const bool wal_checkpoint = wal_enabled_ && prefix == wal_prefix_;
+    // A committed snapshot at this prefix determines the previous
+    // generation (for post-commit cleanup) and the next stamp.
+    ShardManifest<K> previous;
+    const bool had_previous =
+        ReadManifest<K>(ManifestPath(prefix), &previous) ==
+        core::SnapshotStatus::kOk;
+    ShardManifest<K> manifest;
+    manifest.generation = had_previous ? previous.generation + 1 : 1;
+    manifest.boundaries = table->router.boundaries();
+    manifest.router_model = table->router.model();
+    manifest.next_wal_id = wal_checkpoint ? next_wal_id_ : 0;
+    manifest.shard_keys.reserve(table->shards.size());
+    for (size_t i = 0; i < table->shards.size(); ++i) {
+      const std::string shard_path =
+          ShardPath(prefix, manifest.generation, i);
+      const core::SnapshotStatus status =
+          table->shards[i]->index.SaveToFile(shard_path);
+      if (status != core::SnapshotStatus::kOk) return status;
+      // Durable before the manifest can reference it (and before the WAL
+      // segments it supersedes are deleted below).
+      if (!wal::SyncPath(shard_path)) {
+        return core::SnapshotStatus::kIoError;
+      }
+      manifest.shard_keys.push_back(table->shards[i]->index.size());
+      // With the gates held, log and index are in lockstep: this
+      // snapshot holds exactly the effects of records up to last_lsn().
+      const auto& log = table->shards[i]->log;
+      if (wal_checkpoint && log != nullptr) {
+        manifest.wal_ids.push_back(log->wal_id());
+        manifest.checkpoint_lsns.push_back(log->last_lsn());
+      } else {
+        manifest.wal_ids.push_back(0);
+        manifest.checkpoint_lsns.push_back(0);
+      }
+    }
+    // Commit: write the manifest beside its final name, then rename over
+    // it (atomic replace on POSIX).
+    const std::string tmp = ManifestPath(prefix) + ".tmp";
+    const core::SnapshotStatus status = WriteManifest(tmp, manifest);
+    if (status != core::SnapshotStatus::kOk) return status;
+    if (!wal::SyncPath(tmp)) {
+      std::remove(tmp.c_str());
+      return core::SnapshotStatus::kIoError;
+    }
+    if (std::rename(tmp.c_str(), ManifestPath(prefix).c_str()) != 0) {
+      std::remove(tmp.c_str());
+      return core::SnapshotStatus::kIoError;
+    }
+    // Persist the rename itself: only now is the checkpoint durably
+    // committed and the cleanup below allowed to destroy what it
+    // superseded.
+    {
+      std::string dir, base;
+      wal::SplitPrefixPath(prefix, &dir, &base);
+      if (!wal::SyncPath(dir)) return core::SnapshotStatus::kIoError;
+    }
+    // Post-commit, best-effort cleanup: the superseded generation's
+    // shard files, any strays from crashed saves (other generations, or
+    // same-generation indexes past the shard count), and — after a
+    // checkpoint rotation — every WAL segment the snapshot covers.
+    if (had_previous) {
+      for (size_t i = 0; i < previous.num_shards(); ++i) {
+        std::remove(
+            ShardPath(prefix, previous.generation, i).c_str());
+      }
+    }
+    SweepStaleSnapshots(prefix, manifest.generation,
+                        table->shards.size());
+    if (wal_checkpoint) {
+      for (const auto& shard : table->shards) {
+        if (shard->log != nullptr) {
+          shard->log->Rotate();  // failure keeps the old segment current
+        }
+      }
+      SweepStaleWalSegments(prefix, table);
+    } else if (!wal_enabled_) {
+      // This manifest records no checkpoint LSNs, so any segment left at
+      // the prefix (e.g. the logs a recovery just replayed) would replay
+      // *from LSN 0 over this newer snapshot* at the next load. They are
+      // superseded by the committed snapshot: remove them all. Skipped
+      // while logging is live: `prefix` could then be a spelled-
+      // differently alias of wal_prefix_ (./db vs db), and sweeping
+      // would unlink the live logs' current segments. (Recovery guards
+      // the leftover-segment case anyway: with a manifest, an
+      // unanchored lineage never replays.)
+      SweepStaleWalSegments(prefix, /*table=*/nullptr);
+    }
+    return core::SnapshotStatus::kOk;
+  }
+
+  /// Parses `<base>.g<gen>.shard-<idx>` (the ShardPath format). Returns
+  /// false for any other name.
+  static bool ParseShardFileName(const std::string& name,
+                                 const std::string& base, uint64_t* gen,
+                                 uint64_t* idx) {
+    const std::string marker = base + ".g";
+    if (name.size() <= marker.size() ||
+        name.compare(0, marker.size(), marker) != 0) {
+      return false;
+    }
+    unsigned long long g = 0, i = 0;
+    int consumed = 0;
+    const char* tail = name.c_str() + marker.size();
+    if (std::sscanf(tail, "%llu.shard-%llu%n", &g, &i, &consumed) != 2 ||
+        tail[consumed] != '\0') {
+      return false;
+    }
+    *gen = g;
+    *idx = i;
+    return true;
+  }
+
+  /// Removes every shard snapshot file at the prefix that the committed
+  /// manifest does not reference: other generations (crashed saves,
+  /// superseded snapshots) and same-generation strays past the shard
+  /// count (a crashed wider save reusing the generation number).
+  void SweepStaleSnapshots(const std::string& prefix, uint64_t generation,
+                           size_t num_shards) const {
+    std::string dir, base;
+    wal::SplitPrefixPath(prefix, &dir, &base);
+    std::vector<std::string> names;
+    if (!wal::ListDirectory(dir, &names)) return;
+    for (const std::string& name : names) {
+      uint64_t gen = 0, idx = 0;
+      if (ParseShardFileName(name, base, &gen, &idx) &&
+          (gen != generation || idx >= num_shards)) {
+        std::remove((dir + "/" + name).c_str());
+      }
+    }
+  }
+
+  /// Removes every WAL segment at the prefix that is not some live
+  /// shard's *current* segment (all of them when `table` is null — a
+  /// save without a checkpoint). Only called after a manifest commit,
+  /// when the snapshot has made the swept segments (rotated-out seqs,
+  /// sealed split victims, abandoned or replayed lineages) redundant.
+  void SweepStaleWalSegments(const std::string& prefix,
+                             Table* table) const {
+    std::vector<std::pair<uint64_t, uint64_t>> keep;
+    if (table != nullptr) {
+      keep.reserve(table->shards.size());
+      for (const auto& shard : table->shards) {
+        if (shard->log != nullptr) {
+          keep.emplace_back(shard->log->wal_id(), shard->log->seq());
+        }
+      }
+    }
+    for (const wal::WalSegmentFile& f : wal::ListWalSegments(prefix)) {
+      if (std::find(keep.begin(), keep.end(),
+                    std::make_pair(f.wal_id, f.seq)) == keep.end()) {
+        std::remove(f.path.c_str());
+      }
+    }
   }
 
   bool ShouldSplit(size_t shard_keys, size_t total,
@@ -593,10 +1044,21 @@ class ShardedAlex {
         part_keys.push_back(pairs[i].first);
         part_payloads.push_back(pairs[i].second);
       }
-      auto shard = std::make_shared<Shard>(options_.shard_config);
+      auto shard = std::make_shared<Shard>(options_.shard_config, &epoch_);
       shard->index.BulkLoad(part_keys.data(), part_payloads.data(),
                             part_keys.size());
       replacements.push_back(std::move(shard));
+    }
+    // WAL hand-off: the replacements get fresh logs whose headers name
+    // the victim's log as their parent; if the files cannot be opened
+    // the split is simply abandoned (it is an optimization, and running
+    // a shard unlogged is not an option).
+    if (wal_enabled_ && victim->log != nullptr &&
+        !AttachFreshLogs(&replacements, victim->log->wal_id())) {
+      delete next;
+      last_wal_error_.store(wal::WalStatus::kIoError,
+                            std::memory_order_relaxed);
+      return;
     }
     boundaries.insert(
         boundaries.begin() + static_cast<std::ptrdiff_t>(idx),
@@ -613,6 +1075,12 @@ class ShardedAlex {
     }
     table_.store(next, std::memory_order_seq_cst);
     victim->retired.store(true, std::memory_order_seq_cst);
+    // Seal the victim's log at the publish LSN: its writers are drained
+    // (we hold the gate exclusive), so the sealed log holds exactly the
+    // records the replacements' contents were built from; everything
+    // after goes to the replacements' fresh logs. Replay order is
+    // victim-before-replacements by wal-id.
+    if (victim->log != nullptr) victim->log->Seal();
     gate.unlock();
     rebalances_.fetch_add(1, std::memory_order_relaxed);
     // The old table (and, once no newer table shares them, its replaced
@@ -628,6 +1096,13 @@ class ShardedAlex {
   mutable std::mutex rebalance_mutex_;
   std::atomic<Table*> table_{nullptr};
   std::atomic<uint64_t> rebalances_{0};
+  // WAL configuration; all guarded by rebalance_mutex_ (every site that
+  // enables logging, allocates a wal id, or checkpoints holds it).
+  std::string wal_prefix_;
+  wal::WalOptions wal_options_;
+  bool wal_enabled_ = false;
+  uint64_t next_wal_id_ = 1;
+  std::atomic<wal::WalStatus> last_wal_error_{wal::WalStatus::kOk};
 };
 
 }  // namespace alex::shard

@@ -1,0 +1,321 @@
+// WAL segment reader and crash-recovery replayer.
+//
+// Reading a segment validates everything the writer promised: magic,
+// version, key/payload sizes, the header checksum, per-record checksums,
+// legal types/lengths, and contiguous ascending LSNs. Exactly one defect
+// is *tolerated* rather than reported: a torn tail. A crash mid-append
+// can leave the final record half-written (short header, short body, or
+// a record whose bytes are present but whose checksum fails at EOF); the
+// reader stops at the last intact record and reports how many bytes were
+// valid, so the caller can truncate the file and lose at most that one
+// unacknowledged record. Any defect *before* the tail region — a flipped
+// byte mid-segment, an illegal type with intact data after it — is real
+// corruption and maps to its distinct WalStatus instead.
+//
+// Replay (ReplayWal) reassembles the logical state: segments are grouped
+// by wal id, chained by (seq, start_lsn) so a rotation hole is detected,
+// and applied in ascending wal-id order — which is parent-before-child
+// for split lineages (wal_format.h) and therefore the only cross-log
+// order recovery needs. Records at or below a log's checkpoint LSN are
+// skipped (their effect is already in the snapshot), making replay
+// idempotent: replaying the same logs twice yields the same state.
+#pragma once
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "wal/wal_format.h"
+
+namespace alex::wal {
+
+/// One decoded record.
+template <typename K, typename P>
+struct WalRecord {
+  uint64_t lsn = 0;
+  WalRecordType type = WalRecordType::kInsert;
+  K key{};
+  P payload{};
+};
+
+/// Everything a segment read learns beyond the records.
+struct WalSegmentInfo {
+  uint64_t wal_id = 0;
+  uint64_t parent_wal_id = 0;
+  uint64_t seq = 0;
+  uint64_t start_lsn = 0;
+  uint64_t last_lsn = 0;     ///< start_lsn when the segment is empty
+  bool sealed = false;       ///< ends with a kSeal record
+  bool tail_truncated = false;
+  uint64_t valid_bytes = 0;  ///< file is intact up to here
+};
+
+/// Reads and validates one segment. On kOk, `records` holds every intact
+/// record in order (the kSeal marker is reflected in info->sealed, not
+/// appended). A torn tail yields kOk with info->tail_truncated set and
+/// info->valid_bytes marking where the intact prefix ends.
+template <typename K, typename P>
+WalStatus ReadWalSegment(const std::string& path, WalSegmentInfo* info,
+                         std::vector<WalRecord<K, P>>* records) {
+  records->clear();
+  *info = WalSegmentInfo{};
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return WalStatus::kIoError;
+  core::internal::FileCloser closer{f};
+  if (std::fseek(f, 0, SEEK_END) != 0) return WalStatus::kIoError;
+  const long end = std::ftell(f);
+  if (end < 0) return WalStatus::kIoError;
+  if (std::fseek(f, 0, SEEK_SET) != 0) return WalStatus::kIoError;
+  std::vector<uint8_t> data(static_cast<size_t>(end));
+  if (!data.empty() &&
+      std::fread(data.data(), 1, data.size(), f) != data.size()) {
+    return WalStatus::kIoError;
+  }
+
+  WalSegmentHeader header;
+  if (data.size() < sizeof(header)) return WalStatus::kBadMagic;
+  std::memcpy(&header, data.data(), sizeof(header));
+  if (header.magic != internal::kWalMagic) return WalStatus::kBadMagic;
+  if (header.version != internal::kWalVersion) {
+    return WalStatus::kBadVersion;
+  }
+  if (header.key_size != sizeof(K)) return WalStatus::kKeySizeMismatch;
+  if (header.payload_size != sizeof(P)) {
+    return WalStatus::kPayloadSizeMismatch;
+  }
+  if (header.header_checksum != WalHeaderChecksum(header)) {
+    return WalStatus::kBadHeaderChecksum;
+  }
+  info->wal_id = header.wal_id;
+  info->parent_wal_id = header.parent_wal_id;
+  info->seq = header.seq;
+  info->start_lsn = header.start_lsn;
+  info->last_lsn = header.start_lsn;
+
+  // A torn write can only damage the final record, so a defect is
+  // tolerated as "torn" only when it lies within one maximal record's
+  // span of EOF; anything earlier is mid-segment corruption.
+  constexpr size_t kMaxRecord =
+      sizeof(WalRecordHeader) + sizeof(K) + sizeof(P);
+  uint64_t expected_lsn = header.start_lsn;
+  size_t at = sizeof(header);
+  info->valid_bytes = at;
+  while (at < data.size()) {
+    const size_t remaining = data.size() - at;
+    const bool in_tail_span = remaining <= kMaxRecord;
+    if (remaining < sizeof(WalRecordHeader)) {
+      info->tail_truncated = true;  // header itself is torn
+      return WalStatus::kOk;
+    }
+    WalRecordHeader rec;
+    std::memcpy(&rec, data.data() + at, sizeof(rec));
+    const size_t legal_len = WalBodyLen<K, P>(rec.type);
+    if (legal_len == SIZE_MAX) {
+      if (in_tail_span) {
+        info->tail_truncated = true;
+        return WalStatus::kOk;
+      }
+      return WalStatus::kBadRecordType;
+    }
+    if (rec.body_len != legal_len) {
+      if (in_tail_span) {
+        info->tail_truncated = true;
+        return WalStatus::kOk;
+      }
+      return WalStatus::kBadRecordLength;
+    }
+    if (sizeof(rec) + rec.body_len > remaining) {
+      info->tail_truncated = true;  // body runs past EOF
+      return WalStatus::kOk;
+    }
+    const uint8_t* body = data.data() + at + sizeof(rec);
+    if (rec.checksum != WalRecordChecksum(rec, body)) {
+      if (at + sizeof(rec) + rec.body_len == data.size()) {
+        info->tail_truncated = true;  // final record, torn mid-write
+        return WalStatus::kOk;
+      }
+      return WalStatus::kChecksumMismatch;
+    }
+    if (rec.lsn != expected_lsn + 1) return WalStatus::kOutOfOrderLsn;
+    expected_lsn = rec.lsn;
+    info->last_lsn = rec.lsn;
+    const auto type = static_cast<WalRecordType>(rec.type);
+    if (type == WalRecordType::kSeal) {
+      info->sealed = true;
+    } else {
+      WalRecord<K, P> out;
+      out.lsn = rec.lsn;
+      out.type = type;
+      std::memcpy(&out.key, body, sizeof(K));
+      if (rec.body_len == sizeof(K) + sizeof(P)) {
+        std::memcpy(&out.payload, body + sizeof(K), sizeof(P));
+      }
+      records->push_back(out);
+    }
+    at += sizeof(rec) + rec.body_len;
+    info->valid_bytes = at;
+  }
+  return WalStatus::kOk;
+}
+
+/// What a recovery replay did, for operators and tests. `status` mirrors
+/// the returned status; `detail` names the offending file on failure.
+struct RecoveryReport {
+  WalStatus status = WalStatus::kOk;
+  size_t segments_scanned = 0;
+  size_t records_replayed = 0;
+  size_t records_skipped = 0;  ///< at or below their log's checkpoint LSN
+  bool tail_truncated = false;
+  uint64_t max_wal_id = 0;  ///< highest wal id seen on disk
+  std::string detail;
+};
+
+/// Replays every WAL segment of `prefix` into `state` (the logical
+/// key-payload map recovered so far, typically pre-seeded from the
+/// snapshot). `checkpoint_lsns` maps wal id -> highest LSN already
+/// captured by the snapshot; unknown wal ids replay from LSN 0. When
+/// `truncate_torn_tail` is set, a torn final record is physically
+/// truncated away so a second recovery sees a clean log.
+///
+/// With `require_known_roots` (set when a checkpoint manifest exists),
+/// a log the manifest does not know must be a split descendant of one
+/// it does — its parent chain anchors its baseline in the snapshot. An
+/// *orphan* lineage (unknown root) means records whose baseline was
+/// never checkpointed (e.g. a crash between a bulk load's publish and
+/// its auto-checkpoint): replaying them over the older snapshot would
+/// silently produce wrong contents, so an orphan with records fails
+/// with kSegmentGap, while an empty orphan (nothing acknowledged) is
+/// skipped.
+template <typename K, typename P>
+WalStatus ReplayWal(const std::string& prefix,
+                    const std::map<uint64_t, uint64_t>& checkpoint_lsns,
+                    std::map<K, P>* state, RecoveryReport* report,
+                    bool truncate_torn_tail = true,
+                    bool require_known_roots = false) {
+  RecoveryReport local;
+  RecoveryReport* rep = report != nullptr ? report : &local;
+  *rep = RecoveryReport{};
+  const std::vector<WalSegmentFile> files = ListWalSegments(prefix);
+  // Lineages whose baseline is anchored: checkpointed ids, plus (below)
+  // every accepted descendant. Ascending wal-id order processes parents
+  // before children, so one pass suffices.
+  std::vector<uint64_t> anchored;
+  for (const auto& [id, lsn] : checkpoint_lsns) {
+    (void)lsn;
+    anchored.push_back(id);
+  }
+  size_t i = 0;
+  while (i < files.size()) {
+    const uint64_t wal_id = files[i].wal_id;
+    if (wal_id > rep->max_wal_id) rep->max_wal_id = wal_id;
+    const auto cp = checkpoint_lsns.find(wal_id);
+    const uint64_t checkpoint =
+        cp != checkpoint_lsns.end() ? cp->second : 0;
+    // Read the whole lineage group before applying anything: the orphan
+    // decision needs the root segment's parent link and the group's
+    // total record count.
+    std::vector<WalSegmentInfo> infos;
+    std::vector<std::vector<WalRecord<K, P>>> groups;
+    uint64_t prev_last_lsn = 0;
+    bool first_segment = true;
+    for (; i < files.size() && files[i].wal_id == wal_id; ++i) {
+      // A crash can tear even the segment *header* of the newest segment
+      // (written but never synced). Tolerate a short file only when it is
+      // the last segment of its log — it cannot have held acknowledged
+      // records; anywhere else a short file is real damage.
+      struct ::stat st;
+      const bool last_of_log = i + 1 >= files.size() ||
+                               files[i + 1].wal_id != wal_id;
+      if (last_of_log && ::stat(files[i].path.c_str(), &st) == 0 &&
+          static_cast<size_t>(st.st_size) < sizeof(WalSegmentHeader)) {
+        ++rep->segments_scanned;
+        rep->tail_truncated = true;
+        continue;
+      }
+      WalSegmentInfo info;
+      std::vector<WalRecord<K, P>> records;
+      const WalStatus status =
+          ReadWalSegment<K, P>(files[i].path, &info, &records);
+      ++rep->segments_scanned;
+      if (status != WalStatus::kOk) {
+        rep->detail = files[i].path;
+        return rep->status = status;
+      }
+      // The remaining segments must cover everything past the
+      // checkpoint: the first one must start at or before it, and each
+      // later one must resume exactly where its predecessor ended. A
+      // hole means a rotation deleted records the snapshot never
+      // captured.
+      if (first_segment ? info.start_lsn > checkpoint
+                        : info.start_lsn != prev_last_lsn) {
+        rep->detail = files[i].path;
+        return rep->status = WalStatus::kSegmentGap;
+      }
+      first_segment = false;
+      prev_last_lsn = info.last_lsn;
+      if (info.tail_truncated) {
+        rep->tail_truncated = true;
+        if (truncate_torn_tail) {
+          // Best effort: a failure just means the next recovery
+          // re-tolerates the same tail.
+          (void)::truncate(files[i].path.c_str(),
+                           static_cast<off_t>(info.valid_bytes));
+        }
+        // A torn tail is only tolerable at the very end of a log: a
+        // later segment of the same wal id would have started past the
+        // lost records, which the chain check above reports as a gap.
+      }
+      infos.push_back(info);
+      groups.push_back(std::move(records));
+    }
+    if (infos.empty()) continue;  // only a torn header stub
+    const bool known = cp != checkpoint_lsns.end();
+    const uint64_t parent = infos.front().parent_wal_id;
+    const bool parent_anchored =
+        parent != 0 && std::find(anchored.begin(), anchored.end(),
+                                 parent) != anchored.end();
+    if (require_known_roots && !known && !parent_anchored) {
+      size_t total = 0;
+      for (const auto& group : groups) total += group.size();
+      if (total > 0) {
+        rep->detail = files[i - 1].path;
+        return rep->status = WalStatus::kSegmentGap;
+      }
+      continue;  // empty orphan: nothing was acknowledged, skip it
+    }
+    anchored.push_back(wal_id);
+    for (const auto& group : groups) {
+      for (const WalRecord<K, P>& rec : group) {
+        if (rec.lsn <= checkpoint) {
+          ++rep->records_skipped;
+          continue;
+        }
+        switch (rec.type) {
+          case WalRecordType::kInsert:
+            state->emplace(rec.key, rec.payload);
+            break;
+          case WalRecordType::kUpdate: {
+            auto it = state->find(rec.key);
+            if (it != state->end()) it->second = rec.payload;
+            break;
+          }
+          case WalRecordType::kErase:
+            state->erase(rec.key);
+            break;
+          case WalRecordType::kSeal:
+            break;  // never materialized as a record
+        }
+        ++rep->records_replayed;
+      }
+    }
+  }
+  return rep->status = WalStatus::kOk;
+}
+
+}  // namespace alex::wal

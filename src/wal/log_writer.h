@@ -1,0 +1,288 @@
+// Per-shard write-ahead log writer with group commit.
+//
+// One ShardLog serializes Put/Erase records for one shard (format:
+// wal_format.h). Appends are cheap — serialize into an in-memory arena
+// under a short mutex — and durability is driven by a leader/follower
+// *group commit*: the first committer whose record is not yet covered
+// steals the whole arena, writes it with one write(2) and (policy
+// permitting) one fdatasync(2), then wakes every follower whose record
+// the batch covered. While a leader is in flight, later writers keep
+// appending to the fresh arena and wait; the next leader flushes them all
+// at once. The cost of a sync therefore amortizes over every writer that
+// arrived during the previous sync, instead of charging one fsync per
+// operation.
+//
+// Sync policy decides what an acknowledged Log() means:
+//   kAlways — the record is fdatasync-durable before Log() returns.
+//   kBatch  — the record has reached the file (page cache); an fdatasync
+//             is piggybacked on the first flush after batch_interval_us.
+//             A crash can lose at most the last interval's records.
+//   kNone   — the record has reached the file; the OS syncs whenever.
+//
+// Seal() ends the log permanently (shard split/retire hand-off): it
+// appends a kSeal record stamped with the final LSN, syncs, and closes.
+// Rotate() is the checkpoint hand-off: it closes the current segment and
+// opens the next one (seq+1) whose header records the LSN watershed, so
+// the superseded segment can be deleted once the checkpoint commits.
+//
+// Thread safety: Log() may be called from any number of threads. Seal()
+// and Rotate() require the caller to exclude concurrent Log() calls —
+// ShardedAlex calls them under the shard's exclusive write gate.
+#pragma once
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "wal/wal_format.h"
+
+namespace alex::wal {
+
+template <typename K, typename P>
+class ShardLog {
+ public:
+  /// Describes a log without opening it; call Open() next. `start_lsn` is
+  /// the LSN already covered elsewhere (0 for a brand-new shard,
+  /// last_lsn at rotation).
+  ShardLog(std::string prefix, uint64_t wal_id, uint64_t parent_wal_id,
+           uint64_t seq, uint64_t start_lsn, const WalOptions& options)
+      : prefix_(std::move(prefix)),
+        options_(options),
+        wal_id_(wal_id),
+        parent_wal_id_(parent_wal_id),
+        seq_(seq),
+        last_lsn_(start_lsn),
+        flushed_lsn_(start_lsn),
+        durable_lsn_(start_lsn),
+        last_sync_(std::chrono::steady_clock::now()) {}
+
+  /// Flushes what the arena still holds (best effort, no sync) and closes.
+  ~ShardLog() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fd_ >= 0) {
+      FlushArenaLocked(/*sync=*/false);
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  ShardLog(const ShardLog&) = delete;
+  ShardLog& operator=(const ShardLog&) = delete;
+
+  /// Creates (truncating) the segment file and writes its header.
+  WalStatus Open() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return OpenSegmentLocked();
+  }
+
+  /// Appends one record and commits it per the sync policy (see the file
+  /// comment for what "committed" means under each policy). Returns the
+  /// first error sticky: once the log hit an I/O error no later append
+  /// can claim durability.
+  WalStatus Log(WalRecordType type, const K& key, const P* payload) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (sealed_) return WalStatus::kSealed;
+    if (io_error_) return WalStatus::kIoError;
+    const uint64_t lsn = ++last_lsn_;
+    AppendWalRecord<K, P>(&arena_, lsn, type, key, payload);
+    arena_lsn_ = lsn;
+    const bool want_durable = options_.sync_policy == SyncPolicy::kAlways;
+    while ((want_durable ? durable_lsn_ : flushed_lsn_) < lsn) {
+      if (io_error_) return WalStatus::kIoError;
+      if (flush_in_flight_) {
+        // A leader is mid-flush; our record is in the arena it did NOT
+        // steal. Wait for it to finish, then (typically) lead the next
+        // batch ourselves, carrying everyone who queued meanwhile.
+        cv_.wait(lock);
+        continue;
+      }
+      flush_in_flight_ = true;
+      std::vector<uint8_t> batch;
+      batch.swap(arena_);
+      const uint64_t batch_lsn = arena_lsn_;
+      bool do_sync = want_durable;
+      if (options_.sync_policy == SyncPolicy::kBatch) {
+        const auto now = std::chrono::steady_clock::now();
+        do_sync = now - last_sync_ >=
+                  std::chrono::microseconds(options_.batch_interval_us);
+      }
+      lock.unlock();
+      bool ok = WriteAll(batch.data(), batch.size());
+      if (ok && do_sync) ok = ::fdatasync(fd_) == 0;
+      lock.lock();
+      flush_in_flight_ = false;
+      if (!ok) {
+        io_error_ = true;
+        cv_.notify_all();
+        return WalStatus::kIoError;
+      }
+      if (batch_lsn > flushed_lsn_) flushed_lsn_ = batch_lsn;
+      if (do_sync) {
+        durable_lsn_ = flushed_lsn_;
+        last_sync_ = std::chrono::steady_clock::now();
+      }
+      cv_.notify_all();
+    }
+    return WalStatus::kOk;
+  }
+
+  /// Ends the log: appends a kSeal record at the final LSN, flushes,
+  /// syncs, closes. Caller must exclude concurrent Log() calls. The seal
+  /// is what lets recovery distinguish "this log is complete by design"
+  /// (a split victim) from a log that merely stops.
+  WalStatus Seal() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sealed_) return WalStatus::kOk;
+    if (io_error_) return WalStatus::kIoError;
+    const uint64_t lsn = ++last_lsn_;
+    const K unused{};  // kSeal has no body; the key is never serialized
+    AppendWalRecord<K, P>(&arena_, lsn, WalRecordType::kSeal, unused,
+                          nullptr);
+    arena_lsn_ = lsn;
+    if (!FlushArenaLocked(/*sync=*/true)) {
+      io_error_ = true;
+      return WalStatus::kIoError;
+    }
+    ::close(fd_);
+    fd_ = -1;
+    sealed_ = true;
+    return WalStatus::kOk;
+  }
+
+  /// Checkpoint rotation: opens segment seq+1 (whose header records the
+  /// current LSN as its watershed), then closes the old segment. On
+  /// failure the old segment stays current, so the log never loses its
+  /// tail. Caller must exclude concurrent Log() calls and is responsible
+  /// for deleting the superseded segment once its checkpoint committed.
+  /// `old_path` (optional) receives the superseded segment's path.
+  WalStatus Rotate(std::string* old_path = nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sealed_) return WalStatus::kSealed;
+    if (io_error_) return WalStatus::kIoError;
+    if (!FlushArenaLocked(/*sync=*/false)) {
+      io_error_ = true;
+      return WalStatus::kIoError;
+    }
+    const int old_fd = fd_;
+    const uint64_t old_seq = seq_;
+    fd_ = -1;
+    seq_ += 1;
+    const WalStatus status = OpenSegmentLocked();
+    if (status != WalStatus::kOk) {
+      fd_ = old_fd;  // keep the old segment current
+      seq_ = old_seq;
+      return status;
+    }
+    ::close(old_fd);
+    if (old_path != nullptr) {
+      *old_path = WalSegmentPath(prefix_, wal_id_, old_seq);
+    }
+    flushed_lsn_ = last_lsn_;
+    durable_lsn_ = last_lsn_;
+    return WalStatus::kOk;
+  }
+
+  uint64_t wal_id() const { return wal_id_; }
+  uint64_t seq() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return seq_;
+  }
+  uint64_t last_lsn() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return last_lsn_;
+  }
+  bool sealed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sealed_;
+  }
+  std::string current_path() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return WalSegmentPath(prefix_, wal_id_, seq_);
+  }
+
+ private:
+  WalStatus OpenSegmentLocked() {
+    const std::string path = WalSegmentPath(prefix_, wal_id_, seq_);
+    fd_ = ::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    if (fd_ < 0) return WalStatus::kIoError;
+    // Persist the directory entry: fdatasync(fd_) makes record *data*
+    // durable but not the file's existence — without this, a power loss
+    // after a rotation could vanish the whole segment, acknowledged
+    // records included.
+    {
+      std::string dir, base;
+      SplitPrefixPath(prefix_, &dir, &base);
+      if (!SyncPath(dir)) {
+        ::close(fd_);
+        fd_ = -1;
+        return WalStatus::kIoError;
+      }
+    }
+    WalSegmentHeader header;
+    header.magic = internal::kWalMagic;
+    header.version = internal::kWalVersion;
+    header.key_size = sizeof(K);
+    header.payload_size = sizeof(P);
+    header.wal_id = wal_id_;
+    header.parent_wal_id = parent_wal_id_;
+    header.seq = seq_;
+    header.start_lsn = last_lsn_;
+    header.header_checksum = WalHeaderChecksum(header);
+    if (!WriteAll(&header, sizeof(header))) {
+      ::close(fd_);
+      fd_ = -1;
+      return WalStatus::kIoError;
+    }
+    return WalStatus::kOk;
+  }
+
+  bool WriteAll(const void* data, size_t n) {
+    const auto* bytes = static_cast<const uint8_t*>(data);
+    while (n > 0) {
+      const ssize_t w = ::write(fd_, bytes, n);
+      if (w <= 0) return false;
+      bytes += w;
+      n -= static_cast<size_t>(w);
+    }
+    return true;
+  }
+
+  bool FlushArenaLocked(bool sync) {
+    if (!arena_.empty()) {
+      if (!WriteAll(arena_.data(), arena_.size())) return false;
+      arena_.clear();
+      flushed_lsn_ = arena_lsn_;
+    }
+    if (sync && ::fdatasync(fd_) != 0) return false;
+    if (sync) durable_lsn_ = flushed_lsn_;
+    return true;
+  }
+
+  const std::string prefix_;
+  const WalOptions options_;
+  const uint64_t wal_id_;
+  const uint64_t parent_wal_id_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int fd_ = -1;
+  uint64_t seq_;
+  uint64_t last_lsn_;     ///< highest LSN assigned (arena included)
+  uint64_t arena_lsn_ = 0;  ///< highest LSN currently in the arena
+  uint64_t flushed_lsn_;  ///< highest LSN written to the file
+  uint64_t durable_lsn_;  ///< highest LSN covered by an fdatasync
+  bool flush_in_flight_ = false;
+  bool sealed_ = false;
+  bool io_error_ = false;
+  std::vector<uint8_t> arena_;
+  std::chrono::steady_clock::time_point last_sync_;
+};
+
+}  // namespace alex::wal
