@@ -7,7 +7,10 @@
 // which syncs on a clock instead of per commit — should sustain a
 // multiple of kAlways's throughput at every writer count (the
 // acceptance bar is >= 5x at 8 writers). kNone bounds what the log
-// costs when the OS owns durability.
+// costs when the OS owns durability. Each logged run also reports the
+// per-commit wait distribution (p50/p99 microseconds) from the shard
+// logs' commit-wait histograms — the latency price of each policy's
+// durability, not just its throughput.
 //
 // Usage: wal_throughput [--quick] [--threads N] [--csv PATH] [--json PATH]
 //   --threads caps the sweep's highest writer count (default 8).
@@ -23,6 +26,7 @@
 
 #include "bench/common.h"
 #include "shard/sharded_alex.h"
+#include "util/histogram.h"
 #include "util/timer.h"
 
 namespace {
@@ -52,8 +56,12 @@ void Cleanup(const std::string& prefix) {
 }
 
 /// One timed run; returns ops/sec. `policy_name` "off" disables the WAL.
+/// For logged runs, *p50_us / *p99_us receive the commit-wait quantiles.
 double RunOnce(const char* policy_name, SyncPolicy policy, size_t writers,
-               double seconds, size_t preload) {
+               double seconds, size_t preload, uint64_t* p50_us,
+               uint64_t* p99_us) {
+  *p50_us = 0;
+  *p99_us = 0;
   const std::string prefix = TempPrefix();
   Cleanup(prefix);
   ShardedOptions options;
@@ -110,6 +118,11 @@ double RunOnce(const char* policy_name, SyncPolicy policy, size_t writers,
   stop.store(true, std::memory_order_relaxed);
   for (auto& t : threads) t.join();
   const double elapsed = timer.ElapsedSeconds();
+  const alex::util::Log2Histogram waits = index.CommitWaitHistogram();
+  if (waits.total() > 0) {
+    *p50_us = waits.Quantile(0.5);
+    *p99_us = waits.Quantile(0.99);
+  }
   Cleanup(prefix);
   return static_cast<double>(total_ops.load()) / elapsed;
 }
@@ -135,17 +148,24 @@ int main(int argc, char** argv) {
 
   ResultSink sink;
   alex::bench::PrintRule("WAL throughput: sync policy x writer count");
-  std::printf("%-8s %8s %12s\n", "policy", "writers", "Mops/s");
+  std::printf("%-8s %8s %12s %10s %10s\n", "policy", "writers", "Mops/s",
+              "p50(us)", "p99(us)");
   double batch_at_max = 0.0, always_at_max = 0.0;
   for (size_t writers = 1; writers <= max_writers; writers *= 2) {
     for (const Policy& p : policies) {
+      uint64_t p50_us = 0, p99_us = 0;
       const double ops = RunOnce(p.name, p.policy, writers, seconds,
-                                 preload);
-      std::printf("%-8s %8zu %12s\n", p.name, writers,
-                  alex::bench::Mops(ops).c_str());
+                                 preload, &p50_us, &p99_us);
+      std::printf("%-8s %8zu %12s %10" PRIu64 " %10" PRIu64 "\n", p.name,
+                  writers, alex::bench::Mops(ops).c_str(), p50_us,
+                  p99_us);
       sink.Add({{"policy", p.name},
                 {"writers", std::to_string(writers)},
-                {"ops_per_sec", ResultSink::Num(ops)}});
+                {"ops_per_sec", ResultSink::Num(ops)},
+                {"commit_wait_p50_us",
+                 ResultSink::Num(static_cast<double>(p50_us))},
+                {"commit_wait_p99_us",
+                 ResultSink::Num(static_cast<double>(p99_us))}});
       if (writers == max_writers) {
         if (std::string(p.name) == "batch") batch_at_max = ops;
         if (std::string(p.name) == "always") always_at_max = ops;
@@ -160,7 +180,9 @@ int main(int argc, char** argv) {
         max_writers, ratio);
     sink.Add({{"policy", "batch_over_always"},
               {"writers", std::to_string(max_writers)},
-              {"ops_per_sec", ResultSink::Num(ratio)}});
+              {"ops_per_sec", ResultSink::Num(ratio)},
+              {"commit_wait_p50_us", "0"},
+              {"commit_wait_p99_us", "0"}});
   }
   sink.Flush();
   return 0;

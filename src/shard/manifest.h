@@ -7,15 +7,21 @@
 // per-shard key counts (so a load can detect a shard file that was
 // swapped or rebuilt independently of its manifest).
 //
-// Layout (format v2): ManifestHeader, boundaries (num_shards-1 keys),
+// Layout (format v3): ManifestHeader, boundaries (num_shards-1 keys),
 // per-shard key counts (num_shards uint64s), per-shard WAL ids and
 // checkpoint LSNs (num_shards uint64s each; all zero when the WAL is
 // disabled), then a trailing FNV-1a checksum over everything before it.
 // The WAL fields make the manifest the checkpoint record: shard i's
 // snapshot file captures exactly the effects of its log's records up to
-// checkpoint_lsns[i], so recovery replays only what came after. Reading
-// validates magic, version, key size, the declared lengths against the
-// actual file size, and the checksum — each failure maps to a distinct
+// checkpoint_lsns[i], so recovery replays only what came after —
+// per shard: the boundary array plus the per-shard wal lineage anchors
+// are what let LoadFrom rebuild each shard independently with the exact
+// pre-crash boundaries (boundary-preserving recovery) instead of
+// repartitioning a merged map. v3 also records the topology epoch (how
+// many topology transactions — splits, merges, rebalances — the index
+// has committed), so the counter survives restarts. Reading validates
+// magic, version, key size, the declared lengths against the actual
+// file size, and the checksum — each failure maps to a distinct
 // core::SnapshotStatus.
 #pragma once
 
@@ -35,8 +41,10 @@ namespace internal {
 
 // "ALEXSHRD" in ASCII.
 inline constexpr uint64_t kManifestMagic = 0x414C455853485244ULL;
-// Version 2 added the per-shard WAL ids and checkpoint LSNs.
-inline constexpr uint32_t kManifestVersion = 2;
+// Version 2 added the per-shard WAL ids and checkpoint LSNs; version 3
+// added the topology epoch and the boundary-preserving-recovery
+// contract (each shard file + wal lineage replays independently).
+inline constexpr uint32_t kManifestVersion = 3;
 
 // The checksum primitive is shared with the snapshot body checksum.
 using core::internal::Fnv1a;
@@ -58,6 +66,10 @@ struct ManifestHeader {
   // Lower bound on the next WAL id a recovered index may allocate (the
   // directory scan can only raise it); 0 when the WAL is disabled.
   uint64_t next_wal_id = 0;
+  // Topology transactions (splits, merges, rebalances) committed over
+  // the index's lifetime; restored by LoadFrom so the epoch is monotone
+  // across restarts.
+  uint64_t topology_epoch = 0;
   double router_slope = 0.0;
   double router_intercept = 0.0;
 };
@@ -75,6 +87,7 @@ struct ShardManifest {
   model::LinearModel router_model;
   uint64_t generation = 0;
   uint64_t next_wal_id = 0;
+  uint64_t topology_epoch = 0;
 
   size_t num_shards() const { return shard_keys.size(); }
   uint64_t total_keys() const {
@@ -99,6 +112,7 @@ core::SnapshotStatus WriteManifest(const std::string& path,
   header.total_keys = manifest.total_keys();
   header.generation = manifest.generation;
   header.next_wal_id = manifest.next_wal_id;
+  header.topology_epoch = manifest.topology_epoch;
   header.router_slope = manifest.router_model.slope();
   header.router_intercept = manifest.router_model.intercept();
 
@@ -252,6 +266,7 @@ core::SnapshotStatus ReadManifest(const std::string& path,
   }
   out->generation = header.generation;
   out->next_wal_id = header.next_wal_id;
+  out->topology_epoch = header.topology_epoch;
   out->router_model =
       model::LinearModel(header.router_slope, header.router_intercept);
   return core::SnapshotStatus::kOk;

@@ -58,9 +58,36 @@ class ShardRouter {
     return router;
   }
 
-  /// Builds a router from a boundary array alone (the rebalance path,
-  /// where no global sorted key array exists). The model is fit on the
-  /// boundary keys themselves — a coarse CDF, but the binary-search
+  /// Boundary surgery for a topology transaction: victims [lo, hi) of
+  /// the table this array describes are replaced by children whose
+  /// internal split keys are `split_keys` (so the child count is
+  /// split_keys.size() + 1). The victims' outer edges survive — the
+  /// transaction never moves a boundary it did not drain — and only
+  /// their internal boundaries are swapped out: a merge passes no split
+  /// keys, a split passes its fresh ones, a rebalance passes re-evened
+  /// ones. Requires lo < hi <= num_shards and strictly increasing split
+  /// keys inside the victims' range.
+  static std::vector<K> SpliceBoundaries(const std::vector<K>& boundaries,
+                                         size_t lo, size_t hi,
+                                         const std::vector<K>& split_keys) {
+    // boundaries[i] is the lower bound of shard i+1: indices < lo lie at
+    // or below the victims' lower edge, indices [lo, hi-1) are the
+    // victims' internal boundaries, index hi-1 onward start at the upper
+    // edge.
+    std::vector<K> out;
+    out.reserve(boundaries.size() - (hi - 1 - lo) + split_keys.size());
+    out.insert(out.end(), boundaries.begin(),
+               boundaries.begin() + static_cast<std::ptrdiff_t>(lo));
+    out.insert(out.end(), split_keys.begin(), split_keys.end());
+    out.insert(out.end(),
+               boundaries.begin() + static_cast<std::ptrdiff_t>(hi - 1),
+               boundaries.end());
+    return out;
+  }
+
+  /// Builds a router from a boundary array alone (the topology-change
+  /// path, where no global sorted key array exists). The model is fit on
+  /// the boundary keys themselves — a coarse CDF, but the binary-search
   /// fallback keeps routing exact regardless of its quality.
   static ShardRouter FitFromBoundaries(std::vector<K> boundaries) {
     model::LinearModelBuilder builder;

@@ -39,16 +39,35 @@
 //     shard's size) is amortized to every 1024th key committed into a
 //     shard.
 //
-//   Rebalance.   When a shard's size exceeds the configured skew factor
-//     times the mean (or an absolute bound), a rebalancer takes the
-//     shard's gate exclusive — waiting out in-flight writers and excluding
-//     new ones — extracts the now write-quiescent shard, builds the
-//     replacement shards and a new Table off to the side, publishes the
-//     table with one store, marks the victim retired (stragglers re-route)
-//     and retires the old Table through EBR. Readers concurrently inside
-//     the victim keep reading it: its contents are never erased, and the
-//     Table (and with it the victim shard) is freed only two epoch
-//     advances after retirement.
+//   Topology transactions.   Every topology change — a *split* (one hot
+//     shard → split_ways children, triggered by the skew check or the
+//     absolute bound), a *merge* (two adjacent cold shards → one child,
+//     triggered by the inverse skew check when erases shrink them under
+//     the configured floor), and an explicit *rebalance* (re-even the
+//     boundaries of an adjacent run, shard count unchanged) — runs
+//     through one protocol, ExecuteTopologyTxn:
+//
+//       1. drain   the victims' write gates, taken exclusive in
+//                  ascending order (in-flight writers finish, new ones
+//                  wait or re-route);
+//       2. build   the child shards off to the side from the victims'
+//                  now write-quiescent contents;
+//       3. log     open the children's WAL segments (directory-fsynced
+//                  at creation) whose lineage names every victim —
+//                  multi-parent via the kTopology record;
+//       4. publish the replacement Table with one store;
+//       5. seal    the victims' logs at the publish LSN (the drain
+//                  guarantees no record lands in between — asserted);
+//       6. retire  the victims (stragglers re-route) and the old Table
+//                  through EBR.
+//
+//     The protocol's invariants live in that one function: gates are
+//     drained before any seal, the seal LSN equals the publish LSN, and
+//     parents are retired only after the children's segments are
+//     durable in the directory. Readers concurrently inside a victim
+//     keep reading it: its contents are never erased, and the Table
+//     (and with it the victim shard) is freed only two epoch advances
+//     after retirement.
 //
 //   Scans.   A cross-shard RangeScan pins one table and stitches
 //     per-shard scans in key order; shards are disjoint ascending ranges,
@@ -57,10 +76,17 @@
 //
 //   Durability.   SaveTo quiesces writers (all gates, in shard order),
 //     writes one serialization.h snapshot per shard plus a checksummed
-//     manifest (manifest.h) holding the boundaries, router model and
-//     per-shard key counts. LoadFrom rebuilds the whole table off to the
-//     side and publishes it only when every shard file validated, mapping
-//     each failure to a distinct core::SnapshotStatus.
+//     manifest (manifest.h v3) holding the boundaries, router model,
+//     per-shard key counts and wal lineage anchors. LoadFrom rebuilds
+//     the whole table off to the side and publishes it only when every
+//     shard file validated, mapping each failure to a distinct
+//     core::SnapshotStatus. Recovery with a manifest is
+//     *boundary-preserving* and shard-parallel: the manifest's boundary
+//     array is the recovered topology, and each shard replays its own
+//     snapshot + log-tail lineage independently on a small thread pool
+//     (a merge child's records are range-filtered back to the shards
+//     they came from) instead of funneling everything through one
+//     merged map and a router refit.
 //
 //   Write-ahead logging.   EnableWal attaches one src/wal/ log per shard
 //     and anchors it with a checkpoint. From then on every write is
@@ -89,6 +115,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <cerrno>
 #include <cstddef>
 #include <cstdint>
@@ -99,6 +126,7 @@
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -127,10 +155,19 @@ struct ShardedOptions {
   /// Absolute per-shard size bound (0 = none). Lets a single-shard or
   /// uniformly growing table split even when no relative skew exists.
   size_t max_shard_keys = 1u << 20;
-  /// How many shards one rebalance splits the victim into.
+  /// How many shards one split turns the victim into.
   size_t split_ways = 2;
+  /// Merge two adjacent shards once their *combined* size falls under
+  /// this floor (the inverse of the skew check: two cold shards whose
+  /// union is still a small shard). 0 disables merges. Keep it at or
+  /// below min_rebalance_keys so a fresh merge child cannot immediately
+  /// re-trip the split trigger.
+  size_t merge_threshold_keys = 0;
   /// Maximum keys sampled for the bulk-load router model.
   size_t router_sample_cap = 4096;
+  /// Recovery thread-pool width for the per-shard replay (clamped to
+  /// the shard count and the hardware concurrency).
+  size_t recovery_threads = 8;
   /// Configuration applied to every shard's ConcurrentAlex.
   core::Config shard_config;
 };
@@ -182,7 +219,7 @@ class ShardedAlex {
       shard->index.BulkLoad(keys + lo, payloads + lo, hi - lo);
       next->shards.push_back(std::move(shard));
     }
-    if (wal_enabled_ && !AttachFreshLogs(&next->shards, /*parent=*/0)) {
+    if (wal_enabled_ && !AttachFreshLogs(&next->shards, /*parents=*/{})) {
       // Could not open log files: surface the error and stop logging
       // rather than silently running some shards unlogged.
       wal_enabled_ = false;
@@ -199,7 +236,10 @@ class ShardedAlex {
     for (const auto& shard : old->shards) {
       std::unique_lock<std::shared_mutex> gate(shard->write_gate);
       shard->retired.store(true, std::memory_order_seq_cst);
-      if (shard->log != nullptr) shard->log->Seal();
+      if (shard->log != nullptr) {
+        retired_commit_wait_.Merge(shard->log->CommitWaitHistogram());
+        shard->log->Seal();
+      }
     }
     epoch_.Retire(old);
     epoch_.TryReclaim();
@@ -249,7 +289,11 @@ class ShardedAlex {
     }
   }
 
-  /// Removes `key`; false when absent.
+  /// Removes `key`; false when absent. An erase that leaves the target
+  /// shard (plus an adjacent neighbor) under the merge floor triggers a
+  /// merge transaction on this thread before returning; like the split
+  /// skew check, the check is amortized to every kSkewCheckInterval-th
+  /// commit into the shard.
   bool Erase(K key) {
     util::EpochManager::Guard guard(epoch_);
     while (true) {
@@ -260,7 +304,13 @@ class ShardedAlex {
       if (!LogWrite(shard, wal::WalRecordType::kErase, key, nullptr)) {
         return false;
       }
-      return shard->index.Erase(key);
+      const bool erased = shard->index.Erase(key);
+      gate.unlock();
+      if (!erased) return false;
+      const uint64_t commit =
+          shard->commit_count.fetch_add(1, std::memory_order_relaxed) + 1;
+      MaybeMerge(key, commit);
+      return true;
     }
   }
 
@@ -335,6 +385,63 @@ class ShardedAlex {
   /// Completed shard splits (diagnostics/tests).
   uint64_t rebalance_count() const {
     return rebalances_.load(std::memory_order_relaxed);
+  }
+
+  /// Completed shard merges (diagnostics/tests).
+  uint64_t merge_count() const {
+    return merges_.load(std::memory_order_relaxed);
+  }
+
+  /// Total topology transactions (splits + merges + rebalances)
+  /// committed over the index's lifetime; persisted by checkpoints and
+  /// restored by LoadFrom, so the epoch is monotone across restarts.
+  uint64_t topology_epoch() const {
+    return topology_epoch_.load(std::memory_order_relaxed);
+  }
+
+  /// Explicitly re-evens the boundaries of every shard whose range
+  /// intersects [lo_key, hi_key] — shard count unchanged, each child
+  /// holding ~1/n of the victims' combined keys. The operator hook for
+  /// un-carving a region after a churn storm; runs through the same
+  /// topology transaction as splits and merges. One transaction handles
+  /// at most wal::kMaxTopologyParents victims (a child's lineage record
+  /// must name every one); a wider range is clamped — call again to
+  /// continue. Returns false when the range maps to a single shard, a
+  /// rival transaction is in flight, or the victims hold fewer keys
+  /// than shards.
+  bool Rebalance(K lo_key, K hi_key) {
+    if (hi_key < lo_key) return false;
+    util::EpochManager::Guard guard(epoch_);
+    std::unique_lock<std::mutex> rebalance(rebalance_mutex_,
+                                           std::try_to_lock);
+    if (!rebalance.owns_lock()) return false;
+    Table* table = table_.load(std::memory_order_seq_cst);
+    const size_t lo = table->router.Route(lo_key);
+    const size_t hi = std::min(table->router.Route(hi_key) + 1,
+                               lo + wal::kMaxTopologyParents);
+    if (hi - lo < 2) return false;
+    return ExecuteTopologyTxn(TopologyOp::kRebalance, table, lo, hi,
+                              hi - lo);
+  }
+
+  /// Aggregate per-commit WAL wait histogram (microsecond buckets)
+  /// across every shard's log — p50/p99 via Quantile. Includes the
+  /// samples of logs already sealed by topology transactions, bulk
+  /// loads and recoveries (folded into an accumulator at seal time), so
+  /// a run's distribution is not biased toward whatever logs happen to
+  /// be live at the end. Empty while the WAL was never on.
+  util::Log2Histogram CommitWaitHistogram() const {
+    std::lock_guard<std::mutex> rebalance(rebalance_mutex_);
+    util::EpochManager::Guard guard(epoch_);
+    Table* table = table_.load(std::memory_order_seq_cst);
+    util::Log2Histogram merged = retired_commit_wait_;
+    for (const auto& shard : table->shards) {
+      std::shared_lock<std::shared_mutex> gate(shard->write_gate);
+      if (shard->log != nullptr) {
+        merged.Merge(shard->log->CommitWaitHistogram());
+      }
+    }
+    return merged;
   }
 
   /// Current shard lower bounds (diagnostics/tests).
@@ -520,37 +627,23 @@ class ShardedAlex {
                               shard_keys[i].size());
         next->shards.push_back(std::move(shard));
       }
-    } else {
-      // Recovery: merge the snapshot into one logical map, replay the
-      // log tails over it, and repartition. Ascending wal-id order is
-      // parent-before-child across shard splits, the only cross-log
-      // ordering replay needs (lineages own disjoint key ranges).
+    } else if (!have_manifest) {
+      // Logs-alone recovery: no checkpoint ever committed, so there is
+      // no topology to preserve — merge everything into one logical map
+      // and partition fresh. Ascending wal-id order is parent-before-
+      // child across topology changes, the only cross-log ordering
+      // replay needs.
       std::map<K, P> state;
-      for (size_t i = 0; i < manifest.num_shards(); ++i) {
-        for (size_t j = 0; j < shard_keys[i].size(); ++j) {
-          // Shards and their keys arrive in ascending order, so end()
-          // is always the right hint: O(1) amortized per key.
-          state.emplace_hint(state.end(), shard_keys[i][j],
-                             shard_payloads[i][j]);
-        }
-      }
-      std::map<uint64_t, uint64_t> checkpoints;
-      for (size_t i = 0; i < manifest.wal_ids.size(); ++i) {
-        if (manifest.wal_ids[i] != 0) {
-          checkpoints[manifest.wal_ids[i]] = manifest.checkpoint_lsns[i];
-        }
-      }
       wal::RecoveryReport local_report;
       wal::RecoveryReport* rep =
           report != nullptr ? report : &local_report;
       // Never physically truncate while the segments might belong to
       // this index's own live logs (their writers hold fd offsets past
-      // the truncation point); with a manifest, unknown-root lineages
-      // must not replay (see ReplayWal).
+      // the truncation point).
       const wal::WalStatus wal_status = wal::ReplayWal<K, P>(
-          prefix, checkpoints, &state, rep,
+          prefix, /*checkpoint_lsns=*/{}, &state, rep,
           /*truncate_torn_tail=*/!was_logging,
-          /*require_known_roots=*/have_manifest);
+          /*require_known_roots=*/false);
       if (wal_status != wal::WalStatus::kOk) {
         return core::SnapshotStatus::kWalReplayFailed;
       }
@@ -564,10 +657,9 @@ class ShardedAlex {
         keys.push_back(key);
         payloads.push_back(payload);
       }
-      const size_t target =
-          have_manifest ? manifest.num_shards() : options_.num_shards;
       const size_t shards = std::max<size_t>(
-          1, std::min(target, std::max<size_t>(keys.size(), 1)));
+          1, std::min(options_.num_shards,
+                      std::max<size_t>(keys.size(), 1)));
       next = std::make_unique<Table>();
       next->router = ShardRouter<K>::FitFromSortedKeys(
           keys.data(), keys.size(), shards, options_.router_sample_cap);
@@ -581,8 +673,23 @@ class ShardedAlex {
                               hi - lo);
         next->shards.push_back(std::move(shard));
       }
+    } else {
+      // Boundary-preserving recovery: the manifest's boundary array IS
+      // the recovered topology, and each shard replays independently.
+      wal::RecoveryReport local_report;
+      wal::RecoveryReport* rep =
+          report != nullptr ? report : &local_report;
+      const core::SnapshotStatus status = RecoverBoundaryPreserving(
+          prefix, manifest, shard_keys, shard_payloads, was_logging, rep,
+          &next);
+      if (status != core::SnapshotStatus::kOk) return status;
+      floor_wal_id = std::max(floor_wal_id, rep->max_wal_id + 1);
     }
 
+    if (have_manifest) {
+      topology_epoch_.store(manifest.topology_epoch,
+                            std::memory_order_relaxed);
+    }
     if (floor_wal_id > next_wal_id_) next_wal_id_ = floor_wal_id;
     // The recovered table starts unlogged (see the method comment); any
     // logs of the replaced table belong to an abandoned lineage, get
@@ -596,7 +703,10 @@ class ShardedAlex {
     for (const auto& shard : old->shards) {
       std::unique_lock<std::shared_mutex> gate(shard->write_gate);
       shard->retired.store(true, std::memory_order_seq_cst);
-      if (shard->log != nullptr) shard->log->Seal();
+      if (shard->log != nullptr) {
+        retired_commit_wait_.Merge(shard->log->CommitWaitHistogram());
+        shard->log->Seal();
+      }
     }
     epoch_.Retire(old);
     epoch_.TryReclaim();
@@ -632,7 +742,7 @@ class ShardedAlex {
     }
     wal_prefix_ = prefix;
     wal_options_ = options;
-    if (!AttachFreshLogs(&table->shards, /*parent=*/0)) {
+    if (!AttachFreshLogs(&table->shards, /*parents=*/{})) {
       DetachLogs(table);
       return wal::WalStatus::kIoError;
     }
@@ -757,18 +867,27 @@ class ShardedAlex {
   }
 
   /// Opens one fresh log (new wal id, seq 1, LSN 0) per shard and
-  /// attaches it under the shard's exclusive gate. On any open failure
-  /// every log created here is removed again and false is returned.
-  /// Caller holds rebalance_mutex_ (which guards next_wal_id_).
+  /// attaches it under the shard's exclusive gate. A non-empty
+  /// `parents` list makes these topology children: the segment header
+  /// names the first parent and the log's first record is a kTopology
+  /// record listing all of them, fdatasync-durable before the child can
+  /// acknowledge data. On any failure every log created here is removed
+  /// again and false is returned. Caller holds rebalance_mutex_ (which
+  /// guards next_wal_id_).
   bool AttachFreshLogs(std::vector<std::shared_ptr<Shard>>* shards,
-                       uint64_t parent) {
+                       const std::vector<uint64_t>& parents) {
     std::vector<std::shared_ptr<wal::ShardLog<K, P>>> logs;
     logs.reserve(shards->size());
     for (size_t i = 0; i < shards->size(); ++i) {
       auto log = std::make_shared<wal::ShardLog<K, P>>(
-          wal_prefix_, next_wal_id_, parent, /*seq=*/1, /*start_lsn=*/0,
-          wal_options_);
-      if (log->Open() != wal::WalStatus::kOk) {
+          wal_prefix_, next_wal_id_, parents.empty() ? 0 : parents.front(),
+          /*seq=*/1, /*start_lsn=*/0, wal_options_);
+      bool ok = log->Open() == wal::WalStatus::kOk;
+      if (ok && !parents.empty()) {
+        ok = log->LogTopology(parents) == wal::WalStatus::kOk;
+      }
+      if (!ok) {
+        std::remove(log->current_path().c_str());
         for (const auto& created : logs) {
           std::remove(created->current_path().c_str());
         }
@@ -792,6 +911,170 @@ class ShardedAlex {
         shard->log.reset();
       }
     }
+  }
+
+  // ---- Boundary-preserving recovery ----
+
+  /// True when `key` lies in manifest shard `shard`'s range
+  /// [bounds[shard-1], bounds[shard]), open at both extremes.
+  static bool KeyInShard(const K& key, size_t shard,
+                         const std::vector<K>& bounds) {
+    if (shard > 0 && key < bounds[shard - 1]) return false;
+    if (shard < bounds.size() && !(key < bounds[shard])) return false;
+    return true;
+  }
+
+  /// Runs fn(i) for i in [0, n) on a small thread pool (the per-shard
+  /// recovery replay is embarrassingly parallel: distinct shards build
+  /// distinct state). Falls back to inline execution when one worker
+  /// suffices.
+  template <typename Fn>
+  void ParallelOverShards(size_t n, Fn&& fn) const {
+    size_t workers =
+        std::min(std::max<size_t>(1, options_.recovery_threads), n);
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw > 0) workers = std::min<size_t>(workers, hw);
+    if (workers <= 1) {
+      for (size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    std::atomic<size_t> cursor{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&cursor, n, &fn] {
+        for (size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+             i < n;
+             i = cursor.fetch_add(1, std::memory_order_relaxed)) {
+          fn(i);
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+
+  /// Rebuilds the table with the manifest's exact boundary array and
+  /// router model, each shard recovered independently: its snapshot
+  /// contents plus every log lineage rooted at its checkpoint anchor,
+  /// replayed in ascending wal-id order. A topology child's records are
+  /// range-filtered back to the manifest shards its parents anchor (a
+  /// merge child spans several; each key's full history threads through
+  /// logs of ascending id, so the filtered per-shard order is the true
+  /// per-key order). Shards replay in parallel on a small thread pool —
+  /// recovery is shard-parallel by construction because no two shards
+  /// share mutable state. Fills one ShardReplayStats per shard in
+  /// `rep->shards`.
+  core::SnapshotStatus RecoverBoundaryPreserving(
+      const std::string& prefix, const ShardManifest<K>& manifest,
+      const std::vector<std::vector<K>>& shard_keys,
+      const std::vector<std::vector<P>>& shard_payloads,
+      bool was_logging, wal::RecoveryReport* rep,
+      std::unique_ptr<Table>* out) {
+    std::map<uint64_t, uint64_t> checkpoints;
+    std::map<uint64_t, size_t> root_shard;
+    for (size_t i = 0; i < manifest.wal_ids.size(); ++i) {
+      if (manifest.wal_ids[i] != 0) {
+        checkpoints[manifest.wal_ids[i]] = manifest.checkpoint_lsns[i];
+        root_shard[manifest.wal_ids[i]] = i;
+      }
+    }
+    // Read + validate every lineage once (the expensive, checksummed
+    // pass), then anchor the lineage graph: with a manifest, an orphan
+    // lineage holding records must fail rather than replay over the
+    // wrong baseline. Never physically truncate while the segments
+    // might belong to this index's own live logs.
+    std::vector<wal::WalLineage<K, P>> lineages;
+    wal::WalStatus ws = wal::ReadWalLineages<K, P>(
+        prefix, checkpoints, &lineages, rep,
+        /*truncate_torn_tail=*/!was_logging);
+    if (ws == wal::WalStatus::kOk) {
+      ws = wal::AnchorLineages(&lineages, checkpoints,
+                               /*require_known_roots=*/true, rep);
+    }
+    if (ws != wal::WalStatus::kOk) {
+      return core::SnapshotStatus::kWalReplayFailed;
+    }
+    // Feed map: which manifest shards each lineage replays into. A
+    // checkpoint root feeds its own shard; a topology child feeds the
+    // union of its parents' shards (ascending wal-id order makes one
+    // pass suffice — parents resolve before children).
+    std::map<uint64_t, std::vector<size_t>> owners;
+    std::vector<std::vector<size_t>> feeds(lineages.size());
+    for (size_t l = 0; l < lineages.size(); ++l) {
+      if (!lineages[l].anchored) continue;
+      std::vector<size_t>& shards_of = feeds[l];
+      const auto root = root_shard.find(lineages[l].wal_id);
+      if (root != root_shard.end()) {
+        shards_of.push_back(root->second);
+      } else {
+        for (const uint64_t parent : lineages[l].parents) {
+          const auto it = owners.find(parent);
+          if (it != owners.end()) {
+            shards_of.insert(shards_of.end(), it->second.begin(),
+                             it->second.end());
+          }
+        }
+        std::sort(shards_of.begin(), shards_of.end());
+        shards_of.erase(std::unique(shards_of.begin(), shards_of.end()),
+                        shards_of.end());
+      }
+      owners[lineages[l].wal_id] = shards_of;
+    }
+
+    const size_t n = manifest.num_shards();
+    auto next = std::make_unique<Table>();
+    next->router =
+        ShardRouter<K>(manifest.boundaries, manifest.router_model);
+    next->shards.resize(n);
+    rep->shards.assign(n, wal::ShardReplayStats{});
+    Table* next_raw = next.get();
+    // Per-shard replay, in parallel: workers touch disjoint slots of
+    // next->shards and rep->shards.
+    ParallelOverShards(n, [&](size_t i) {
+      wal::ShardReplayStats& stats = (*rep).shards[i];
+      stats.shard = i;
+      stats.wal_id = manifest.wal_ids.size() > i ? manifest.wal_ids[i] : 0;
+      std::map<K, P> state;
+      for (size_t j = 0; j < shard_keys[i].size(); ++j) {
+        // Snapshot keys arrive sorted, so end() is always the right
+        // hint: O(1) amortized per key.
+        state.emplace_hint(state.end(), shard_keys[i][j],
+                           shard_payloads[i][j]);
+      }
+      for (size_t l = 0; l < lineages.size(); ++l) {
+        if (std::find(feeds[l].begin(), feeds[l].end(), i) ==
+            feeds[l].end()) {
+          continue;
+        }
+        if (lineages[l].tail_truncated) stats.tail_truncated = true;
+        for (const wal::WalRecord<K, P>& rec : lineages[l].records) {
+          if (!KeyInShard(rec.key, i, manifest.boundaries)) continue;
+          if (rec.lsn <= lineages[l].checkpoint_lsn) {
+            ++stats.records_skipped;
+            continue;
+          }
+          wal::ApplyWalRecord(rec, &state);
+          ++stats.records_replayed;
+        }
+      }
+      std::vector<K> keys;
+      std::vector<P> payloads;
+      keys.reserve(state.size());
+      payloads.reserve(state.size());
+      for (const auto& [key, payload] : state) {
+        keys.push_back(key);
+        payloads.push_back(payload);
+      }
+      auto shard = std::make_shared<Shard>(options_.shard_config, &epoch_);
+      shard->index.BulkLoad(keys.data(), payloads.data(), keys.size());
+      next_raw->shards[i] = std::move(shard);
+    });
+    for (const wal::ShardReplayStats& stats : rep->shards) {
+      rep->records_replayed += stats.records_replayed;
+      rep->records_skipped += stats.records_skipped;
+    }
+    *out = std::move(next);
+    return core::SnapshotStatus::kOk;
   }
 
   /// SaveTo minus the rebalance lock (BulkLoad and EnableWal checkpoint
@@ -818,6 +1101,8 @@ class ShardedAlex {
     manifest.boundaries = table->router.boundaries();
     manifest.router_model = table->router.model();
     manifest.next_wal_id = wal_checkpoint ? next_wal_id_ : 0;
+    manifest.topology_epoch =
+        topology_epoch_.load(std::memory_order_relaxed);
     manifest.shard_keys.reserve(table->shards.size());
     for (size_t i = 0; i < table->shards.size(); ++i) {
       const std::string shard_path =
@@ -975,6 +1260,13 @@ class ShardedAlex {
            options_.rebalance_skew * mean;
   }
 
+  /// The inverse of the skew check: two adjacent cold shards whose
+  /// combined size is still under the merge floor fold into one.
+  bool ShouldMerge(size_t a_keys, size_t b_keys) const {
+    return options_.merge_threshold_keys > 0 &&
+           a_keys + b_keys < options_.merge_threshold_keys;
+  }
+
   /// Post-commit split trigger. The absolute bound costs one load of the
   /// just-written shard's own size; the relative skew check must read
   /// every shard's size, so it runs only on every kSkewCheckInterval-th
@@ -995,98 +1287,196 @@ class ShardedAlex {
                      table->shards.size())) {
       return;
     }
-    RebalanceShard(hint_key);
+    std::unique_lock<std::mutex> rebalance(rebalance_mutex_,
+                                           std::try_to_lock);
+    if (!rebalance.owns_lock()) return;  // a rival transaction is running
+    Table* current = table_.load(std::memory_order_seq_cst);
+    const size_t idx = current->router.Route(hint_key);
+    // Re-check under the lock: a rival may already have split this
+    // range, or erases may have deflated it.
+    if (!ShouldSplit(current->shards[idx]->index.size(),
+                     TotalKeys(current), current->shards.size())) {
+      return;
+    }
+    ExecuteTopologyTxn(TopologyOp::kSplit, current, idx, idx + 1,
+                       std::max<size_t>(2, options_.split_ways));
   }
 
-  /// Splits the shard owning `hint_key` into options.split_ways shards.
-  /// Non-blocking for rivals: bails out when another rebalance is in
-  /// flight. Caller must hold an epoch guard.
-  void RebalanceShard(K hint_key) {
+  /// Post-erase merge trigger, amortized exactly like the split skew
+  /// check (`commit` is the shard's own counter). Picks the smaller
+  /// adjacent neighbor as the co-victim. Unlike MaybeSplit there is no
+  /// cheap pre-check against the caller's table: the decision needs the
+  /// neighbors' sizes, which are only stable under the rebalance lock.
+  void MaybeMerge(K hint_key, uint64_t commit) {
+    if (options_.merge_threshold_keys == 0) return;
+    if ((commit & (kSkewCheckInterval - 1)) != 0) return;
     std::unique_lock<std::mutex> rebalance(rebalance_mutex_,
                                            std::try_to_lock);
     if (!rebalance.owns_lock()) return;
-    Table* table = table_.load(std::memory_order_seq_cst);
-    const size_t idx = table->router.Route(hint_key);
-    const std::shared_ptr<Shard>& victim = table->shards[idx];
-    // Re-check under the rebalance lock: a rival may already have split
-    // this range, or erases may have deflated it.
-    if (!ShouldSplit(victim->index.size(), TotalKeys(table),
-                     table->shards.size())) {
+    Table* current = table_.load(std::memory_order_seq_cst);
+    if (current->shards.size() < 2) return;
+    const size_t idx = current->router.Route(hint_key);
+    size_t lo;
+    if (idx == 0) {
+      lo = 0;
+    } else if (idx + 1 == current->shards.size()) {
+      lo = idx - 1;
+    } else {
+      lo = current->shards[idx - 1]->index.size() <=
+                   current->shards[idx + 1]->index.size()
+               ? idx - 1
+               : idx;
+    }
+    if (!ShouldMerge(current->shards[lo]->index.size(),
+                     current->shards[lo + 1]->index.size())) {
       return;
     }
-    const size_t ways = std::max<size_t>(2, options_.split_ways);
-    // Drain the victim's writers; readers continue unhindered.
-    std::unique_lock<std::shared_mutex> gate(victim->write_gate);
-    std::vector<std::pair<K, P>> pairs;
-    victim->index.RangeScan(std::numeric_limits<K>::lowest(),
-                            std::numeric_limits<size_t>::max(), &pairs);
-    const size_t n = pairs.size();
-    if (n < ways) return;
+    ExecuteTopologyTxn(TopologyOp::kMerge, current, lo, lo + 2, 1);
+  }
 
-    auto* next = new Table();
-    next->shards.reserve(table->shards.size() + ways - 1);
-    std::vector<K> boundaries = table->router.boundaries();
+  /// Which maintenance module a topology transaction runs; all three
+  /// share every step of the protocol below.
+  enum class TopologyOp { kSplit, kMerge, kRebalance };
+
+  /// The one protocol every topology change runs through: replaces the
+  /// adjacent victim shards [lo, hi) of `table` (the current table,
+  /// loaded under rebalance_mutex_) with `ways` children holding the
+  /// same keys, evenly partitioned. Caller holds rebalance_mutex_ and
+  /// an epoch guard. Returns true when the replacement table was
+  /// published; false aborts cleanly (too few keys to partition, or
+  /// child log files could not be opened).
+  ///
+  /// The protocol's invariants are asserted here and nowhere else:
+  ///   - victims' gates are drained (held exclusive) before their logs
+  ///     are read, and stay held until after the seal;
+  ///   - the seal LSN equals the publish LSN — no record can land in a
+  ///     victim's log between the drain and its seal;
+  ///   - parents are retired only after every child's segment file is
+  ///     durable in the directory (ShardLog::Open fsyncs the directory
+  ///     entry before returning).
+  bool ExecuteTopologyTxn(TopologyOp op, Table* table, size_t lo,
+                          size_t hi, size_t ways) {
+    assert(lo < hi && hi <= table->shards.size());
+    assert(ways >= 1);
+    // Drain: victims' write gates exclusive, ascending — in-flight
+    // writers finish, new ones wait here or re-route after publish.
+    std::vector<std::unique_lock<std::shared_mutex>> gates;
+    gates.reserve(hi - lo);
+    for (size_t i = lo; i < hi; ++i) {
+      gates.emplace_back(table->shards[i]->write_gate);
+    }
+    // With the gates drained the victims' logs cannot move: capture
+    // their LSNs now and assert them unchanged at the seal.
+    std::vector<uint64_t> parent_ids;
+    std::vector<uint64_t> drained_lsns;
+    for (size_t i = lo; i < hi; ++i) {
+      const auto& log = table->shards[i]->log;
+      if (log != nullptr) {
+        parent_ids.push_back(log->wal_id());
+        drained_lsns.push_back(log->last_lsn());
+      }
+    }
+    // Build: extract the write-quiescent victims (adjacent ascending
+    // ranges, so concatenation is sorted) and bulk-load the children
+    // off to the side.
+    std::vector<std::pair<K, P>> pairs, chunk;
+    for (size_t i = lo; i < hi; ++i) {
+      table->shards[i]->index.RangeScan(std::numeric_limits<K>::lowest(),
+                                        std::numeric_limits<size_t>::max(),
+                                        &chunk);
+      pairs.insert(pairs.end(), chunk.begin(), chunk.end());
+    }
+    const size_t n = pairs.size();
+    // A split needs at least one key per child to cut its split keys
+    // from; a merge (one child) works even on empty victims.
+    if (ways > 1 && n < ways) return false;  // abort; gates release
     std::vector<K> split_keys;
     split_keys.reserve(ways - 1);
     std::vector<K> part_keys;
     std::vector<P> part_payloads;
-    std::vector<std::shared_ptr<Shard>> replacements;
-    replacements.reserve(ways);
+    std::vector<std::shared_ptr<Shard>> children;
+    children.reserve(ways);
     for (size_t j = 0; j < ways; ++j) {
-      const size_t lo = j * n / ways;
-      const size_t hi = (j + 1) * n / ways;
-      if (j > 0) split_keys.push_back(pairs[lo].first);
+      const size_t begin = j * n / ways;
+      const size_t end = (j + 1) * n / ways;
+      if (j > 0) split_keys.push_back(pairs[begin].first);
       part_keys.clear();
       part_payloads.clear();
-      part_keys.reserve(hi - lo);
-      part_payloads.reserve(hi - lo);
-      for (size_t i = lo; i < hi; ++i) {
+      part_keys.reserve(end - begin);
+      part_payloads.reserve(end - begin);
+      for (size_t i = begin; i < end; ++i) {
         part_keys.push_back(pairs[i].first);
         part_payloads.push_back(pairs[i].second);
       }
-      auto shard = std::make_shared<Shard>(options_.shard_config, &epoch_);
-      shard->index.BulkLoad(part_keys.data(), part_payloads.data(),
+      auto child = std::make_shared<Shard>(options_.shard_config, &epoch_);
+      child->index.BulkLoad(part_keys.data(), part_payloads.data(),
                             part_keys.size());
-      replacements.push_back(std::move(shard));
+      children.push_back(std::move(child));
     }
-    // WAL hand-off: the replacements get fresh logs whose headers name
-    // the victim's log as their parent; if the files cannot be opened
-    // the split is simply abandoned (it is an optimization, and running
-    // a shard unlogged is not an option).
-    if (wal_enabled_ && victim->log != nullptr &&
-        !AttachFreshLogs(&replacements, victim->log->wal_id())) {
-      delete next;
+    // Log: fresh child logs whose lineage names every victim (the
+    // multi-parent kTopology record), opened — and directory-fsynced —
+    // before the children can become reachable. On failure the
+    // transaction is simply abandoned (it is an optimization, and
+    // running a shard unlogged is not an option). Callers keep the
+    // victim count within the record's parent cap.
+    assert(parent_ids.size() <= wal::kMaxTopologyParents);
+    if (wal_enabled_ && !parent_ids.empty() &&
+        !AttachFreshLogs(&children, parent_ids)) {
       last_wal_error_.store(wal::WalStatus::kIoError,
                             std::memory_order_relaxed);
-      return;
+      return false;
     }
-    boundaries.insert(
-        boundaries.begin() + static_cast<std::ptrdiff_t>(idx),
-        split_keys.begin(), split_keys.end());
-    next->router = ShardRouter<K>::FitFromBoundaries(std::move(boundaries));
-    for (size_t i = 0; i < table->shards.size(); ++i) {
-      if (i == idx) {
-        for (auto& shard : replacements) {
-          next->shards.push_back(std::move(shard));
-        }
-      } else {
-        next->shards.push_back(table->shards[i]);
+    // Publish: one store; readers pick the new table up immediately.
+    auto* next = new Table();
+    next->router = ShardRouter<K>::FitFromBoundaries(
+        ShardRouter<K>::SpliceBoundaries(table->router.boundaries(), lo,
+                                         hi, split_keys));
+    next->shards.reserve(table->shards.size() - (hi - lo) + ways);
+    next->shards.insert(next->shards.end(), table->shards.begin(),
+                        table->shards.begin() +
+                            static_cast<std::ptrdiff_t>(lo));
+    next->shards.insert(next->shards.end(), children.begin(),
+                        children.end());
+    next->shards.insert(next->shards.end(),
+                        table->shards.begin() +
+                            static_cast<std::ptrdiff_t>(hi),
+                        table->shards.end());
+    table_.store(next, std::memory_order_seq_cst);
+    // Retire + seal: victims re-route stragglers, and each victim's log
+    // is sealed at the publish LSN — the drain guarantees no record
+    // landed since the capture above, which is the invariant that lets
+    // recovery treat "sealed log + children" as one atomic hand-off.
+    size_t logged = 0;
+    for (size_t i = lo; i < hi; ++i) {
+      Shard* victim = table->shards[i].get();
+      victim->retired.store(true, std::memory_order_seq_cst);
+      if (victim->log != nullptr) {
+        assert(victim->log->last_lsn() == drained_lsns[logged] &&
+               "a record landed in a drained victim before its seal");
+        (void)drained_lsns;
+        retired_commit_wait_.Merge(victim->log->CommitWaitHistogram());
+        victim->log->Seal();
+        ++logged;
       }
     }
-    table_.store(next, std::memory_order_seq_cst);
-    victim->retired.store(true, std::memory_order_seq_cst);
-    // Seal the victim's log at the publish LSN: its writers are drained
-    // (we hold the gate exclusive), so the sealed log holds exactly the
-    // records the replacements' contents were built from; everything
-    // after goes to the replacements' fresh logs. Replay order is
-    // victim-before-replacements by wal-id.
-    if (victim->log != nullptr) victim->log->Seal();
-    gate.unlock();
-    rebalances_.fetch_add(1, std::memory_order_relaxed);
+    (void)logged;
+    switch (op) {
+      case TopologyOp::kSplit:
+        rebalances_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case TopologyOp::kMerge:
+        merges_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case TopologyOp::kRebalance:
+        break;
+    }
+    topology_epoch_.fetch_add(1, std::memory_order_relaxed);
     // The old table (and, once no newer table shares them, its replaced
-    // shard) is freed only after every reader that could hold it unpins.
+    // shards) is freed only after every reader that could hold it
+    // unpins. The gates release on scope exit, after the seal.
     epoch_.Retire(table);
     epoch_.TryReclaim();
+    return true;
   }
 
   ShardedOptions options_;
@@ -1096,6 +1486,10 @@ class ShardedAlex {
   mutable std::mutex rebalance_mutex_;
   std::atomic<Table*> table_{nullptr};
   std::atomic<uint64_t> rebalances_{0};
+  std::atomic<uint64_t> merges_{0};
+  // Splits + merges + rebalances ever committed; checkpoints persist it
+  // and LoadFrom restores it (monotone across restarts).
+  std::atomic<uint64_t> topology_epoch_{0};
   // WAL configuration; all guarded by rebalance_mutex_ (every site that
   // enables logging, allocates a wal id, or checkpoints holds it).
   std::string wal_prefix_;
@@ -1103,6 +1497,10 @@ class ShardedAlex {
   bool wal_enabled_ = false;
   uint64_t next_wal_id_ = 1;
   std::atomic<wal::WalStatus> last_wal_error_{wal::WalStatus::kOk};
+  // Commit-wait samples of logs sealed by topology transactions, bulk
+  // loads and recoveries (their ShardLogs are dropped with their
+  // tables); CommitWaitHistogram folds live logs on top.
+  util::Log2Histogram retired_commit_wait_;
 };
 
 }  // namespace alex::shard

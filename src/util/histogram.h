@@ -27,6 +27,13 @@ class Log2Histogram {
     ++total_;
   }
 
+  /// Adds every observation of `other` into this histogram (used to
+  /// aggregate per-shard commit-wait histograms into one report).
+  void Merge(const Log2Histogram& other) {
+    for (int b = 0; b < kNumBuckets; ++b) counts_[b] += other.counts_[b];
+    total_ += other.total_;
+  }
+
   /// Bucket index for `value` (see class comment).
   static int BucketOf(uint64_t value) {
     if (value == 0) return 0;

@@ -12,18 +12,27 @@
 // byte mid-segment, an illegal type with intact data after it — is real
 // corruption and maps to its distinct WalStatus instead.
 //
-// Replay (ReplayWal) reassembles the logical state: segments are grouped
-// by wal id, chained by (seq, start_lsn) so a rotation hole is detected,
-// and applied in ascending wal-id order — which is parent-before-child
-// for split lineages (wal_format.h) and therefore the only cross-log
-// order recovery needs. Records at or below a log's checkpoint LSN are
-// skipped (their effect is already in the snapshot), making replay
-// idempotent: replaying the same logs twice yields the same state.
+// Replay is layered so the shard layer can reuse the validated pieces:
+// ReadWalLineages groups segments by wal id, chains each group by
+// (seq, start_lsn) so a rotation hole is detected, and returns one
+// WalLineage per log — its parents (segment header + kTopology record,
+// so merge/rebalance children list every parent), checkpoint LSN, and
+// intact records. AnchorLineages walks the lineage graph in ascending
+// wal-id order (parent-before-child by construction, wal_format.h) and
+// marks each lineage whose baseline is provably in the snapshot; with
+// require_known_roots, an orphan lineage holding records fails instead
+// of silently replaying over the wrong baseline. ReplayWal composes the
+// two and applies anchored records into one logical map (the
+// no-manifest recovery path); ShardedAlex::LoadFrom composes them with
+// its own per-shard parallel apply (boundary-preserving recovery).
+// Records at or below a log's checkpoint LSN are skipped (their effect
+// is already in the snapshot), making replay idempotent.
 #pragma once
 
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -54,6 +63,10 @@ struct WalSegmentInfo {
   bool sealed = false;       ///< ends with a kSeal record
   bool tail_truncated = false;
   uint64_t valid_bytes = 0;  ///< file is intact up to here
+  /// Parent wal ids from a kTopology record (merge/rebalance children
+  /// list several); empty when the segment holds none — the header's
+  /// parent_wal_id is then the whole lineage story.
+  std::vector<uint64_t> topology_parents;
 };
 
 /// Reads and validates one segment. On kOk, `records` holds every intact
@@ -100,15 +113,26 @@ WalStatus ReadWalSegment(const std::string& path, WalSegmentInfo* info,
 
   // A torn write can only damage the final record, so a defect is
   // tolerated as "torn" only when it lies within one maximal record's
-  // span of EOF; anything earlier is mid-segment corruption.
-  constexpr size_t kMaxRecord =
+  // span of EOF; anything earlier is mid-segment corruption. The span
+  // is position-dependent: a topology record's body (count + up to
+  // kMaxTopologyParents ids) can exceed key+payload, but the writer
+  // only ever emits one as a log's *first* record — so only that
+  // position gets the wide span. Using it everywhere would let a
+  // corrupted type/length field within ~4 data records of EOF pass as
+  // "torn" and silently truncate acknowledged durable writes.
+  constexpr size_t kMaxDataRecord =
       sizeof(WalRecordHeader) + sizeof(K) + sizeof(P);
+  constexpr size_t kMaxFirstRecord = std::max(
+      kMaxDataRecord, sizeof(WalRecordHeader) +
+                          (1 + kMaxTopologyParents) * sizeof(uint64_t));
   uint64_t expected_lsn = header.start_lsn;
   size_t at = sizeof(header);
   info->valid_bytes = at;
   while (at < data.size()) {
     const size_t remaining = data.size() - at;
-    const bool in_tail_span = remaining <= kMaxRecord;
+    const bool in_tail_span =
+        remaining <=
+        (at == sizeof(header) ? kMaxFirstRecord : kMaxDataRecord);
     if (remaining < sizeof(WalRecordHeader)) {
       info->tail_truncated = true;  // header itself is torn
       return WalStatus::kOk;
@@ -123,7 +147,10 @@ WalStatus ReadWalSegment(const std::string& path, WalSegmentInfo* info,
       }
       return WalStatus::kBadRecordType;
     }
-    if (rec.body_len != legal_len) {
+    const bool bad_len = legal_len == kWalVariableBody
+                             ? !ValidTopologyBodyLen(rec.body_len)
+                             : rec.body_len != legal_len;
+    if (bad_len) {
       if (in_tail_span) {
         info->tail_truncated = true;
         return WalStatus::kOk;
@@ -148,6 +175,17 @@ WalStatus ReadWalSegment(const std::string& path, WalSegmentInfo* info,
     const auto type = static_cast<WalRecordType>(rec.type);
     if (type == WalRecordType::kSeal) {
       info->sealed = true;
+    } else if (type == WalRecordType::kTopology) {
+      // Lineage metadata, never data: the body's declared count must
+      // agree with its length (ValidTopologyBodyLen bounded the shape).
+      uint64_t count = 0;
+      std::memcpy(&count, body, sizeof(count));
+      if (count != rec.body_len / sizeof(uint64_t) - 1) {
+        return WalStatus::kBadRecordLength;
+      }
+      info->topology_parents.resize(count);
+      std::memcpy(info->topology_parents.data(), body + sizeof(count),
+                  count * sizeof(uint64_t));
     } else {
       WalRecord<K, P> out;
       out.lsn = rec.lsn;
@@ -164,8 +202,25 @@ WalStatus ReadWalSegment(const std::string& path, WalSegmentInfo* info,
   return WalStatus::kOk;
 }
 
+/// Per-shard (or per-lineage) replay accounting, so an operator can see
+/// *which* shard lost its unacked write, not just that one did.
+struct ShardReplayStats {
+  /// Manifest shard index this entry describes; SIZE_MAX when recovery
+  /// ran without a manifest (the entry is then per-lineage).
+  size_t shard = SIZE_MAX;
+  uint64_t wal_id = 0;  ///< the shard's log at checkpoint / lineage root
+  size_t records_replayed = 0;
+  size_t records_skipped = 0;
+  /// A torn final record was truncated somewhere in this shard's
+  /// lineage: this shard is where the lost unacknowledged write lived
+  /// (a merge child's torn tail flags every shard it spanned).
+  bool tail_truncated = false;
+};
+
 /// What a recovery replay did, for operators and tests. `status` mirrors
 /// the returned status; `detail` names the offending file on failure.
+/// `shards` breaks the aggregate counts down per shard (with a
+/// manifest) or per lineage (without one).
 struct RecoveryReport {
   WalStatus status = WalStatus::kOk;
   size_t segments_scanned = 0;
@@ -174,56 +229,55 @@ struct RecoveryReport {
   bool tail_truncated = false;
   uint64_t max_wal_id = 0;  ///< highest wal id seen on disk
   std::string detail;
+  std::vector<ShardReplayStats> shards;
 };
 
-/// Replays every WAL segment of `prefix` into `state` (the logical
-/// key-payload map recovered so far, typically pre-seeded from the
-/// snapshot). `checkpoint_lsns` maps wal id -> highest LSN already
-/// captured by the snapshot; unknown wal ids replay from LSN 0. When
-/// `truncate_torn_tail` is set, a torn final record is physically
-/// truncated away so a second recovery sees a clean log.
-///
-/// With `require_known_roots` (set when a checkpoint manifest exists),
-/// a log the manifest does not know must be a split descendant of one
-/// it does — its parent chain anchors its baseline in the snapshot. An
-/// *orphan* lineage (unknown root) means records whose baseline was
-/// never checkpointed (e.g. a crash between a bulk load's publish and
-/// its auto-checkpoint): replaying them over the older snapshot would
-/// silently produce wrong contents, so an orphan with records fails
-/// with kSegmentGap, while an empty orphan (nothing acknowledged) is
-/// skipped.
+/// One log's worth of validated recovery input: its lineage links, its
+/// checkpoint LSN, and every intact record across its segment chain.
 template <typename K, typename P>
-WalStatus ReplayWal(const std::string& prefix,
-                    const std::map<uint64_t, uint64_t>& checkpoint_lsns,
-                    std::map<K, P>* state, RecoveryReport* report,
-                    bool truncate_torn_tail = true,
-                    bool require_known_roots = false) {
-  RecoveryReport local;
-  RecoveryReport* rep = report != nullptr ? report : &local;
-  *rep = RecoveryReport{};
+struct WalLineage {
+  uint64_t wal_id = 0;
+  /// Parent wal ids: the kTopology record's list when present, else the
+  /// segment header's single parent (empty for a root log).
+  std::vector<uint64_t> parents;
+  uint64_t checkpoint_lsn = 0;  ///< from the caller's map; 0 if unknown
+  bool known = false;      ///< wal id appears in the checkpoint map
+  bool anchored = false;   ///< baseline proven (set by AnchorLineages)
+  bool tail_truncated = false;
+  std::string last_path;   ///< last segment file (error detail)
+  std::vector<WalRecord<K, P>> records;
+};
+
+/// Reads and validates every WAL segment of `prefix`, grouped into one
+/// WalLineage per wal id (ascending id order — parent-before-child).
+/// Validates each lineage's segment chain: the first remaining segment
+/// must start at or below the checkpoint LSN and each later one must
+/// resume exactly where its predecessor ended (a hole means a rotation
+/// deleted records the snapshot never captured → kSegmentGap). A torn
+/// final record is tolerated and, with `truncate_torn_tail`, physically
+/// truncated away. Fills the report's segments_scanned / max_wal_id /
+/// tail_truncated; on failure, status and detail.
+template <typename K, typename P>
+WalStatus ReadWalLineages(
+    const std::string& prefix,
+    const std::map<uint64_t, uint64_t>& checkpoint_lsns,
+    std::vector<WalLineage<K, P>>* out, RecoveryReport* rep,
+    bool truncate_torn_tail) {
+  out->clear();
   const std::vector<WalSegmentFile> files = ListWalSegments(prefix);
-  // Lineages whose baseline is anchored: checkpointed ids, plus (below)
-  // every accepted descendant. Ascending wal-id order processes parents
-  // before children, so one pass suffices.
-  std::vector<uint64_t> anchored;
-  for (const auto& [id, lsn] : checkpoint_lsns) {
-    (void)lsn;
-    anchored.push_back(id);
-  }
   size_t i = 0;
   while (i < files.size()) {
     const uint64_t wal_id = files[i].wal_id;
     if (wal_id > rep->max_wal_id) rep->max_wal_id = wal_id;
+    WalLineage<K, P> lineage;
+    lineage.wal_id = wal_id;
     const auto cp = checkpoint_lsns.find(wal_id);
-    const uint64_t checkpoint =
-        cp != checkpoint_lsns.end() ? cp->second : 0;
-    // Read the whole lineage group before applying anything: the orphan
-    // decision needs the root segment's parent link and the group's
-    // total record count.
-    std::vector<WalSegmentInfo> infos;
-    std::vector<std::vector<WalRecord<K, P>>> groups;
+    lineage.known = cp != checkpoint_lsns.end();
+    lineage.checkpoint_lsn = lineage.known ? cp->second : 0;
     uint64_t prev_last_lsn = 0;
     bool first_segment = true;
+    bool have_segment = false;
+    uint64_t header_parent = 0;
     for (; i < files.size() && files[i].wal_id == wal_id; ++i) {
       // A crash can tear even the segment *header* of the newest segment
       // (written but never synced). Tolerate a short file only when it is
@@ -249,18 +303,23 @@ WalStatus ReplayWal(const std::string& prefix,
       }
       // The remaining segments must cover everything past the
       // checkpoint: the first one must start at or before it, and each
-      // later one must resume exactly where its predecessor ended. A
-      // hole means a rotation deleted records the snapshot never
-      // captured.
-      if (first_segment ? info.start_lsn > checkpoint
+      // later one must resume exactly where its predecessor ended.
+      if (first_segment ? info.start_lsn > lineage.checkpoint_lsn
                         : info.start_lsn != prev_last_lsn) {
         rep->detail = files[i].path;
         return rep->status = WalStatus::kSegmentGap;
       }
+      if (first_segment) header_parent = info.parent_wal_id;
       first_segment = false;
+      have_segment = true;
       prev_last_lsn = info.last_lsn;
+      lineage.last_path = files[i].path;
+      if (!info.topology_parents.empty()) {
+        lineage.parents = info.topology_parents;
+      }
       if (info.tail_truncated) {
         rep->tail_truncated = true;
+        lineage.tail_truncated = true;
         if (truncate_torn_tail) {
           // Best effort: a failure just means the next recovery
           // re-tolerates the same tail.
@@ -271,49 +330,152 @@ WalStatus ReplayWal(const std::string& prefix,
         // later segment of the same wal id would have started past the
         // lost records, which the chain check above reports as a gap.
       }
-      infos.push_back(info);
-      groups.push_back(std::move(records));
+      for (WalRecord<K, P>& rec : records) {
+        lineage.records.push_back(std::move(rec));
+      }
     }
-    if (infos.empty()) continue;  // only a torn header stub
-    const bool known = cp != checkpoint_lsns.end();
-    const uint64_t parent = infos.front().parent_wal_id;
-    const bool parent_anchored =
-        parent != 0 && std::find(anchored.begin(), anchored.end(),
-                                 parent) != anchored.end();
-    if (require_known_roots && !known && !parent_anchored) {
-      size_t total = 0;
-      for (const auto& group : groups) total += group.size();
-      if (total > 0) {
-        rep->detail = files[i - 1].path;
+    if (!have_segment) continue;  // only a torn header stub
+    if (lineage.parents.empty() && header_parent != 0) {
+      lineage.parents.push_back(header_parent);
+    }
+    out->push_back(std::move(lineage));
+  }
+  return WalStatus::kOk;
+}
+
+/// Marks every lineage whose baseline is provably covered: a
+/// checkpointed root, or a child all of whose parents are themselves
+/// anchored (its baseline is the parents' final states, which replay
+/// reconstructs parent-first). With `require_known_roots` (set when a
+/// checkpoint manifest exists), an *orphan* lineage — unknown root, or
+/// a child with an unanchored parent — means records whose baseline was
+/// never checkpointed (e.g. a crash between a bulk load's publish and
+/// its auto-checkpoint): replaying them over the older snapshot would
+/// silently produce wrong contents, so an orphan with records fails
+/// with kSegmentGap, while an empty orphan (nothing acknowledged) is
+/// skipped. One more orphan shape is benign: a lineage some *known*
+/// lineage names as its parent is a topology victim *superseded* by
+/// the checkpoint that anchored its child — the snapshot already holds
+/// its full effects (the victim was sealed before the child could
+/// acknowledge anything), and only the crash window between a
+/// checkpoint's manifest rename and its segment sweep leaves it on
+/// disk. It is skipped, not fatal, so such a crash never wedges
+/// recovery. Without the flag everything anchors (logs-alone
+/// recovery).
+template <typename K, typename P>
+WalStatus AnchorLineages(std::vector<WalLineage<K, P>>* lineages,
+                         const std::map<uint64_t, uint64_t>& checkpoint_lsns,
+                         bool require_known_roots, RecoveryReport* rep) {
+  std::vector<uint64_t> anchored;
+  for (const auto& [id, lsn] : checkpoint_lsns) {
+    (void)lsn;
+    anchored.push_back(id);
+  }
+  // Every ancestor of a checkpointed lineage is superseded by that
+  // checkpoint: a child's snapshot baseline includes its parents' final
+  // states, transitively. Descending wal-id order visits children
+  // before parents, so one pass propagates coverage up the whole
+  // lineage tree (a victim whose children were themselves split before
+  // the checkpoint is covered through those intermediate victims).
+  std::vector<uint64_t> superseded;
+  for (auto it = lineages->rbegin(); it != lineages->rend(); ++it) {
+    const bool covered =
+        it->known || std::find(superseded.begin(), superseded.end(),
+                               it->wal_id) != superseded.end();
+    if (covered) {
+      superseded.insert(superseded.end(), it->parents.begin(),
+                        it->parents.end());
+    }
+  }
+  for (WalLineage<K, P>& lineage : *lineages) {
+    bool parents_anchored = !lineage.parents.empty();
+    for (const uint64_t parent : lineage.parents) {
+      parents_anchored =
+          parents_anchored && std::find(anchored.begin(), anchored.end(),
+                                        parent) != anchored.end();
+    }
+    if (require_known_roots && !lineage.known && !parents_anchored) {
+      if (std::find(superseded.begin(), superseded.end(),
+                    lineage.wal_id) != superseded.end()) {
+        continue;  // superseded victim: already in the snapshot, skip
+      }
+      if (!lineage.records.empty()) {
+        rep->detail = lineage.last_path;
         return rep->status = WalStatus::kSegmentGap;
       }
       continue;  // empty orphan: nothing was acknowledged, skip it
     }
-    anchored.push_back(wal_id);
-    for (const auto& group : groups) {
-      for (const WalRecord<K, P>& rec : group) {
-        if (rec.lsn <= checkpoint) {
-          ++rep->records_skipped;
-          continue;
-        }
-        switch (rec.type) {
-          case WalRecordType::kInsert:
-            state->emplace(rec.key, rec.payload);
-            break;
-          case WalRecordType::kUpdate: {
-            auto it = state->find(rec.key);
-            if (it != state->end()) it->second = rec.payload;
-            break;
-          }
-          case WalRecordType::kErase:
-            state->erase(rec.key);
-            break;
-          case WalRecordType::kSeal:
-            break;  // never materialized as a record
-        }
-        ++rep->records_replayed;
-      }
+    lineage.anchored = true;
+    anchored.push_back(lineage.wal_id);
+  }
+  return WalStatus::kOk;
+}
+
+/// Applies one record to the logical map with the index ops' exact
+/// semantics (insert-if-absent / overwrite-if-present / erase); replay
+/// of a logged-but-failed operation is therefore the same no-op.
+template <typename K, typename P>
+void ApplyWalRecord(const WalRecord<K, P>& rec, std::map<K, P>* state) {
+  switch (rec.type) {
+    case WalRecordType::kInsert:
+      state->emplace(rec.key, rec.payload);
+      break;
+    case WalRecordType::kUpdate: {
+      auto it = state->find(rec.key);
+      if (it != state->end()) it->second = rec.payload;
+      break;
     }
+    case WalRecordType::kErase:
+      state->erase(rec.key);
+      break;
+    case WalRecordType::kSeal:
+    case WalRecordType::kTopology:
+      break;  // never materialized as data records
+  }
+}
+
+/// Replays every WAL segment of `prefix` into `state` (the logical
+/// key-payload map recovered so far, typically pre-seeded from the
+/// snapshot). `checkpoint_lsns` maps wal id -> highest LSN already
+/// captured by the snapshot; unknown wal ids replay from LSN 0. When
+/// `truncate_torn_tail` is set, a torn final record is physically
+/// truncated away so a second recovery sees a clean log.
+/// ReadWalLineages + AnchorLineages + one sequential apply pass in
+/// ascending wal-id order; the report gains one per-lineage stats entry
+/// (shard = SIZE_MAX — this path has no manifest to name shards).
+template <typename K, typename P>
+WalStatus ReplayWal(const std::string& prefix,
+                    const std::map<uint64_t, uint64_t>& checkpoint_lsns,
+                    std::map<K, P>* state, RecoveryReport* report,
+                    bool truncate_torn_tail = true,
+                    bool require_known_roots = false) {
+  RecoveryReport local;
+  RecoveryReport* rep = report != nullptr ? report : &local;
+  *rep = RecoveryReport{};
+  std::vector<WalLineage<K, P>> lineages;
+  WalStatus status = ReadWalLineages<K, P>(prefix, checkpoint_lsns,
+                                           &lineages, rep,
+                                           truncate_torn_tail);
+  if (status != WalStatus::kOk) return status;
+  status = AnchorLineages(&lineages, checkpoint_lsns, require_known_roots,
+                          rep);
+  if (status != WalStatus::kOk) return status;
+  for (const WalLineage<K, P>& lineage : lineages) {
+    if (!lineage.anchored) continue;
+    ShardReplayStats stats;
+    stats.wal_id = lineage.wal_id;
+    stats.tail_truncated = lineage.tail_truncated;
+    for (const WalRecord<K, P>& rec : lineage.records) {
+      if (rec.lsn <= lineage.checkpoint_lsn) {
+        ++stats.records_skipped;
+        continue;
+      }
+      ApplyWalRecord(rec, state);
+      ++stats.records_replayed;
+    }
+    rep->records_replayed += stats.records_replayed;
+    rep->records_skipped += stats.records_skipped;
+    rep->shards.push_back(stats);
   }
   return rep->status = WalStatus::kOk;
 }

@@ -19,11 +19,24 @@
 //             A crash can lose at most the last interval's records.
 //   kNone   — the record has reached the file; the OS syncs whenever.
 //
-// Seal() ends the log permanently (shard split/retire hand-off): it
+// Seal() ends the log permanently (topology victim/retire hand-off): it
 // appends a kSeal record stamped with the final LSN, syncs, and closes.
 // Rotate() is the checkpoint hand-off: it closes the current segment and
 // opens the next one (seq+1) whose header records the LSN watershed, so
 // the superseded segment can be deleted once the checkpoint commits.
+// LogTopology() writes a topology child's lineage record (parents[]) as
+// the log's first record, fdatasync-durable before any data record can
+// be acknowledged.
+//
+// Under kBatch with WalOptions::background_sync, a clock thread fsyncs
+// on the interval even when no committer arrives, bounding how long an
+// idle shard's acked batch stays page-cache-only; it is joined on Seal
+// and destruction, and Rotate waits out any in-flight clock sync before
+// swapping file descriptors.
+//
+// Commit latency: every successful Log() records its wall-clock wait
+// (entry to commit, microseconds) in a util/histogram.h Log2Histogram,
+// so benches can report p50/p99 group-commit wait.
 //
 // Thread safety: Log() may be called from any number of threads. Seal()
 // and Rotate() require the caller to exclude concurrent Log() calls —
@@ -38,9 +51,11 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "util/histogram.h"
 #include "wal/wal_format.h"
 
 namespace alex::wal {
@@ -65,7 +80,9 @@ class ShardLog {
 
   /// Flushes what the arena still holds (best effort, no sync) and closes.
   ~ShardLog() {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
+    StopClockLocked(lock);
+    WaitFlushIdleLocked(lock);
     if (fd_ >= 0) {
       FlushArenaLocked(/*sync=*/false);
       ::close(fd_);
@@ -76,10 +93,18 @@ class ShardLog {
   ShardLog(const ShardLog&) = delete;
   ShardLog& operator=(const ShardLog&) = delete;
 
-  /// Creates (truncating) the segment file and writes its header.
+  /// Creates (truncating) the segment file and writes its header; starts
+  /// the background sync clock when the options ask for one.
   WalStatus Open() {
-    std::lock_guard<std::mutex> lock(mu_);
-    return OpenSegmentLocked();
+    std::unique_lock<std::mutex> lock(mu_);
+    const WalStatus status = OpenSegmentLocked();
+    if (status == WalStatus::kOk &&
+        options_.sync_policy == SyncPolicy::kBatch &&
+        options_.background_sync && !clock_thread_.joinable()) {
+      stop_clock_ = false;
+      clock_thread_ = std::thread([this] { ClockLoop(); });
+    }
+    return status;
   }
 
   /// Appends one record and commits it per the sync policy (see the file
@@ -87,6 +112,7 @@ class ShardLog {
   /// first error sticky: once the log hit an I/O error no later append
   /// can claim durability.
   WalStatus Log(WalRecordType type, const K& key, const P* payload) {
+    const auto t0 = std::chrono::steady_clock::now();
     std::unique_lock<std::mutex> lock(mu_);
     if (sealed_) return WalStatus::kSealed;
     if (io_error_) return WalStatus::kIoError;
@@ -130,6 +156,36 @@ class ShardLog {
       }
       cv_.notify_all();
     }
+    // Commit wait, entry to acknowledgement (the lock is held here, so
+    // the histogram needs no further synchronization).
+    commit_wait_.Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+    return WalStatus::kOk;
+  }
+
+  /// Writes this log's lineage record — the wal ids of the topology
+  /// victims it replaces — as its next (in practice: first) record, and
+  /// makes it fdatasync-durable before returning. A recovery must never
+  /// see acknowledged data records in a merge child without the parent
+  /// list that anchors their baseline. Caller must exclude concurrent
+  /// Log() calls (ShardedAlex writes it before the child is published).
+  WalStatus LogTopology(const std::vector<uint64_t>& parents) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (sealed_) return WalStatus::kSealed;
+    if (io_error_) return WalStatus::kIoError;
+    if (parents.empty() || parents.size() > kMaxTopologyParents) {
+      return WalStatus::kBadRecordLength;
+    }
+    WaitFlushIdleLocked(lock);
+    const uint64_t lsn = ++last_lsn_;
+    AppendWalTopologyRecord(&arena_, lsn, parents);
+    arena_lsn_ = lsn;
+    if (!FlushArenaLocked(/*sync=*/true)) {
+      io_error_ = true;
+      return WalStatus::kIoError;
+    }
     return WalStatus::kOk;
   }
 
@@ -138,7 +194,10 @@ class ShardLog {
   /// is what lets recovery distinguish "this log is complete by design"
   /// (a split victim) from a log that merely stops.
   WalStatus Seal() {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
+    StopClockLocked(lock);  // the log is ending; the clock must not
+                            // touch the fd past this point
+    WaitFlushIdleLocked(lock);
     if (sealed_) return WalStatus::kOk;
     if (io_error_) return WalStatus::kIoError;
     const uint64_t lsn = ++last_lsn_;
@@ -163,7 +222,11 @@ class ShardLog {
   /// for deleting the superseded segment once its checkpoint committed.
   /// `old_path` (optional) receives the superseded segment's path.
   WalStatus Rotate(std::string* old_path = nullptr) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
+    // The clock thread may be mid-fdatasync with the mutex dropped; the
+    // fd must not be swapped out from under it. (It survives rotation —
+    // only Seal and destruction stop it.)
+    WaitFlushIdleLocked(lock);
     if (sealed_) return WalStatus::kSealed;
     if (io_error_) return WalStatus::kIoError;
     if (!FlushArenaLocked(/*sync=*/false)) {
@@ -197,6 +260,17 @@ class ShardLog {
   uint64_t last_lsn() const {
     std::lock_guard<std::mutex> lock(mu_);
     return last_lsn_;
+  }
+  /// Highest LSN covered by an fdatasync (tests/diagnostics; this is
+  /// what the background sync clock advances on an idle log).
+  uint64_t durable_lsn() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return durable_lsn_;
+  }
+  /// Snapshot of the per-commit wait histogram (microsecond buckets).
+  util::Log2Histogram CommitWaitHistogram() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return commit_wait_;
   }
   bool sealed() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -254,6 +328,56 @@ class ShardLog {
     return true;
   }
 
+  /// Blocks until no flush (leader or clock) is in flight. mu_ held.
+  void WaitFlushIdleLocked(std::unique_lock<std::mutex>& lock) {
+    while (flush_in_flight_) cv_.wait(lock);
+  }
+
+  /// Stops and joins the background sync clock, dropping mu_ around the
+  /// join (the thread needs it to observe the stop flag and exit).
+  void StopClockLocked(std::unique_lock<std::mutex>& lock) {
+    if (!clock_thread_.joinable()) return;
+    stop_clock_ = true;
+    clock_cv_.notify_all();
+    lock.unlock();
+    clock_thread_.join();
+    lock.lock();
+  }
+
+  /// kBatch background sync: wake every batch_interval_us and, when
+  /// flushed records are sitting unsynced past the interval with no
+  /// committer in flight, run the fdatasync a committer would have. The
+  /// leader/follower protocol is reused verbatim: the clock claims
+  /// flush_in_flight_, so committers wait on it exactly as they would on
+  /// a flushing leader, and Rotate/Seal wait it out before touching fd_.
+  void ClockLoop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_clock_) {
+      clock_cv_.wait_for(
+          lock, std::chrono::microseconds(options_.batch_interval_us));
+      if (stop_clock_) break;
+      if (fd_ < 0 || sealed_ || io_error_ || flush_in_flight_) continue;
+      if (durable_lsn_ >= flushed_lsn_) continue;
+      if (std::chrono::steady_clock::now() - last_sync_ <
+          std::chrono::microseconds(options_.batch_interval_us)) {
+        continue;
+      }
+      flush_in_flight_ = true;
+      const uint64_t target = flushed_lsn_;
+      lock.unlock();
+      const bool ok = ::fdatasync(fd_) == 0;
+      lock.lock();
+      flush_in_flight_ = false;
+      if (!ok) {
+        io_error_ = true;  // sticky, like any committer's failed sync
+      } else {
+        if (target > durable_lsn_) durable_lsn_ = target;
+        last_sync_ = std::chrono::steady_clock::now();
+      }
+      cv_.notify_all();
+    }
+  }
+
   bool FlushArenaLocked(bool sync) {
     if (!arena_.empty()) {
       if (!WriteAll(arena_.data(), arena_.size())) return false;
@@ -283,6 +407,10 @@ class ShardLog {
   bool io_error_ = false;
   std::vector<uint8_t> arena_;
   std::chrono::steady_clock::time_point last_sync_;
+  util::Log2Histogram commit_wait_;  ///< per-commit wait, microseconds
+  std::thread clock_thread_;         ///< background sync clock (kBatch)
+  std::condition_variable clock_cv_;
+  bool stop_clock_ = false;
 };
 
 }  // namespace alex::wal

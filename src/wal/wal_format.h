@@ -11,10 +11,19 @@
 // reader can detect any dropped or reordered record.
 //
 // Wal ids are allocated from one monotonic counter, and a shard created
-// by a split always has a larger id than its (sealed) parent — so
-// replaying logs in ascending wal-id order is automatically
-// parent-before-child, which is the only cross-log ordering recovery
-// needs (different lineages own disjoint key ranges).
+// by a topology transaction (split, merge, rebalance) always has a
+// larger id than its (sealed) parents — so replaying logs in ascending
+// wal-id order is automatically parent-before-child, which is the only
+// cross-log ordering recovery needs (different lineages own disjoint key
+// ranges at any instant, and a key's full history threads through logs
+// of ascending id).
+//
+// Lineage is `(parents[] → child)`, not single-parent: a merge or a
+// multi-shard rebalance gives one child several parents. The segment
+// header's parent_wal_id carries the first parent (and fully describes a
+// split child); when there is more than one parent — or whenever a
+// topology transaction creates the log — the child's first record is a
+// checksummed kTopology record whose body lists every parent wal id.
 //
 // Every way a log file can be unusable maps to a distinct WalStatus; the
 // one *tolerated* defect is a torn tail (a crash mid-append), which the
@@ -106,17 +115,43 @@ struct WalOptions {
   SyncPolicy sync_policy = SyncPolicy::kBatch;
   /// kBatch only: minimum microseconds between fsyncs.
   uint64_t batch_interval_us = 2000;
+  /// kBatch only: run a background clock thread that fsyncs on the
+  /// interval even when no committer arrives, so an idle shard's
+  /// acked-but-unsynced window is bounded by ~batch_interval_us instead
+  /// of "until the next write". The thread is joined on Seal and
+  /// destruction.
+  bool background_sync = false;
 };
 
 /// What one record means on replay. The semantics mirror the index ops
 /// exactly so that a logged-but-failed operation (e.g. a duplicate
 /// insert) replays as the same no-op, and replay is idempotent.
 enum class WalRecordType : uint32_t {
-  kInsert = 1,  ///< insert-if-absent (body: key + payload)
-  kUpdate = 2,  ///< overwrite-if-present (body: key + payload)
-  kErase = 3,   ///< erase-if-present (body: key)
-  kSeal = 4,    ///< log ends here by design (shard split/retire; no body)
+  kInsert = 1,    ///< insert-if-absent (body: key + payload)
+  kUpdate = 2,    ///< overwrite-if-present (body: key + payload)
+  kErase = 3,     ///< erase-if-present (body: key)
+  kSeal = 4,      ///< log ends here by design (topology victim; no body)
+  kTopology = 5,  ///< lineage: this log's parents[] (body: u64 count +
+                  ///< count u64 parent wal ids); written as a topology
+                  ///< child's first record, never replayed as data
 };
+
+/// Cap on the parents one topology record may list (a merge/rebalance
+/// rarely has more than a handful of victims; the cap bounds the torn-
+/// tail tolerance span in the reader).
+inline constexpr size_t kMaxTopologyParents = 16;
+
+/// Sentinel from WalBodyLen: the type's body length is variable and must
+/// be validated with ValidTopologyBodyLen instead.
+inline constexpr size_t kWalVariableBody = SIZE_MAX - 1;
+
+/// Legal kTopology body: a u64 count followed by exactly count u64 ids,
+/// 1 <= count <= kMaxTopologyParents.
+inline constexpr bool ValidTopologyBodyLen(size_t body_len) {
+  return body_len >= 2 * sizeof(uint64_t) &&
+         body_len % sizeof(uint64_t) == 0 &&
+         body_len / sizeof(uint64_t) - 1 <= kMaxTopologyParents;
+}
 
 namespace internal {
 
@@ -157,7 +192,8 @@ struct WalRecordHeader {
   uint32_t body_len = 0;
 };
 
-/// Legal body length for a record type; SIZE_MAX for an unknown type.
+/// Legal body length for a record type; kWalVariableBody for kTopology
+/// (validate with ValidTopologyBodyLen); SIZE_MAX for an unknown type.
 template <typename K, typename P>
 constexpr size_t WalBodyLen(uint32_t type) {
   switch (static_cast<WalRecordType>(type)) {
@@ -168,6 +204,8 @@ constexpr size_t WalBodyLen(uint32_t type) {
       return sizeof(K);
     case WalRecordType::kSeal:
       return 0;
+    case WalRecordType::kTopology:
+      return kWalVariableBody;
   }
   return SIZE_MAX;
 }
@@ -212,6 +250,28 @@ void AppendWalRecord(std::vector<uint8_t>* out, uint64_t lsn,
   out->resize(at + sizeof(header) + body_len);
   std::memcpy(out->data() + at, &header, sizeof(header));
   std::memcpy(out->data() + at + sizeof(header), body, body_len);
+}
+
+/// Serializes one kTopology record listing `parents` (at most
+/// kMaxTopologyParents, at least one) onto `out`.
+inline void AppendWalTopologyRecord(std::vector<uint8_t>* out,
+                                    uint64_t lsn,
+                                    const std::vector<uint64_t>& parents) {
+  WalRecordHeader header;
+  header.lsn = lsn;
+  header.type = static_cast<uint32_t>(WalRecordType::kTopology);
+  const uint64_t count = parents.size();
+  header.body_len =
+      static_cast<uint32_t>((1 + parents.size()) * sizeof(uint64_t));
+  std::vector<uint8_t> body(header.body_len);
+  std::memcpy(body.data(), &count, sizeof(count));
+  std::memcpy(body.data() + sizeof(count), parents.data(),
+              parents.size() * sizeof(uint64_t));
+  header.checksum = WalRecordChecksum(header, body.data());
+  const size_t at = out->size();
+  out->resize(at + sizeof(header) + body.size());
+  std::memcpy(out->data() + at, &header, sizeof(header));
+  std::memcpy(out->data() + at + sizeof(header), body.data(), body.size());
 }
 
 // ---- File naming ----

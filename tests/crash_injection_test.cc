@@ -193,5 +193,135 @@ TEST(CrashInjectionTest, CheckpointCrashKeepsLogReplayConsistent) {
   Cleanup(prefix);
 }
 
+void CopyFile(const std::string& from, const std::string& to) {
+  std::FILE* in = std::fopen(from.c_str(), "rb");
+  ASSERT_NE(in, nullptr) << from;
+  std::FILE* out = std::fopen(to.c_str(), "wb");
+  ASSERT_NE(out, nullptr) << to;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) {
+    ASSERT_EQ(std::fwrite(buf, 1, n, out), n);
+  }
+  std::fclose(in);
+  std::fclose(out);
+}
+
+TEST(CrashInjectionTest, CrashBetweenManifestRenameAndSegmentSweep) {
+  // A checkpoint commits its manifest, then crashes before
+  // SweepStaleWalSegments deletes the sealed topology victims it
+  // superseded. Recovery must skip those victims (their effects are in
+  // the snapshot via their checkpointed children) instead of failing
+  // on an orphan lineage — and must not replay their stale records.
+  const std::string prefix = TempPrefix("crash-sweep-window");
+  Cleanup(prefix);
+  constexpr int64_t kN = 3000;
+  {
+    ShardedOptions options = Opts(1);
+    options.min_rebalance_keys = 256;
+    options.max_shard_keys = 1024;
+    Sharded index(options);
+    ASSERT_EQ(index.EnableWal(prefix), wal::WalStatus::kOk);
+    for (int64_t k = 0; k < kN; ++k) {
+      ASSERT_TRUE(index.Insert(k, k));
+    }
+    ASSERT_GT(index.rebalance_count(), 0u);  // sealed victims on disk
+    // Stash every pre-checkpoint segment, checkpoint (which sweeps the
+    // sealed victims), then put the swept ones back — the on-disk state
+    // of a crash inside the sweep window.
+    std::vector<wal::WalSegmentFile> before =
+        wal::ListWalSegments(prefix);
+    for (const wal::WalSegmentFile& f : before) {
+      CopyFile(f.path, f.path + ".stash");
+    }
+    ASSERT_EQ(index.SaveTo(prefix), SnapshotStatus::kOk);
+    size_t restored = 0;
+    for (const wal::WalSegmentFile& f : before) {
+      std::FILE* probe = std::fopen(f.path.c_str(), "rb");
+      if (probe != nullptr) {
+        std::fclose(probe);
+      } else {
+        CopyFile(f.path + ".stash", f.path);
+        ++restored;
+      }
+      std::remove((f.path + ".stash").c_str());
+    }
+    ASSERT_GT(restored, 0u) << "checkpoint should have swept victims";
+    // Post-checkpoint writes land in the (rotated) live logs.
+    for (int64_t k = kN; k < kN + 200; ++k) {
+      ASSERT_TRUE(index.Insert(k, k));
+    }
+  }  // crash
+  Sharded recovered(Opts(1));
+  wal::RecoveryReport report;
+  ASSERT_EQ(recovered.LoadFrom(prefix, &report), SnapshotStatus::kOk);
+  EXPECT_EQ(report.status, wal::WalStatus::kOk);
+  EXPECT_EQ(recovered.size(), static_cast<size_t>(kN) + 200);
+  int64_t v = 0;
+  for (int64_t k = 0; k < kN + 200; k += 37) {
+    ASSERT_TRUE(recovered.Get(k, &v)) << k;
+    ASSERT_EQ(v, k);
+  }
+  EXPECT_TRUE(recovered.CheckInvariants());
+  Cleanup(prefix);
+}
+
+TEST(CrashInjectionTest, CrashBetweenMergePublishAndChildCheckpoint) {
+  // A merge publishes its child (parents sealed at the publish LSN,
+  // child log opened with a multi-parent kTopology record), the child
+  // acknowledges more writes, and the process dies before any
+  // checkpoint captures the new topology. Recovery must chain the
+  // child's records through both sealed parents back to the manifest's
+  // anchors: no acknowledged write lost, checkpoint boundaries
+  // restored.
+  const std::string prefix = TempPrefix("crash-mergepub");
+  Cleanup(prefix);
+  std::vector<int64_t> bounds_at_checkpoint;
+  constexpr int64_t kN = 12000;
+  {
+    ShardedOptions options = Opts(8);
+    options.merge_threshold_keys = 2000;
+    Sharded index(options);
+    FillDense(&index, kN);
+    ASSERT_EQ(index.EnableWal(prefix), wal::WalStatus::kOk);
+    bounds_at_checkpoint = index.ShardBoundaries();
+    ASSERT_EQ(bounds_at_checkpoint.size(), 7u);
+    // Empty out shards until merges publish; their children's logs now
+    // carry multi-parent lineage records.
+    for (int64_t k = 0; k < kN; ++k) {
+      if (k % 16 != 0) {
+        ASSERT_TRUE(index.Erase(k));
+      }
+    }
+    ASSERT_GT(index.merge_count(), 0u);
+    // Acknowledged writes landing in the merge children's fresh logs.
+    for (int64_t k = 0; k < 300; ++k) {
+      ASSERT_TRUE(index.Insert(k * 16 + 1, k));
+    }
+    EXPECT_EQ(index.last_wal_error(), wal::WalStatus::kOk);
+  }  // crash: the merge exists only in sealed parents + child logs
+
+  Sharded recovered(Opts(8));
+  wal::RecoveryReport report;
+  ASSERT_EQ(recovered.LoadFrom(prefix, &report), SnapshotStatus::kOk);
+  EXPECT_EQ(report.status, wal::WalStatus::kOk);
+  // The recovered topology is the checkpoint's 8 shards — the merge
+  // collapses back into it with no data loss.
+  EXPECT_EQ(recovered.ShardBoundaries(), bounds_at_checkpoint);
+  EXPECT_EQ(recovered.size(), static_cast<size_t>(kN / 16 + 300));
+  int64_t v = 0;
+  for (int64_t k = 0; k < kN; k += 16) {
+    ASSERT_TRUE(recovered.Get(k, &v)) << k;
+    ASSERT_EQ(v, k * 3);
+  }
+  for (int64_t k = 0; k < 300; ++k) {
+    ASSERT_TRUE(recovered.Get(k * 16 + 1, &v)) << k;
+    ASSERT_EQ(v, k);
+  }
+  EXPECT_FALSE(recovered.Contains(2));  // erases survived too
+  EXPECT_TRUE(recovered.CheckInvariants());
+  Cleanup(prefix);
+}
+
 }  // namespace
 }  // namespace alex::shard

@@ -53,6 +53,23 @@ TEST(Log2HistogramTest, QuantileFindsMassBoundary) {
   EXPECT_EQ(h.Quantile(0.99), 1024u);
 }
 
+TEST(Log2HistogramTest, MergeAddsCountsBucketwise) {
+  Log2Histogram a, b;
+  a.Record(0);
+  a.Record(3);
+  b.Record(3);
+  b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.total(), 4u);
+  EXPECT_EQ(a.count(0), 1u);
+  EXPECT_EQ(a.count(Log2Histogram::BucketOf(3)), 2u);
+  EXPECT_EQ(a.count(Log2Histogram::BucketOf(1000)), 1u);
+  // Merging an empty histogram is a no-op.
+  const uint64_t before = a.total();
+  a.Merge(Log2Histogram());
+  EXPECT_EQ(a.total(), before);
+}
+
 TEST(PercentileRecorderTest, ExactPercentiles) {
   PercentileRecorder rec;
   for (uint64_t v = 1; v <= 100; ++v) rec.Record(v);

@@ -366,6 +366,183 @@ TEST(ShardedAlexTest, RebalanceUnderConcurrentReaders) {
   EXPECT_TRUE(index.CheckInvariants());
 }
 
+// ---- Merge + explicit rebalance (the TopologyTxn modules) ----
+
+TEST(ShardedAlexTest, ColdAdjacentShardsMergeViaInverseSkewCheck) {
+  ShardedOptions options = Opts(8);
+  options.merge_threshold_keys = 2000;
+  Sharded index(options);
+  std::vector<int64_t> keys, payloads;
+  constexpr int64_t kN = 12000;
+  for (int64_t i = 0; i < kN; ++i) {
+    keys.push_back(i);
+    payloads.push_back(i * 5);
+  }
+  index.BulkLoad(keys.data(), payloads.data(), keys.size());
+  ASSERT_EQ(index.num_shards(), 8u);
+  // Erase everything except a survivor stripe: the erase-side inverse
+  // skew check must fold the emptied adjacent shards together.
+  for (int64_t i = 0; i < kN; ++i) {
+    if (i % 16 != 0) {
+      ASSERT_TRUE(index.Erase(i));
+    }
+  }
+  EXPECT_GT(index.merge_count(), 0u);
+  EXPECT_LT(index.num_shards(), 8u);
+  EXPECT_EQ(index.topology_epoch(), index.merge_count());
+  EXPECT_EQ(index.size(), static_cast<size_t>(kN / 16));
+  int64_t v = 0;
+  for (int64_t i = 0; i < kN; i += 16) {
+    ASSERT_TRUE(index.Get(i, &v)) << i;
+    ASSERT_EQ(v, i * 5);
+  }
+  EXPECT_TRUE(index.CheckInvariants());
+}
+
+TEST(ShardedAlexTest, MergeLeavesSurvivorsAndBoundariesConsistent) {
+  // Merge down hard (erase nearly everything), then keep using the
+  // index: inserts and lookups must route correctly across the merged
+  // boundaries.
+  ShardedOptions options = Opts(6);
+  options.merge_threshold_keys = 4096;
+  Sharded index(options);
+  std::vector<int64_t> keys(9000), payloads(9000);
+  for (int64_t i = 0; i < 9000; ++i) {
+    keys[i] = i * 3;
+    payloads[i] = i;
+  }
+  index.BulkLoad(keys.data(), payloads.data(), keys.size());
+  for (int64_t i = 0; i < 9000; ++i) {
+    ASSERT_TRUE(index.Erase(i * 3));
+  }
+  EXPECT_GT(index.merge_count(), 0u);
+  EXPECT_EQ(index.size(), 0u);
+  // The shrunken table still accepts and routes fresh writes.
+  for (int64_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(index.Insert(i * 7, i));
+  }
+  int64_t v = 0;
+  for (int64_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(index.Get(i * 7, &v));
+    ASSERT_EQ(v, i);
+  }
+  EXPECT_TRUE(index.CheckInvariants());
+}
+
+TEST(ShardedAlexTest, MergeUnderConcurrentReaders) {
+  // The TSan target for the merge module: readers and scanners run
+  // lock-free over a survivor stripe while a writer's erases force
+  // merges; every surviving key stays visible throughout.
+  ShardedOptions options = Opts(8);
+  options.merge_threshold_keys = 1500;
+  Sharded index(options);
+  // 2000 keys per shard: the eraser commits ~1875 erases into each
+  // shard, comfortably past the amortized check interval (1024).
+  constexpr int64_t kPreload = 16000;
+  std::vector<int64_t> keys, payloads;
+  for (int64_t i = 0; i < kPreload; ++i) {
+    keys.push_back(i);
+    payloads.push_back(i * 3);
+  }
+  index.BulkLoad(keys.data(), payloads.data(), keys.size());
+  ASSERT_EQ(index.num_shards(), 8u);
+
+  constexpr int kReaders = 3;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> read_failures{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      util::Xoshiro256 rng(7 + r);
+      std::vector<std::pair<int64_t, int64_t>> scan;
+      int64_t v = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        // Keys divisible by 16 are never erased: always visible.
+        const int64_t key =
+            static_cast<int64_t>(rng.NextUint64(kPreload / 16)) * 16;
+        if (!index.Get(key, &v) || v != key * 3) {
+          read_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (rng.NextUint64(16) == 0) {
+          index.RangeScan(key, 64, &scan);
+          for (size_t i = 1; i < scan.size(); ++i) {
+            if (!(scan[i - 1].first < scan[i].first)) {
+              read_failures.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+      }
+    });
+  }
+  std::thread eraser([&] {
+    for (int64_t i = 0; i < kPreload; ++i) {
+      if (i % 16 != 0) index.Erase(i);
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  eraser.join();
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(read_failures.load(), 0u);
+  EXPECT_GT(index.merge_count(), 0u);
+  EXPECT_LT(index.num_shards(), 8u);
+  EXPECT_EQ(index.size(), static_cast<size_t>(kPreload / 16));
+  EXPECT_TRUE(index.CheckInvariants());
+}
+
+TEST(ShardedAlexTest, ExplicitRebalanceEvensBoundariesInPlace) {
+  // Rebalance is the third TopologyTxn module: same shard count, the
+  // victims' combined keys re-partitioned evenly.
+  Sharded index(Opts(4));
+  std::vector<int64_t> keys, payloads;
+  for (int64_t i = 0; i < 8000; ++i) {
+    keys.push_back(i);
+    payloads.push_back(i);
+  }
+  index.BulkLoad(keys.data(), payloads.data(), keys.size());
+  ASSERT_EQ(index.num_shards(), 4u);
+  // Skew the table: erase almost everything above the first quartile,
+  // leaving shard 0 fat and shards 1-3 nearly empty.
+  for (int64_t i = 2000; i < 8000; ++i) {
+    if (i % 100 != 0) {
+      ASSERT_TRUE(index.Erase(i));
+    }
+  }
+  const uint64_t epoch_before = index.topology_epoch();
+  ASSERT_TRUE(index.Rebalance(std::numeric_limits<int64_t>::lowest(),
+                              std::numeric_limits<int64_t>::max()));
+  EXPECT_EQ(index.num_shards(), 4u);
+  EXPECT_EQ(index.topology_epoch(), epoch_before + 1);
+  EXPECT_EQ(index.merge_count(), 0u);
+  // Evened: no shard holds more than ~2x the mean.
+  const size_t mean = index.size() / index.num_shards();
+  std::vector<std::pair<int64_t, int64_t>> scan;
+  const std::vector<int64_t> bounds = index.ShardBoundaries();
+  ASSERT_EQ(bounds.size(), 3u);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    ASSERT_LT(bounds[i - 1], bounds[i]);
+  }
+  index.RangeScan(std::numeric_limits<int64_t>::lowest(),
+                  std::numeric_limits<size_t>::max(), &scan);
+  size_t at = 0;
+  for (size_t s = 0; s < 4; ++s) {
+    size_t count = 0;
+    while (at < scan.size() && index.ShardOf(scan[at].first) == s) {
+      ++at;
+      ++count;
+    }
+    EXPECT_LE(count, 2 * mean + 2) << "shard " << s;
+  }
+  // All contents survived the re-partition.
+  EXPECT_EQ(index.size(), 2000u + 60u);
+  int64_t v = 0;
+  for (int64_t i = 0; i < 2000; ++i) ASSERT_TRUE(index.Get(i, &v));
+  EXPECT_TRUE(index.CheckInvariants());
+
+  // A single-shard range is not a rebalance.
+  EXPECT_FALSE(index.Rebalance(0, 1));
+}
+
 // ---- Durability ----
 
 TEST(ShardedAlexTest, SaveLoadRoundTripAcrossShardCounts) {

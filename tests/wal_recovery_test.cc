@@ -406,6 +406,231 @@ TEST(WalRecoveryTest, RecoveryFromLogsAloneWithoutManifest) {
   Cleanup(prefix);
 }
 
+// ---- Boundary-preserving recovery ----
+
+TEST(WalRecoveryTest, RecoveryPreservesShardBoundaries) {
+  // The acceptance round trip: save → crash → load must restore the
+  // exact pre-crash boundary array (the topology the workload carved
+  // out), with each shard replaying its own log tail — not a
+  // repartition of a merged map.
+  const std::string prefix = TempPrefix("recover-boundaries");
+  Cleanup(prefix);
+  std::vector<int64_t> bounds_at_checkpoint;
+  constexpr int64_t kN = 6000, kM = 900;
+  {
+    Sharded index(Opts(4));
+    std::vector<int64_t> keys, payloads;
+    for (int64_t k = 0; k < kN; ++k) {
+      keys.push_back(k);
+      payloads.push_back(k * 7);
+    }
+    index.BulkLoad(keys.data(), payloads.data(), keys.size());
+    ASSERT_EQ(index.EnableWal(prefix, Wal(SyncPolicy::kAlways)),
+              WalStatus::kOk);
+    bounds_at_checkpoint = index.ShardBoundaries();
+    ASSERT_EQ(bounds_at_checkpoint.size(), 3u);
+    // Post-checkpoint tail: writes into every shard's log.
+    for (int64_t k = kN; k < kN + kM; ++k) {
+      ASSERT_TRUE(index.Insert(k, k * 7));
+    }
+    ASSERT_TRUE(index.Update(10, 10 * 7));
+    ASSERT_TRUE(index.Erase(kN + kM - 1));
+    ASSERT_TRUE(index.Insert(kN + kM - 1, (kN + kM - 1) * 7));
+  }  // crash
+
+  Sharded recovered(Opts(4));
+  wal::RecoveryReport report;
+  ASSERT_EQ(recovered.LoadFrom(prefix, &report), SnapshotStatus::kOk);
+  EXPECT_EQ(recovered.ShardBoundaries(), bounds_at_checkpoint);
+  EXPECT_EQ(recovered.num_shards(), 4u);
+  ExpectDenseContents(recovered, kN + kM);
+  // The per-shard breakdown names every shard and sums to the
+  // aggregate; the post-checkpoint tail landed in the last shard.
+  ASSERT_EQ(report.shards.size(), 4u);
+  size_t replayed = 0;
+  for (size_t i = 0; i < report.shards.size(); ++i) {
+    EXPECT_EQ(report.shards[i].shard, i);
+    EXPECT_NE(report.shards[i].wal_id, 0u);
+    EXPECT_FALSE(report.shards[i].tail_truncated);
+    replayed += report.shards[i].records_replayed;
+  }
+  EXPECT_EQ(replayed, report.records_replayed);
+  // The tail routed almost entirely to the last shard; the lone
+  // Update(10) is shard 0's whole tail; shards 1-2 were idle.
+  EXPECT_EQ(report.shards[0].records_replayed, 1u);
+  EXPECT_EQ(report.shards[1].records_replayed, 0u);
+  EXPECT_EQ(report.shards[2].records_replayed, 0u);
+  EXPECT_EQ(report.shards[3].records_replayed,
+            static_cast<size_t>(kM) + 2);
+  Cleanup(prefix);
+}
+
+TEST(WalRecoveryTest, MergeAndSplitInterleavingLineageReplay) {
+  // Topology churn after the checkpoint: splits create single-parent
+  // children, merges create multi-parent children (the kTopology
+  // record), and recovery must chain both kinds back to the manifest's
+  // anchors — restoring the checkpoint topology with no key lost.
+  const std::string prefix = TempPrefix("recover-interleave");
+  Cleanup(prefix);
+  std::vector<int64_t> bounds_at_checkpoint;
+  uint64_t splits = 0, merges = 0;
+  constexpr int64_t kN = 6000;
+  {
+    ShardedOptions options = Opts(4);
+    options.min_rebalance_keys = 512;
+    options.max_shard_keys = 2048;
+    options.merge_threshold_keys = 512;
+    Sharded index(options);
+    std::vector<int64_t> keys, payloads;
+    for (int64_t k = 0; k < kN; ++k) {
+      keys.push_back(k * 2);
+      payloads.push_back(k * 7);
+    }
+    index.BulkLoad(keys.data(), payloads.data(), keys.size());
+    ASSERT_EQ(index.EnableWal(prefix, Wal(SyncPolicy::kNone)),
+              WalStatus::kOk);
+    bounds_at_checkpoint = index.ShardBoundaries();
+    // Splits: hammer the top of the key space past the absolute bound.
+    for (int64_t k = 0; k < 4000; ++k) {
+      ASSERT_TRUE(index.Insert(kN * 2 + k, k));
+    }
+    // Merges: empty out the bottom shards.
+    for (int64_t k = 0; k < kN; ++k) {
+      ASSERT_TRUE(index.Erase(k * 2));
+    }
+    // More writes on the merged children's logs.
+    for (int64_t k = 0; k < 500; ++k) {
+      ASSERT_TRUE(index.Insert(k * 2 + 1, k));
+    }
+    splits = index.rebalance_count();
+    merges = index.merge_count();
+    ASSERT_GT(splits, 0u) << "test needs splits to interleave";
+    ASSERT_GT(merges, 0u) << "test needs merges to interleave";
+    EXPECT_EQ(index.last_wal_error(), WalStatus::kOk);
+    EXPECT_EQ(index.topology_epoch(), splits + merges);
+  }  // crash
+
+  Sharded recovered(Opts(4));
+  wal::RecoveryReport report;
+  ASSERT_EQ(recovered.LoadFrom(prefix, &report), SnapshotStatus::kOk);
+  EXPECT_EQ(report.status, WalStatus::kOk);
+  // Boundary-preserving: the recovered topology is the checkpoint's
+  // (the post-checkpoint churn is collapsed back into it).
+  EXPECT_EQ(recovered.ShardBoundaries(), bounds_at_checkpoint);
+  // Contents are the crash-time state: 4000 high keys + 500 odd keys.
+  EXPECT_EQ(recovered.size(), 4500u);
+  int64_t v = 0;
+  for (int64_t k = 0; k < 4000; ++k) {
+    ASSERT_TRUE(recovered.Get(kN * 2 + k, &v)) << k;
+    ASSERT_EQ(v, k);
+  }
+  for (int64_t k = 0; k < 500; ++k) {
+    ASSERT_TRUE(recovered.Get(k * 2 + 1, &v)) << k;
+    ASSERT_EQ(v, k);
+  }
+  EXPECT_FALSE(recovered.Contains(0));
+  EXPECT_TRUE(recovered.CheckInvariants());
+  // The epoch the checkpoint captured (0 — churn came after) survived;
+  // post-crash the counter restarts from the manifest's value.
+  EXPECT_EQ(recovered.topology_epoch(), 0u);
+  Cleanup(prefix);
+}
+
+TEST(WalRecoveryTest, PerShardReportNamesTheShardThatLostItsTail) {
+  // Two shards, both with post-checkpoint writes; tear the tail of
+  // shard 1's log. The per-shard report must flag exactly shard 1.
+  const std::string prefix = TempPrefix("recover-pershard");
+  Cleanup(prefix);
+  {
+    Sharded index(Opts(2));
+    std::vector<int64_t> keys, payloads;
+    for (int64_t k = 0; k < 2000; ++k) {
+      keys.push_back(k);
+      payloads.push_back(k * 7);
+    }
+    index.BulkLoad(keys.data(), payloads.data(), keys.size());
+    ASSERT_EQ(index.EnableWal(prefix, Wal(SyncPolicy::kAlways)),
+              WalStatus::kOk);
+    // One write into each shard's log, in shard order.
+    ASSERT_TRUE(index.Insert(-5, -5 * 7));      // shard 0
+    ASSERT_TRUE(index.Insert(100000, 1));       // shard 1
+    ASSERT_TRUE(index.Insert(100001, 2));       // shard 1
+  }
+  // Tear the last record of the *second* shard's (higher wal id) log.
+  const std::vector<wal::WalSegmentFile> segments =
+      wal::ListWalSegments(prefix);
+  ASSERT_EQ(segments.size(), 2u);
+  ASSERT_LT(segments[0].wal_id, segments[1].wal_id);
+  std::FILE* f = std::fopen(segments[1].path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(::truncate(segments[1].path.c_str(), size - 5), 0);
+
+  Sharded recovered(Opts(2));
+  wal::RecoveryReport report;
+  ASSERT_EQ(recovered.LoadFrom(prefix, &report), SnapshotStatus::kOk);
+  EXPECT_TRUE(report.tail_truncated);
+  ASSERT_EQ(report.shards.size(), 2u);
+  EXPECT_FALSE(report.shards[0].tail_truncated);
+  EXPECT_TRUE(report.shards[1].tail_truncated);
+  EXPECT_EQ(report.shards[0].records_replayed, 1u);
+  EXPECT_EQ(report.shards[1].records_replayed, 1u);  // lost 100001
+  int64_t v = 0;
+  EXPECT_TRUE(recovered.Get(-5, &v));
+  EXPECT_TRUE(recovered.Get(100000, &v));
+  EXPECT_FALSE(recovered.Get(100001, &v));  // the torn, unacked write
+  Cleanup(prefix);
+}
+
+TEST(WalRecoveryTest, CommitWaitHistogramSurvivesTopologyChanges) {
+  // Splits seal the victims' logs; their commit-wait samples must fold
+  // into the aggregate instead of vanishing with the sealed logs.
+  const std::string prefix = TempPrefix("recover-commitwait");
+  Cleanup(prefix);
+  ShardedOptions options = Opts(1);
+  options.min_rebalance_keys = 256;
+  options.max_shard_keys = 1024;
+  Sharded index(options);
+  ASSERT_EQ(index.EnableWal(prefix, Wal(SyncPolicy::kNone)),
+            WalStatus::kOk);
+  constexpr int64_t kN = 4000;
+  for (int64_t k = 0; k < kN; ++k) {
+    ASSERT_TRUE(index.Insert(k, k));
+  }
+  ASSERT_GT(index.rebalance_count(), 0u);
+  // One sample per acknowledged logged commit — sealed logs included.
+  EXPECT_EQ(index.CommitWaitHistogram().total(),
+            static_cast<uint64_t>(kN));
+  Cleanup(prefix);
+}
+
+TEST(WalRecoveryTest, TopologyEpochSurvivesCheckpointAndRecovery) {
+  const std::string prefix = TempPrefix("recover-epoch");
+  Cleanup(prefix);
+  uint64_t epoch = 0;
+  {
+    ShardedOptions options = Opts(1);
+    options.min_rebalance_keys = 256;
+    options.max_shard_keys = 1024;
+    Sharded index(options);
+    ASSERT_EQ(index.EnableWal(prefix, Wal(SyncPolicy::kNone)),
+              WalStatus::kOk);
+    for (int64_t k = 0; k < 6000; ++k) {
+      ASSERT_TRUE(index.Insert(k, k * 7));
+    }
+    epoch = index.topology_epoch();
+    ASSERT_GT(epoch, 0u);
+    ASSERT_EQ(index.SaveTo(prefix), SnapshotStatus::kOk);  // checkpoint
+  }
+  Sharded recovered(Opts(1));
+  ASSERT_EQ(recovered.LoadFrom(prefix), SnapshotStatus::kOk);
+  EXPECT_EQ(recovered.topology_epoch(), epoch);
+  ExpectDenseContents(recovered, 6000);
+  Cleanup(prefix);
+}
+
 TEST(WalRecoveryTest, ConcurrentLoggedWritersRecoverCompletely) {
   // The TSan target: 4 writers race Insert through the group-committed
   // log; every acknowledged key must survive recovery.

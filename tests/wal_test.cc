@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <map>
@@ -19,6 +20,7 @@
 #include <vector>
 
 #include "core/serialization.h"
+#include "util/histogram.h"
 
 namespace alex::wal {
 namespace {
@@ -559,6 +561,258 @@ TEST(WalReplayTest, SyncPoliciesAllCommitRecords) {
     EXPECT_EQ(state.size(), 300u) << ToString(policy);
     RemoveSegments(prefix);
   }
+}
+
+TEST(WalReaderTest, TypeCorruptionNearEofIsNotATornTail) {
+  // The torn-tail span must stay one *data* record wide past the first
+  // record position: a flipped type field three records before EOF —
+  // within the wider first-record (topology) span — is corruption of
+  // acknowledged writes and must fail loudly, never truncate silently.
+  const std::string prefix = TempPrefix("wal-neareof");
+  RemoveSegments(prefix);
+  {
+    Log log(prefix, 1, 0, 1, 0, NoSync());
+    ASSERT_EQ(log.Open(), WalStatus::kOk);
+    for (int64_t k = 0; k < 50; ++k) {
+      const int64_t v = k;
+      ASSERT_EQ(log.Log(WalRecordType::kInsert, k, &v), WalStatus::kOk);
+    }
+  }
+  const std::string path = WalSegmentPath(prefix, 1, 1);
+  // Record = 24-byte header + 16-byte body; corrupt the type field
+  // (offset 16 into the header) of the 3rd-from-last record.
+  constexpr long kRecord =
+      static_cast<long>(sizeof(WalRecordHeader)) + 16;
+  const long at = static_cast<long>(sizeof(WalSegmentHeader)) +
+                  47 * kRecord + 16;
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, at, SEEK_SET), 0);
+  std::fputc(0xEE, f);
+  std::fclose(f);
+
+  WalSegmentInfo info;
+  std::vector<Record> records;
+  const WalStatus status = ReadSeg(path, &info, &records);
+  EXPECT_TRUE(status == WalStatus::kBadRecordType ||
+              status == WalStatus::kBadRecordLength)
+      << ToString(status);
+  EXPECT_FALSE(info.tail_truncated);
+  RemoveSegments(prefix);
+}
+
+// ---- Topology (multi-parent lineage) records ----
+
+TEST(WalTopologyTest, TopologyRecordRoundTripsParents) {
+  const std::string prefix = TempPrefix("wal-topo");
+  RemoveSegments(prefix);
+  {
+    Log log(prefix, 9, 3, 1, 0, NoSync());
+    ASSERT_EQ(log.Open(), WalStatus::kOk);
+    ASSERT_EQ(log.LogTopology({3, 5}), WalStatus::kOk);
+    const int64_t v = 100;
+    ASSERT_EQ(log.Log(WalRecordType::kInsert, 10, &v), WalStatus::kOk);
+    // Too many / too few parents are rejected up front.
+    EXPECT_EQ(log.LogTopology({}), WalStatus::kBadRecordLength);
+    EXPECT_EQ(
+        log.LogTopology(std::vector<uint64_t>(kMaxTopologyParents + 1, 1)),
+        WalStatus::kBadRecordLength);
+  }
+  WalSegmentInfo info;
+  std::vector<Record> records;
+  ASSERT_EQ(ReadSeg(WalSegmentPath(prefix, 9, 1), &info, &records),
+            WalStatus::kOk);
+  EXPECT_EQ(info.parent_wal_id, 3u);
+  EXPECT_EQ(info.topology_parents, (std::vector<uint64_t>{3, 5}));
+  // The topology record is metadata, not data: one data record remains.
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].key, 10);
+  EXPECT_EQ(records[0].lsn, 2u);  // the topology record consumed LSN 1
+  RemoveSegments(prefix);
+}
+
+TEST(WalTopologyTest, MergeChildReplaysAfterBothSealedParents) {
+  // Two parent logs (disjoint ranges), each sealed at its final LSN; a
+  // merge child lists both parents and overwrites/erases across the
+  // union. Replay in ascending wal-id order must land on the child's
+  // final state.
+  const std::string prefix = TempPrefix("wal-mergechild");
+  RemoveSegments(prefix);
+  {
+    Log a(prefix, 1, 0, 1, 0, NoSync());
+    ASSERT_EQ(a.Open(), WalStatus::kOk);
+    for (int64_t k = 0; k < 5; ++k) {
+      const int64_t v = k;
+      ASSERT_EQ(a.Log(WalRecordType::kInsert, k, &v), WalStatus::kOk);
+    }
+    ASSERT_EQ(a.Seal(), WalStatus::kOk);
+    Log b(prefix, 2, 0, 1, 0, NoSync());
+    ASSERT_EQ(b.Open(), WalStatus::kOk);
+    for (int64_t k = 10; k < 15; ++k) {
+      const int64_t v = k;
+      ASSERT_EQ(b.Log(WalRecordType::kInsert, k, &v), WalStatus::kOk);
+    }
+    ASSERT_EQ(b.Seal(), WalStatus::kOk);
+    Log child(prefix, 3, 1, 1, 0, NoSync());
+    ASSERT_EQ(child.Open(), WalStatus::kOk);
+    ASSERT_EQ(child.LogTopology({1, 2}), WalStatus::kOk);
+    const int64_t v = 999;
+    ASSERT_EQ(child.Log(WalRecordType::kUpdate, 12, &v), WalStatus::kOk);
+    ASSERT_EQ(child.Log(WalRecordType::kErase, 0, nullptr),
+              WalStatus::kOk);
+  }
+  // With a checkpoint map naming both roots (require_known_roots), the
+  // child anchors through its parent list.
+  std::map<int64_t, int64_t> state;
+  RecoveryReport report;
+  ASSERT_EQ((ReplayWal<int64_t, int64_t>(prefix, {{1, 0}, {2, 0}}, &state,
+                                         &report,
+                                         /*truncate_torn_tail=*/true,
+                                         /*require_known_roots=*/true)),
+            WalStatus::kOk);
+  EXPECT_EQ(state.size(), 9u);  // 10 inserts - 1 erase
+  EXPECT_EQ(state.at(12), 999);
+  EXPECT_EQ(state.count(0), 0u);
+  ASSERT_EQ(report.shards.size(), 3u);  // one per lineage
+  EXPECT_EQ(report.shards[2].wal_id, 3u);
+  EXPECT_EQ(report.shards[2].records_replayed, 2u);
+  RemoveSegments(prefix);
+}
+
+TEST(WalTopologyTest, SupersededVictimLeftByACrashedSweepIsSkipped) {
+  // The crash window between a checkpoint's manifest rename and its
+  // segment sweep leaves the sealed topology victims on disk while the
+  // manifest only knows their children. The victims are superseded —
+  // the children's snapshot baseline includes their full effects — so
+  // recovery must skip them, not wedge on an orphan-with-records.
+  const std::string prefix = TempPrefix("wal-superseded");
+  RemoveSegments(prefix);
+  {
+    Log victim(prefix, 1, 0, 1, 0, NoSync());
+    ASSERT_EQ(victim.Open(), WalStatus::kOk);
+    for (int64_t k = 0; k < 10; ++k) {
+      const int64_t v = k;  // stale values the snapshot superseded
+      ASSERT_EQ(victim.Log(WalRecordType::kInsert, k, &v), WalStatus::kOk);
+    }
+    ASSERT_EQ(victim.Seal(), WalStatus::kOk);
+    Log child(prefix, 2, 1, 1, 0, NoSync());
+    ASSERT_EQ(child.Open(), WalStatus::kOk);
+    ASSERT_EQ(child.LogTopology({1}), WalStatus::kOk);
+    const int64_t v = 777;
+    ASSERT_EQ(child.Log(WalRecordType::kInsert, 50, &v), WalStatus::kOk);
+  }
+  // The checkpoint knows only the child (at its topology-record LSN).
+  std::map<int64_t, int64_t> state;
+  RecoveryReport report;
+  ASSERT_EQ((ReplayWal<int64_t, int64_t>(prefix, {{2, 1}}, &state, &report,
+                                         /*truncate_torn_tail=*/true,
+                                         /*require_known_roots=*/true)),
+            WalStatus::kOk);
+  // Only the child's post-checkpoint record replayed; the victim's
+  // records (already in the snapshot) did not.
+  EXPECT_EQ(state.size(), 1u);
+  EXPECT_EQ(state.at(50), 777);
+  RemoveSegments(prefix);
+}
+
+TEST(WalTopologyTest, MergeChildWithUnanchoredParentIsAnOrphan) {
+  // A child naming a parent the checkpoint does not know (and that has
+  // no on-disk lineage back to one it does) must not replay: its
+  // baseline was never captured.
+  const std::string prefix = TempPrefix("wal-orphanchild");
+  RemoveSegments(prefix);
+  {
+    Log a(prefix, 1, 0, 1, 0, NoSync());
+    ASSERT_EQ(a.Open(), WalStatus::kOk);
+    ASSERT_EQ(a.Seal(), WalStatus::kOk);
+    Log child(prefix, 3, 1, 1, 0, NoSync());
+    ASSERT_EQ(child.Open(), WalStatus::kOk);
+    ASSERT_EQ(child.LogTopology({1, 2}), WalStatus::kOk);  // 2 unknown
+    const int64_t v = 1;
+    ASSERT_EQ(child.Log(WalRecordType::kInsert, 7, &v), WalStatus::kOk);
+  }
+  std::map<int64_t, int64_t> state;
+  RecoveryReport report;
+  EXPECT_EQ((ReplayWal<int64_t, int64_t>(prefix, {{1, 0}}, &state, &report,
+                                         /*truncate_torn_tail=*/true,
+                                         /*require_known_roots=*/true)),
+            WalStatus::kSegmentGap);
+  EXPECT_TRUE(state.empty());
+  RemoveSegments(prefix);
+}
+
+// ---- Background sync clock ----
+
+TEST(WalClockTest, BackgroundClockSyncsAnIdleLog) {
+  // Under kBatch, a lone write right after a sync stays page-cache-only
+  // until the next committer — unless the background clock is on, which
+  // must make it durable within ~an interval with no further writes.
+  const std::string prefix = TempPrefix("wal-clock");
+  RemoveSegments(prefix);
+  WalOptions options;
+  options.sync_policy = SyncPolicy::kBatch;
+  options.batch_interval_us = 2000;
+  options.background_sync = true;
+  Log log(prefix, 1, 0, 1, 0, options);
+  ASSERT_EQ(log.Open(), WalStatus::kOk);
+  const int64_t v = 1;
+  ASSERT_EQ(log.Log(WalRecordType::kInsert, 1, &v), WalStatus::kOk);
+  // No committer ever arrives again; the clock must advance durability.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (log.durable_lsn() < log.last_lsn() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(log.durable_lsn(), log.last_lsn());
+  // Seal joins the clock thread; the log closes cleanly.
+  EXPECT_EQ(log.Seal(), WalStatus::kOk);
+  RemoveSegments(prefix);
+}
+
+TEST(WalClockTest, ClockSurvivesRotationAndDestruction) {
+  const std::string prefix = TempPrefix("wal-clockrot");
+  RemoveSegments(prefix);
+  {
+    WalOptions options;
+    options.sync_policy = SyncPolicy::kBatch;
+    options.batch_interval_us = 500;
+    options.background_sync = true;
+    Log log(prefix, 1, 0, 1, 0, options);
+    ASSERT_EQ(log.Open(), WalStatus::kOk);
+    for (int64_t k = 0; k < 50; ++k) {
+      const int64_t v = k;
+      ASSERT_EQ(log.Log(WalRecordType::kInsert, k, &v), WalStatus::kOk);
+    }
+    ASSERT_EQ(log.Rotate(), WalStatus::kOk);
+    for (int64_t k = 50; k < 100; ++k) {
+      const int64_t v = k;
+      ASSERT_EQ(log.Log(WalRecordType::kInsert, k, &v), WalStatus::kOk);
+    }
+    // Destructor joins the clock with records still pending sync.
+  }
+  std::map<int64_t, int64_t> state;
+  ASSERT_EQ(Replay(prefix, {}, &state, nullptr), WalStatus::kOk);
+  EXPECT_EQ(state.size(), 100u);
+  RemoveSegments(prefix);
+}
+
+// ---- Commit-wait histogram ----
+
+TEST(WalLogTest, CommitWaitHistogramCountsEveryAck) {
+  const std::string prefix = TempPrefix("wal-commitwait");
+  RemoveSegments(prefix);
+  Log log(prefix, 1, 0, 1, 0, NoSync());
+  ASSERT_EQ(log.Open(), WalStatus::kOk);
+  for (int64_t k = 0; k < 200; ++k) {
+    const int64_t v = k;
+    ASSERT_EQ(log.Log(WalRecordType::kInsert, k, &v), WalStatus::kOk);
+  }
+  const util::Log2Histogram hist = log.CommitWaitHistogram();
+  EXPECT_EQ(hist.total(), 200u);
+  // Quantiles are well-defined (values are microseconds, possibly 0).
+  EXPECT_GE(hist.Quantile(0.99), hist.Quantile(0.5));
+  RemoveSegments(prefix);
 }
 
 }  // namespace
