@@ -78,6 +78,22 @@ int main(int argc, char** argv) {
              [] { return shard::ShardedAlex<int64_t, int64_t>(); }, t, p,
              s);
        }},
+      // The batched columns run the same 95/5 interleave with the 19
+      // reads of each iteration going through one MultiGet (one epoch
+      // guard + one latch per leaf run + slot prefetch) instead of 19
+      // scalar Gets.
+      {"lock-free reads + EBR (batched MultiGet)",
+       [](size_t t, size_t p, double s) {
+         return bench::RunReadMostlyBatched(
+             [] { return core::ConcurrentAlex<int64_t, int64_t>(); }, t, p,
+             s);
+       }},
+      {"sharded + learned routing (batched MultiGet)",
+       [](size_t t, size_t p, double s) {
+         return bench::RunReadMostlyBatched(
+             [] { return shard::ShardedAlex<int64_t, int64_t>(); }, t, p,
+             s);
+       }},
   };
 
   bench::ResultSink sink;

@@ -25,6 +25,7 @@
 #include "models/linear_model.h"
 #include "util/bitmap.h"
 #include "util/search.h"
+#include "util/simd_search.h"
 
 namespace alex::container {
 
@@ -167,6 +168,44 @@ class GappedStorage {
     const size_t slot = LowerBoundSlot(key, predicted);
     if (slot < capacity() && keys_[slot] == key) return slot;
     return capacity();
+  }
+
+  /// Bounded variant of LowerBoundSlot: resolves inside the model's error
+  /// window [predicted - error, predicted + error] with a branchless scan
+  /// (AVX2 when available), falling back to exponential search only when
+  /// the result lands on a window edge (stale bound). Same answer as
+  /// LowerBoundSlot for every input.
+  size_t LowerBoundSlotBounded(K key, size_t predicted, size_t error) const {
+    const size_t pos = util::PredictedWindowLowerBound(
+        keys_.data(), keys_.size(), key, predicted, error);
+    return bitmap_.NextSet(pos);
+  }
+
+  /// Bounded variant of UpperBoundSlot.
+  size_t UpperBoundSlotBounded(K key, size_t predicted, size_t error) const {
+    const size_t pos = util::PredictedWindowUpperBound(
+        keys_.data(), keys_.size(), key, predicted, error);
+    return bitmap_.NextSet(pos);
+  }
+
+  /// Bounded variant of FindSlot (keeps the direct-hit fast path).
+  size_t FindSlotBounded(K key, size_t predicted, size_t error) const {
+    if (predicted < capacity() && keys_[predicted] == key &&
+        bitmap_.Get(predicted)) {
+      return predicted;
+    }
+    const size_t slot = LowerBoundSlotBounded(key, predicted, error);
+    if (slot < capacity() && keys_[slot] == key) return slot;
+    return capacity();
+  }
+
+  /// Software-prefetches the key and payload cachelines of slot
+  /// `predicted`, ahead of a batched probe (MultiGet issues these for the
+  /// whole run before the first search touches memory).
+  void PrefetchSlot(size_t predicted) const {
+    if (predicted >= capacity()) return;
+    __builtin_prefetch(keys_.data() + predicted, 0, 1);
+    __builtin_prefetch(payloads_.data() + predicted, 0, 1);
   }
 
   /// Removes the key at occupied slot `slot`, restoring the gap-fill

@@ -59,7 +59,9 @@
 // ancestor's split mutex while holding a descendant's.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
@@ -197,6 +199,122 @@ class ConcurrentAlex {
       if (leaf->IsRetired()) continue;
       return leaf->UpdatePayload(key, payload);
     }
+  }
+
+  // ---- Batched point operations ----
+  //
+  // Each batch takes ONE epoch guard, and each *leaf run* — the maximal
+  // stretch of consecutive keys owned by the same leaf — takes one descent
+  // cascade (O(log run) routing probes instead of one per key) and one
+  // leaf latch. Keys MUST be sorted ascending: leaf ownership is a
+  // contiguous key interval, so sortedness is what makes runs contiguous
+  // and the galloped run-boundary search valid. ShardedAlex sorts batches
+  // before calling these. Per-key results match the scalar ops exactly;
+  // batches are NOT atomic as a unit — each key linearizes individually,
+  // in batch order.
+
+  /// Batched Get. Fills `payloads[i]`/`found[i]` for each key; returns the
+  /// number found. Prefetches the run's predicted slots before probing.
+  size_t MultiGet(const K* keys, size_t n, P* payloads, bool* found) const {
+    assert(std::is_sorted(keys, keys + n));
+    size_t hits = 0;
+    util::EpochManager::Guard guard(*epoch_);
+    size_t i = 0;
+    while (i < n) {
+      const DataNodeT* leaf = DescendAcquire(keys[i]);
+      std::shared_lock<std::shared_mutex> latch(leaf->latch());
+      if (leaf->IsRetired()) continue;  // raced a split: re-descend
+      const size_t j = RunEnd(keys, n, i, leaf);
+      for (size_t k = i; k < j; ++k) leaf->PrefetchFor(keys[k]);
+      for (; i < j; ++i) {
+        const P* p = leaf->Find(keys[i]);
+        found[i] = p != nullptr;
+        if (p != nullptr) {
+          payloads[i] = *p;
+          ++hits;
+        }
+      }
+    }
+    return hits;
+  }
+
+  /// Batched Insert. `inserted[i]` (when non-null) reports per-key
+  /// success (false = duplicate); returns the number inserted. A key that
+  /// hits the split bound escalates through the same SplitOrCommit path
+  /// as the scalar insert, then the batch resumes.
+  size_t MultiInsert(const K* keys, const P* payloads, size_t n,
+                     bool* inserted = nullptr) {
+    assert(std::is_sorted(keys, keys + n));
+    size_t count = 0;
+    util::EpochManager::Guard guard(*epoch_);
+    size_t i = 0;
+    while (i < n) {
+      InnerNodeT* parent = nullptr;
+      DataNodeT* leaf = DescendAcquire(keys[i], &parent);
+      bool need_escalate = false;
+      {
+        std::unique_lock<std::shared_mutex> latch(leaf->latch());
+        if (leaf->IsRetired()) continue;
+        const size_t j = RunEnd(keys, n, i, leaf);
+        size_t run_inserted = 0;
+        while (i < j) {
+          const InsertResult result = leaf->Insert(keys[i], payloads[i]);
+          if (result == InsertResult::kNeedsSplit) {
+            need_escalate = true;
+            break;
+          }
+          const bool ok = result == InsertResult::kOk;
+          if (inserted != nullptr) inserted[i] = ok;
+          if (ok) ++run_inserted;
+          ++i;
+        }
+        // Commits must be visible in num_keys_ before the latch drops
+        // (the bulk-load quiescer counts per leaf under the latch).
+        if (run_inserted > 0) {
+          index_.num_keys_.fetch_add(run_inserted,
+                                     std::memory_order_relaxed);
+          count += run_inserted;
+        }
+      }
+      if (need_escalate) {
+        bool ok = false;
+        if (SplitOrCommit(keys[i], payloads[i], leaf, parent,
+                          /*overwrite_duplicate=*/false, &ok)) {
+          if (inserted != nullptr) inserted[i] = ok;
+          if (ok) ++count;
+          ++i;
+        }
+        // else: a split happened; re-descend and retry the same key.
+      }
+    }
+    return count;
+  }
+
+  /// Batched Erase. `erased[i]` (when non-null) reports per-key success;
+  /// returns the number erased. Erase never escalates, so each run is one
+  /// exclusive-latch critical section.
+  size_t MultiErase(const K* keys, size_t n, bool* erased = nullptr) {
+    assert(std::is_sorted(keys, keys + n));
+    size_t count = 0;
+    util::EpochManager::Guard guard(*epoch_);
+    size_t i = 0;
+    while (i < n) {
+      DataNodeT* leaf = DescendAcquire(keys[i]);
+      std::unique_lock<std::shared_mutex> latch(leaf->latch());
+      if (leaf->IsRetired()) continue;
+      const size_t j = RunEnd(keys, n, i, leaf);
+      size_t run_erased = 0;
+      for (; i < j; ++i) {
+        const bool ok = leaf->Erase(keys[i]);
+        if (erased != nullptr) erased[i] = ok;
+        if (ok) ++run_erased;
+      }
+      if (run_erased > 0) {
+        index_.num_keys_.fetch_sub(run_erased, std::memory_order_relaxed);
+        count += run_erased;
+      }
+    }
+    return count;
   }
 
   /// Range scan into `out`. Read-committed per leaf: each leaf is scanned
@@ -347,6 +465,33 @@ class ConcurrentAlex {
     }
     if (parent_out != nullptr) *parent_out = parent;
     return static_cast<DataNodeT*>(node);
+  }
+
+  /// First index in (i, n] whose key no longer routes to `leaf`, found by
+  /// galloping + binary search over the routing function — O(log run)
+  /// descents per run instead of one per key. Requires sorted keys (leaf
+  /// ownership is a contiguous interval, so membership is monotone) and
+  /// the caller holding `leaf`'s latch under an epoch guard: the latch
+  /// pins the leaf live, and a concurrent split elsewhere can only shrink
+  /// the run (the excluded keys re-descend on the next iteration).
+  size_t RunEnd(const K* keys, size_t n, size_t i,
+                const DataNodeT* leaf) const {
+    size_t lo = i + 1;
+    size_t step = 1;
+    while (i + step < n && DescendAcquire(keys[i + step]) == leaf) {
+      lo = i + step + 1;
+      step <<= 1;
+    }
+    size_t hi = std::min(n, i + step);
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (DescendAcquire(keys[mid]) == leaf) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
   }
 
   void InsertOrPut(K key, const P& payload, bool overwrite_duplicate,

@@ -62,6 +62,40 @@ class DataNode : public Node {
   bool has_model() const { return has_model_; }
   const model::LinearModel& model() const { return model_; }
 
+  /// Sentinel returned by SearchErrorBound when bounded search does not
+  /// apply to this node.
+  static constexpr size_t kNoErrorBound = static_cast<size_t>(-1);
+
+  /// Tracked model error bound in slots — the build-time maximum
+  /// |slot - Predict(key)| plus one slot of drift per insert since the
+  /// last rebuild (a gapped-array insert shifts each element by at most
+  /// one slot) — or kNoErrorBound when the bounded window search is not
+  /// applicable: no model (cold node), PMA layout (rebalances move
+  /// elements arbitrarily), the bound exceeds Config::simd_error_bound,
+  /// or the knob is 0.
+  size_t SearchErrorBound() const {
+    if (!has_model_ || config_->simd_error_bound == 0 ||
+        !std::holds_alternative<GappedArrayT>(storage_)) {
+      return kNoErrorBound;
+    }
+    const size_t err = model_error_ + insert_drift_;
+    return err <= config_->simd_error_bound ? err : kNoErrorBound;
+  }
+
+  /// True when lookups currently take the branchless bounded window path.
+  bool UsesBoundedSearch() const {
+    return SearchErrorBound() != kNoErrorBound;
+  }
+
+  /// Software-prefetches the slots a probe of `key` will touch. Batched
+  /// lookups issue these for a whole run of keys before the first search.
+  void PrefetchFor(K key) const {
+    Visit([&](const auto& s) {
+      s.PrefetchSlot(PredictSlot(key));
+      return 0;
+    });
+  }
+
   // Sibling links are atomics so the concurrent wrapper can splice the
   // leaf chain around a split while scans stream along it. Single-threaded
   // paths use the relaxed accessors (plain loads/stores after
@@ -156,6 +190,7 @@ class DataNode : public Node {
         pma.BuildFromSortedUniform(keys, payloads, n, pma_capacity);
       }
     }
+    RecomputeModelError();
   }
 
   /// Predicted slot for `key` — the model's prediction, or the array
@@ -176,8 +211,12 @@ class DataNode : public Node {
 
   /// Const point lookup: reads only, so shared-latch holders never write.
   const P* Find(K key) const {
+    const size_t err = SearchErrorBound();
     return Visit([&](const auto& s) -> const P* {
-      const size_t slot = s.FindSlot(key, PredictSlot(key));
+      const size_t slot =
+          err == kNoErrorBound
+              ? s.FindSlot(key, PredictSlot(key))
+              : s.FindSlotBounded(key, PredictSlot(key), err);
       if (slot == s.capacity()) return nullptr;
       return &s.payload_at(slot);
     });
@@ -185,15 +224,21 @@ class DataNode : public Node {
 
   /// Slot of `key`, or capacity() when absent.
   size_t FindSlotOf(K key) const {
+    const size_t err = SearchErrorBound();
     return Visit([&](const auto& s) {
-      return s.FindSlot(key, PredictSlot(key));
+      return err == kNoErrorBound
+                 ? s.FindSlot(key, PredictSlot(key))
+                 : s.FindSlotBounded(key, PredictSlot(key), err);
     });
   }
 
   /// First occupied slot with key >= `key`, or capacity().
   size_t LowerBoundSlot(K key) const {
+    const size_t err = SearchErrorBound();
     return Visit([&](const auto& s) {
-      return s.LowerBoundSlot(key, PredictSlot(key));
+      return err == kNoErrorBound
+                 ? s.LowerBoundSlot(key, PredictSlot(key))
+                 : s.LowerBoundSlotBounded(key, PredictSlot(key), err);
     });
   }
 
@@ -220,6 +265,9 @@ class DataNode : public Node {
       }
       const bool ok = ga->Insert(key, payload, PredictSlot(key));
       if (!ok) return InsertResult::kDuplicate;
+      // Each GA insert shifts elements by at most one slot, so the search
+      // error window grows by at most one. Rebuilds reset the drift.
+      ++insert_drift_;
     } else {
       auto& pma = std::get<PmaT>(storage_);
       auto status = pma.Insert(key, payload, PredictSlot(key));
@@ -423,6 +471,26 @@ class DataNode : public Node {
         pma.BuildFromSortedUniform(keys.data(), payloads.data(), n, cap);
       }
     }
+    RecomputeModelError();
+  }
+
+  /// Measures the build-time maximum |slot - Predict(key)| over occupied
+  /// slots and resets the insert drift. Called after every (re)build; only
+  /// meaningful for gapped arrays with a model, and skipped entirely when
+  /// the bounded path is disabled.
+  void RecomputeModelError() {
+    insert_drift_ = 0;
+    model_error_ = 0;
+    if (!has_model_ || config_->simd_error_bound == 0) return;
+    const auto* ga = std::get_if<GappedArrayT>(&storage_);
+    if (ga == nullptr) return;
+    const size_t cap = ga->capacity();
+    for (size_t i = ga->FirstOccupied(); i < cap; i = ga->NextOccupied(i)) {
+      const size_t pred =
+          model_.Predict(static_cast<double>(ga->key_at(i)), cap);
+      const size_t err = pred > i ? pred - i : i - pred;
+      if (err > model_error_) model_error_ = err;
+    }
   }
 
   // Accumulates the storage's shift counter before the storage is rebuilt
@@ -437,6 +505,8 @@ class DataNode : public Node {
   std::variant<GappedArrayT, PmaT> storage_;
   model::LinearModel model_;
   bool has_model_ = false;
+  size_t model_error_ = 0;   ///< max |slot - prediction| at last (re)build
+  size_t insert_drift_ = 0;  ///< GA inserts since last (re)build
   uint64_t retired_shifts_ = 0;
   uint64_t last_synced_shifts_ = 0;
   std::atomic<uint64_t> version_{0};

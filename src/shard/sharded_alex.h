@@ -124,6 +124,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <numeric>
 #include <shared_mutex>
 #include <string>
 #include <thread>
@@ -284,7 +285,8 @@ class ShardedAlex {
       // kSkewCheckInterval-th commit, however commits interleave.
       const uint64_t commit =
           shard->commit_count.fetch_add(1, std::memory_order_relaxed) + 1;
-      MaybeSplit(table, shard, key, commit);
+      MaybeSplit(table, shard, key,
+                 (commit & (kSkewCheckInterval - 1)) == 0);
       return true;
     }
   }
@@ -309,7 +311,7 @@ class ShardedAlex {
       if (!erased) return false;
       const uint64_t commit =
           shard->commit_count.fetch_add(1, std::memory_order_relaxed) + 1;
-      MaybeMerge(key, commit);
+      MaybeMerge(key, (commit & (kSkewCheckInterval - 1)) == 0);
       return true;
     }
   }
@@ -327,6 +329,145 @@ class ShardedAlex {
       }
       return shard->index.Update(key, payload);
     }
+  }
+
+  // ---- Batched operations ----
+  //
+  // Each batch is sorted once (an index permutation, so callers' arrays
+  // stay in caller order) and executed as one *shard run* at a time: the
+  // maximal stretch of consecutive sorted keys routing to one shard.
+  // Costs amortized per run instead of per key: one write-gate shared
+  // lock, one WAL group-commit batch (one write(2) + at most one
+  // fdatasync(2) for the whole run), and — inside the shard — one epoch
+  // guard with one leaf latch per leaf run. The router is still evaluated
+  // once per key (run boundaries come from the router's own shard lower
+  // bounds, one comparison per key). Batches are not atomic as a unit;
+  // each key linearizes individually, exactly like the scalar ops.
+
+  /// Batched Get. Fills `payloads[i]`/`found[i]` per key (caller order);
+  /// returns the number found. Lock-free at the shard layer, like Get.
+  size_t MultiGet(const K* keys, size_t n, P* payloads, bool* found) const {
+    if (n == 0) return 0;
+    std::vector<size_t> order;
+    std::vector<K> sorted_keys;
+    SortBatch(keys, n, &order, &sorted_keys);
+    std::vector<P> run_payloads(n);
+    const std::unique_ptr<bool[]> run_found(new bool[n]());
+    size_t hits = 0;
+    util::EpochManager::Guard guard(epoch_);
+    Table* table = table_.load(std::memory_order_seq_cst);
+    size_t i = 0;
+    while (i < n) {
+      const size_t idx = table->router.Route(sorted_keys[i]);
+      const size_t j = RunEnd(table, idx, sorted_keys, i);
+      hits += table->shards[idx]->index.MultiGet(
+          sorted_keys.data() + i, j - i, run_payloads.data() + i,
+          run_found.get() + i);
+      i = j;
+    }
+    for (size_t k = 0; k < n; ++k) {
+      found[order[k]] = run_found[k];
+      if (run_found[k]) payloads[order[k]] = run_payloads[k];
+    }
+    return hits;
+  }
+
+  /// Batched Insert; `inserted[i]` (when non-null, caller order) reports
+  /// per-key success (false = duplicate, or the run's WAL batch failed).
+  /// Returns the number inserted. Log-before-apply per run: the whole
+  /// run's records group-commit as one WAL batch before any of the run
+  /// is applied, and a failed batch fails the whole run closed.
+  size_t MultiInsert(const K* keys, const P* payloads, size_t n,
+                     bool* inserted = nullptr) {
+    if (n == 0) return 0;
+    std::vector<size_t> order;
+    std::vector<K> sorted_keys;
+    SortBatch(keys, n, &order, &sorted_keys);
+    std::vector<P> sorted_payloads(n);
+    for (size_t k = 0; k < n; ++k) sorted_payloads[k] = payloads[order[k]];
+    const std::unique_ptr<bool[]> run_ok(new bool[n]());
+    size_t count = 0;
+    util::EpochManager::Guard guard(epoch_);
+    size_t i = 0;
+    while (i < n) {
+      Table* table = table_.load(std::memory_order_seq_cst);
+      const size_t idx = table->router.Route(sorted_keys[i]);
+      Shard* shard = table->shards[idx].get();
+      const size_t j = RunEnd(table, idx, sorted_keys, i);
+      std::shared_lock<std::shared_mutex> gate(shard->write_gate);
+      if (shard->retired.load(std::memory_order_seq_cst)) {
+        continue;  // raced a topology transaction: re-route from key i
+      }
+      const size_t len = j - i;
+      if (!LogWriteBatch(shard, wal::WalRecordType::kInsert,
+                         sorted_keys.data() + i, sorted_payloads.data() + i,
+                         len)) {
+        i = j;  // fail the run closed; later runs surface the same error
+        continue;
+      }
+      const size_t run_inserted = shard->index.MultiInsert(
+          sorted_keys.data() + i, sorted_payloads.data() + i, len,
+          run_ok.get() + i);
+      gate.unlock();
+      count += run_inserted;
+      i = j;
+      if (run_inserted > 0) {
+        const uint64_t before = shard->commit_count.fetch_add(
+            run_inserted, std::memory_order_relaxed);
+        // The scalar path checks the skew on every kSkewCheckInterval-th
+        // commit; a batch increment can jump the counter past the exact
+        // multiple, so the tick fires when the run crossed one.
+        MaybeSplit(table, shard, sorted_keys[i - 1],
+                   CrossedSkewInterval(before, run_inserted));
+      }
+    }
+    if (inserted != nullptr) {
+      for (size_t k = 0; k < n; ++k) inserted[order[k]] = run_ok[k];
+    }
+    return count;
+  }
+
+  /// Batched Erase; `erased[i]` (when non-null, caller order) reports
+  /// per-key success. Returns the number erased. One WAL group-commit
+  /// batch per shard run, like MultiInsert.
+  size_t MultiErase(const K* keys, size_t n, bool* erased = nullptr) {
+    if (n == 0) return 0;
+    std::vector<size_t> order;
+    std::vector<K> sorted_keys;
+    SortBatch(keys, n, &order, &sorted_keys);
+    const std::unique_ptr<bool[]> run_ok(new bool[n]());
+    size_t count = 0;
+    util::EpochManager::Guard guard(epoch_);
+    size_t i = 0;
+    while (i < n) {
+      Table* table = table_.load(std::memory_order_seq_cst);
+      const size_t idx = table->router.Route(sorted_keys[i]);
+      Shard* shard = table->shards[idx].get();
+      const size_t j = RunEnd(table, idx, sorted_keys, i);
+      std::shared_lock<std::shared_mutex> gate(shard->write_gate);
+      if (shard->retired.load(std::memory_order_seq_cst)) continue;
+      const size_t len = j - i;
+      if (!LogWriteBatch(shard, wal::WalRecordType::kErase,
+                         sorted_keys.data() + i, nullptr, len)) {
+        i = j;
+        continue;
+      }
+      const size_t run_erased = shard->index.MultiErase(
+          sorted_keys.data() + i, len, run_ok.get() + i);
+      gate.unlock();
+      count += run_erased;
+      i = j;
+      if (run_erased > 0) {
+        const uint64_t before = shard->commit_count.fetch_add(
+            run_erased, std::memory_order_relaxed);
+        MaybeMerge(sorted_keys[i - 1],
+                   CrossedSkewInterval(before, run_erased));
+      }
+    }
+    if (erased != nullptr) {
+      for (size_t k = 0; k < n; ++k) erased[order[k]] = run_ok[k];
+    }
+    return count;
   }
 
   /// Copies the payload of `key` into `*out`; returns false when absent.
@@ -866,6 +1007,61 @@ class ShardedAlex {
     return false;
   }
 
+  /// Batched LogWrite: the whole shard run group-commits as one WAL
+  /// batch (ShardLog::LogBatch). Same fail-closed contract as LogWrite,
+  /// applied to the run as a unit.
+  bool LogWriteBatch(Shard* shard, wal::WalRecordType type, const K* keys,
+                     const P* payloads, size_t n) {
+    if (shard->log == nullptr) return true;
+    const wal::WalStatus status =
+        shard->log->LogBatch(type, keys, payloads, n);
+    if (status == wal::WalStatus::kOk) return true;
+    wal::WalStatus expected = wal::WalStatus::kOk;
+    last_wal_error_.compare_exchange_strong(expected, status,
+                                            std::memory_order_relaxed);
+    return false;
+  }
+
+  // ---- Batch plumbing ----
+
+  /// Sorts a batch by key through an index permutation: `order[k]` is the
+  /// caller index of the k-th smallest key, `sorted_keys[k]` that key.
+  static void SortBatch(const K* keys, size_t n, std::vector<size_t>* order,
+                        std::vector<K>* sorted_keys) {
+    order->resize(n);
+    std::iota(order->begin(), order->end(), size_t{0});
+    // Ties break on the original position so duplicate keys keep their
+    // batch order — the first occurrence is the one whose insert wins,
+    // exactly as a scalar loop over the batch would behave.
+    std::sort(order->begin(), order->end(), [keys](size_t a, size_t b) {
+      return keys[a] < keys[b] || (keys[a] == keys[b] && a < b);
+    });
+    sorted_keys->resize(n);
+    for (size_t k = 0; k < n; ++k) (*sorted_keys)[k] = keys[(*order)[k]];
+  }
+
+  /// First index in (i, n] of `sorted_keys` that no longer routes to
+  /// shard `idx` of `table`: shards own contiguous ascending ranges, so
+  /// the run ends at the first key reaching the next shard's lower bound.
+  static size_t RunEnd(const Table* table, size_t idx,
+                       const std::vector<K>& sorted_keys, size_t i) {
+    const size_t n = sorted_keys.size();
+    if (idx + 1 >= table->shards.size()) return n;
+    const K next_lo = table->router.LowerBoundOf(idx + 1);
+    size_t j = i + 1;
+    while (j < n && sorted_keys[j] < next_lo) ++j;
+    return j;
+  }
+
+  /// True when (before, before + delta] contains a multiple of
+  /// kSkewCheckInterval — the batch analogue of the scalar path's
+  /// `commit % kSkewCheckInterval == 0` tick, which a batched counter
+  /// increment could otherwise jump past.
+  static bool CrossedSkewInterval(uint64_t before, uint64_t delta) {
+    return before / kSkewCheckInterval !=
+           (before + delta) / kSkewCheckInterval;
+  }
+
   /// Opens one fresh log (new wal id, seq 1, LSN 0) per shard and
   /// attaches it under the shard's exclusive gate. A non-empty
   /// `parents` list makes these topology children: the segment header
@@ -1269,18 +1465,19 @@ class ShardedAlex {
 
   /// Post-commit split trigger. The absolute bound costs one load of the
   /// just-written shard's own size; the relative skew check must read
-  /// every shard's size, so it runs only on every kSkewCheckInterval-th
-  /// commit into the shard (`commit` comes from the shard's own counter,
-  /// so the trigger is deterministic under any interleaving) — the write
-  /// hot path performs no cross-shard reads.
+  /// every shard's size, so it runs only when `tick` is set — scalar
+  /// commits set it on every kSkewCheckInterval-th commit into the shard,
+  /// batched commits when the run crossed an interval boundary (both
+  /// derived from the shard's own counter, so the trigger is
+  /// deterministic under any interleaving) — the write hot path performs
+  /// no cross-shard reads.
   static constexpr uint64_t kSkewCheckInterval = 1024;
-  void MaybeSplit(Table* table, Shard* shard, K hint_key,
-                  uint64_t commit) {
+  void MaybeSplit(Table* table, Shard* shard, K hint_key, bool tick) {
     const size_t shard_keys = shard->index.size();
     if (shard_keys < options_.min_rebalance_keys) return;
     const bool over_absolute = options_.max_shard_keys > 0 &&
                                shard_keys > options_.max_shard_keys;
-    if (!over_absolute && (commit & (kSkewCheckInterval - 1)) != 0) {
+    if (!over_absolute && !tick) {
       return;
     }
     if (!ShouldSplit(shard_keys, TotalKeys(table),
@@ -1303,13 +1500,14 @@ class ShardedAlex {
   }
 
   /// Post-erase merge trigger, amortized exactly like the split skew
-  /// check (`commit` is the shard's own counter). Picks the smaller
-  /// adjacent neighbor as the co-victim. Unlike MaybeSplit there is no
-  /// cheap pre-check against the caller's table: the decision needs the
-  /// neighbors' sizes, which are only stable under the rebalance lock.
-  void MaybeMerge(K hint_key, uint64_t commit) {
+  /// check (`tick` derives from the shard's own counter). Picks the
+  /// smaller adjacent neighbor as the co-victim. Unlike MaybeSplit there
+  /// is no cheap pre-check against the caller's table: the decision needs
+  /// the neighbors' sizes, which are only stable under the rebalance
+  /// lock.
+  void MaybeMerge(K hint_key, bool tick) {
     if (options_.merge_threshold_keys == 0) return;
-    if ((commit & (kSkewCheckInterval - 1)) != 0) return;
+    if (!tick) return;
     std::unique_lock<std::mutex> rebalance(rebalance_mutex_,
                                            std::try_to_lock);
     if (!rebalance.owns_lock()) return;

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -65,10 +66,17 @@ class Log2Histogram {
 
   /// Smallest value v such that at least `q` (in [0,1]) of the mass lies in
   /// buckets whose lower edge is <= v. Approximate (bucket resolution).
+  ///
+  /// The rank target is ceil(q * total) clamped to [1, total]: nearest-rank
+  /// semantics. A truncated target of 0 would be satisfied by the (possibly
+  /// empty) zero bucket, reporting 0 for any quantile of a small sample set.
   uint64_t Quantile(double q) const {
     if (total_ == 0) return 0;
-    const auto target = static_cast<uint64_t>(
-        q * static_cast<double>(total_));
+    q = std::min(std::max(q, 0.0), 1.0);
+    const auto target = std::max<uint64_t>(
+        1, std::min<uint64_t>(
+               total_, static_cast<uint64_t>(
+                           std::ceil(q * static_cast<double>(total_)))));
     uint64_t cumulative = 0;
     for (int b = 0; b < kNumBuckets; ++b) {
       cumulative += counts_[b];

@@ -119,45 +119,40 @@ class ShardLog {
     const uint64_t lsn = ++last_lsn_;
     AppendWalRecord<K, P>(&arena_, lsn, type, key, payload);
     arena_lsn_ = lsn;
-    const bool want_durable = options_.sync_policy == SyncPolicy::kAlways;
-    while ((want_durable ? durable_lsn_ : flushed_lsn_) < lsn) {
-      if (io_error_) return WalStatus::kIoError;
-      if (flush_in_flight_) {
-        // A leader is mid-flush; our record is in the arena it did NOT
-        // steal. Wait for it to finish, then (typically) lead the next
-        // batch ourselves, carrying everyone who queued meanwhile.
-        cv_.wait(lock);
-        continue;
-      }
-      flush_in_flight_ = true;
-      std::vector<uint8_t> batch;
-      batch.swap(arena_);
-      const uint64_t batch_lsn = arena_lsn_;
-      bool do_sync = want_durable;
-      if (options_.sync_policy == SyncPolicy::kBatch) {
-        const auto now = std::chrono::steady_clock::now();
-        do_sync = now - last_sync_ >=
-                  std::chrono::microseconds(options_.batch_interval_us);
-      }
-      lock.unlock();
-      bool ok = WriteAll(batch.data(), batch.size());
-      if (ok && do_sync) ok = ::fdatasync(fd_) == 0;
-      lock.lock();
-      flush_in_flight_ = false;
-      if (!ok) {
-        io_error_ = true;
-        cv_.notify_all();
-        return WalStatus::kIoError;
-      }
-      if (batch_lsn > flushed_lsn_) flushed_lsn_ = batch_lsn;
-      if (do_sync) {
-        durable_lsn_ = flushed_lsn_;
-        last_sync_ = std::chrono::steady_clock::now();
-      }
-      cv_.notify_all();
-    }
+    const WalStatus status = CommitLocked(lock, lsn);
+    if (status != WalStatus::kOk) return status;
     // Commit wait, entry to acknowledgement (the lock is held here, so
     // the histogram needs no further synchronization).
+    commit_wait_.Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+    return WalStatus::kOk;
+  }
+
+  /// Appends `n` same-type records with consecutive LSNs in one arena
+  /// append and commits them as ONE group-commit batch: one wait on the
+  /// batch's last LSN (so one write(2) + at most one fdatasync(2) cover
+  /// the whole run, plus any concurrent committers it carries) and one
+  /// commit-wait histogram sample for the batch. `payloads` may be null
+  /// (erase batches carry no payload). All-or-nothing acknowledgement:
+  /// on error none of the batch may be claimed durable.
+  WalStatus LogBatch(WalRecordType type, const K* keys, const P* payloads,
+                     size_t n) {
+    if (n == 0) return WalStatus::kOk;
+    const auto t0 = std::chrono::steady_clock::now();
+    std::unique_lock<std::mutex> lock(mu_);
+    if (sealed_) return WalStatus::kSealed;
+    if (io_error_) return WalStatus::kIoError;
+    uint64_t lsn = last_lsn_;
+    for (size_t i = 0; i < n; ++i) {
+      AppendWalRecord<K, P>(&arena_, ++lsn, type, keys[i],
+                            payloads == nullptr ? nullptr : &payloads[i]);
+    }
+    last_lsn_ = lsn;
+    arena_lsn_ = lsn;
+    const WalStatus status = CommitLocked(lock, lsn);
+    if (status != WalStatus::kOk) return status;
     commit_wait_.Record(static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - t0)
@@ -376,6 +371,51 @@ class ShardLog {
       }
       cv_.notify_all();
     }
+  }
+
+  /// The leader/follower commit protocol: blocks until `lsn` is covered
+  /// per the sync policy (flushed for kBatch/kNone, durable for kAlways),
+  /// leading a flush of the whole arena whenever no leader is in flight.
+  /// mu_ held on entry and exit; dropped around the I/O.
+  WalStatus CommitLocked(std::unique_lock<std::mutex>& lock, uint64_t lsn) {
+    const bool want_durable = options_.sync_policy == SyncPolicy::kAlways;
+    while ((want_durable ? durable_lsn_ : flushed_lsn_) < lsn) {
+      if (io_error_) return WalStatus::kIoError;
+      if (flush_in_flight_) {
+        // A leader is mid-flush; our record is in the arena it did NOT
+        // steal. Wait for it to finish, then (typically) lead the next
+        // batch ourselves, carrying everyone who queued meanwhile.
+        cv_.wait(lock);
+        continue;
+      }
+      flush_in_flight_ = true;
+      std::vector<uint8_t> batch;
+      batch.swap(arena_);
+      const uint64_t batch_lsn = arena_lsn_;
+      bool do_sync = want_durable;
+      if (options_.sync_policy == SyncPolicy::kBatch) {
+        const auto now = std::chrono::steady_clock::now();
+        do_sync = now - last_sync_ >=
+                  std::chrono::microseconds(options_.batch_interval_us);
+      }
+      lock.unlock();
+      bool ok = WriteAll(batch.data(), batch.size());
+      if (ok && do_sync) ok = ::fdatasync(fd_) == 0;
+      lock.lock();
+      flush_in_flight_ = false;
+      if (!ok) {
+        io_error_ = true;
+        cv_.notify_all();
+        return WalStatus::kIoError;
+      }
+      if (batch_lsn > flushed_lsn_) flushed_lsn_ = batch_lsn;
+      if (do_sync) {
+        durable_lsn_ = flushed_lsn_;
+        last_sync_ = std::chrono::steady_clock::now();
+      }
+      cv_.notify_all();
+    }
+    return WalStatus::kOk;
   }
 
   bool FlushArenaLocked(bool sync) {

@@ -139,6 +139,17 @@ class ShardedAlexAdapter {
   bool Insert(K key, const P& payload) { return index_.Insert(key, payload); }
   bool Find(K key) { return index_.Contains(key); }
   bool Erase(K key) { return index_.Erase(key); }
+  // Batched entry points (any key order; the shard layer sorts).
+  size_t MultiGet(const K* keys, size_t n, P* payloads, bool* found) {
+    return index_.MultiGet(keys, n, payloads, found);
+  }
+  size_t MultiInsert(const K* keys, const P* payloads, size_t n,
+                     bool* inserted = nullptr) {
+    return index_.MultiInsert(keys, payloads, n, inserted);
+  }
+  size_t MultiErase(const K* keys, size_t n, bool* erased = nullptr) {
+    return index_.MultiErase(keys, n, erased);
+  }
   size_t RangeScan(K start, size_t max_results,
                    std::vector<std::pair<K, P>>* out) {
     return index_.RangeScan(start, max_results, out);

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/random.h"
+
 namespace alex::util {
 namespace {
 
@@ -51,6 +57,65 @@ TEST(Log2HistogramTest, QuantileFindsMassBoundary) {
   for (int i = 0; i < 10; ++i) h.Record(1024);
   EXPECT_EQ(h.Quantile(0.5), 0u);
   EXPECT_EQ(h.Quantile(0.99), 1024u);
+}
+
+// Regression: Quantile used floor(q * total) as the target rank, so any
+// quantile of a small sample returned bucket 0 — the median of a single
+// observation of 100 came back 0 instead of its bucket's lower edge 64.
+TEST(Log2HistogramTest, QuantileOfSingleObservationIsItsBucket) {
+  Log2Histogram h;
+  h.Record(100);  // bucket [64, 128)
+  EXPECT_EQ(h.Quantile(0.5), 64u);
+  EXPECT_EQ(h.Quantile(0.01), 64u);
+  EXPECT_EQ(h.Quantile(0.99), 64u);
+  EXPECT_EQ(h.Quantile(1.0), 64u);
+}
+
+TEST(Log2HistogramTest, SmallSampleQuantilesAreNotZeroBiased) {
+  Log2Histogram h;
+  h.Record(10);    // bucket [8, 16)
+  h.Record(20);    // bucket [16, 32)
+  h.Record(3000);  // bucket [2048, 4096)
+  EXPECT_EQ(h.Quantile(0.5), 16u);   // rank ceil(0.5*3)=2 -> second sample
+  EXPECT_EQ(h.Quantile(0.34), 16u);  // rank ceil(1.02)=2 -> second sample
+  EXPECT_EQ(h.Quantile(0.33), 8u);   // rank ceil(0.99)=1 -> first sample
+  EXPECT_EQ(h.Quantile(1.0), 2048u);
+  // Zero-valued samples still report bucket 0 when they carry the rank.
+  Log2Histogram z;
+  z.Record(0);
+  z.Record(0);
+  z.Record(1024);
+  EXPECT_EQ(z.Quantile(0.5), 0u);
+}
+
+// Cross-check against an exact-rank oracle: the histogram's Quantile(q)
+// must equal the bucket floor of the ceil(q*n)-th smallest sample — the
+// same samples a PercentileRecorder would report (up to bucket
+// granularity). This is the contract the WAL bench relies on when it
+// prints commit-wait p50/p99 from Log2Histogram.
+TEST(Log2HistogramTest, QuantileMatchesExactRankOracle) {
+  Xoshiro256 rng(4711);
+  for (int trial = 0; trial < 20; ++trial) {
+    Log2Histogram h;
+    std::vector<uint64_t> samples(1 + rng.NextUint64(200));
+    for (auto& s : samples) {
+      s = rng.NextUint64(2) == 0 ? rng.NextUint64(100)
+                                 : rng.NextUint64(1 << 20);
+      h.Record(s);
+    }
+    std::sort(samples.begin(), samples.end());
+    for (const double q : {0.01, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+      const auto n = samples.size();
+      const size_t rank = std::max<size_t>(
+          1, std::min<size_t>(
+                 n, static_cast<size_t>(
+                        std::ceil(q * static_cast<double>(n)))));
+      const uint64_t exact = samples[rank - 1];
+      EXPECT_EQ(h.Quantile(q),
+                Log2Histogram::BucketLo(Log2Histogram::BucketOf(exact)))
+          << "q=" << q << " n=" << n << " exact=" << exact;
+    }
+  }
 }
 
 TEST(Log2HistogramTest, MergeAddsCountsBucketwise) {

@@ -104,6 +104,56 @@ TEST(BinarySearchTest, EmptyWindowReturnsHi) {
   EXPECT_EQ(BinarySearchLowerBound(data.data(), 2, 2, int64_t{0}), 2u);
 }
 
+// Differential fuzz against std::lower_bound / std::upper_bound over
+// duplicate-heavy arrays (tiny value domain, so nearly every key repeats)
+// with adversarial predicted positions: 0, the last slot, the exact
+// answer, and far misses on both sides. The same oracle shape covers the
+// SIMD bounded search in tests/simd_search_test.cc.
+TEST(ExponentialSearchTest, DuplicateHeavyAdversarialFuzz) {
+  Xoshiro256 rng(991);
+  for (int trial = 0; trial < 60; ++trial) {
+    const size_t n = 1 + rng.NextUint64(400);
+    std::vector<int64_t> data(n);
+    for (auto& v : data) v = static_cast<int64_t>(rng.NextUint64(8));
+    std::sort(data.begin(), data.end());
+    for (int64_t key = -1; key <= 8; ++key) {
+      const size_t expected_lb = static_cast<size_t>(
+          std::lower_bound(data.begin(), data.end(), key) - data.begin());
+      const size_t expected_ub = static_cast<size_t>(
+          std::upper_bound(data.begin(), data.end(), key) - data.begin());
+      const size_t preds[] = {0,
+                              n - 1,
+                              expected_lb,
+                              expected_lb > 0 ? expected_lb - 1 : n - 1,
+                              std::min(n - 1, expected_lb + n / 2),
+                              rng.NextUint64(n)};
+      for (const size_t pred : preds) {
+        EXPECT_EQ(ExponentialSearchLowerBound(data.data(), n, key, pred),
+                  expected_lb)
+            << "n=" << n << " key=" << key << " pred=" << pred;
+        EXPECT_EQ(ExponentialSearchUpperBound(data.data(), n, key, pred),
+                  expected_ub)
+            << "n=" << n << " key=" << key << " pred=" << pred;
+      }
+      // Binary search over every window that brackets the answer must
+      // agree too (windows that exclude the answer clamp to an edge by
+      // contract, so only bracketing windows are oracle-comparable).
+      const size_t lo = rng.NextUint64(expected_lb + 1);
+      const size_t hi =
+          std::min(n, expected_lb + rng.NextUint64(n - expected_lb) + 1);
+      EXPECT_EQ(BinarySearchLowerBound(data.data(), lo, hi, key),
+                expected_lb)
+          << "n=" << n << " key=" << key << " lo=" << lo << " hi=" << hi;
+      const size_t ub_lo = rng.NextUint64(expected_ub + 1);
+      const size_t ub_hi =
+          std::min(n, expected_ub + rng.NextUint64(n - expected_ub) + 1);
+      EXPECT_EQ(BinarySearchUpperBound(data.data(), ub_lo, ub_hi, key),
+                expected_ub)
+          << "n=" << n << " key=" << key;
+    }
+  }
+}
+
 // The property ALEX relies on (paper §5.3.2): exponential search touches
 // O(log error) elements. We can't measure comparisons directly here, but we
 // verify correctness at extreme mispredictions, which is the stressed path.

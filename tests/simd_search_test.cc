@@ -1,0 +1,234 @@
+#include "util/simd_search.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace alex::util {
+namespace {
+
+TEST(ErrorWindowTest, ClampsToArray) {
+  const Approx w = ErrorWindow(5, 2, 10);
+  EXPECT_EQ(w.pos, 5u);
+  EXPECT_EQ(w.lo, 3u);
+  EXPECT_EQ(w.hi, 8u);
+  // Prediction past the end clamps to the last slot.
+  const Approx past = ErrorWindow(100, 2, 10);
+  EXPECT_EQ(past.pos, 9u);
+  EXPECT_EQ(past.lo, 7u);
+  EXPECT_EQ(past.hi, 10u);
+  // Error larger than the array covers the whole array.
+  const Approx all = ErrorWindow(3, 100, 10);
+  EXPECT_EQ(all.lo, 0u);
+  EXPECT_EQ(all.hi, 10u);
+  // Empty array yields an empty window.
+  const Approx empty = ErrorWindow(0, 5, 0);
+  EXPECT_EQ(empty.lo, 0u);
+  EXPECT_EQ(empty.hi, 0u);
+}
+
+// The differential oracle all search variants are held to: whatever the
+// predicted position and claimed error bound — including hostile ones that
+// exclude the true answer entirely — the result must equal
+// std::lower_bound / std::upper_bound.
+template <typename K>
+void CheckAgainstStd(const std::vector<K>& data, K key, size_t predicted,
+                     size_t error) {
+  const size_t expected_lb = static_cast<size_t>(
+      std::lower_bound(data.begin(), data.end(), key) - data.begin());
+  const size_t expected_ub = static_cast<size_t>(
+      std::upper_bound(data.begin(), data.end(), key) - data.begin());
+  EXPECT_EQ(PredictedWindowLowerBound(data.data(), data.size(), key,
+                                      predicted, error),
+            expected_lb)
+      << "n=" << data.size() << " key=" << key << " pred=" << predicted
+      << " err=" << error;
+  EXPECT_EQ(PredictedWindowUpperBound(data.data(), data.size(), key,
+                                      predicted, error),
+            expected_ub)
+      << "n=" << data.size() << " key=" << key << " pred=" << predicted
+      << " err=" << error;
+}
+
+template <typename K>
+void RunAdversarialSweep() {
+  // Duplicate-heavy fixed array: runs of equal keys stress the boundary
+  // between count-less and count-less-equal.
+  const std::vector<K> data = {K(1), K(3), K(3),  K(3), K(7),  K(9),
+                               K(9), K(9), K(12), K(20), K(20), K(31)};
+  const size_t n = data.size();
+  const size_t preds[] = {0, 1, n / 2, n - 1, n, n + 17};
+  const size_t errors[] = {0, 1, 2, 4, n, 1000};
+  for (int k = 0; k <= 32; ++k) {
+    for (const size_t pred : preds) {
+      for (const size_t err : errors) {
+        CheckAgainstStd(data, K(k), pred, err);
+      }
+    }
+  }
+}
+
+TEST(PredictedWindowTest, AdversarialPredictionsInt64) {
+  RunAdversarialSweep<int64_t>();
+}
+TEST(PredictedWindowTest, AdversarialPredictionsUint64) {
+  RunAdversarialSweep<uint64_t>();
+}
+TEST(PredictedWindowTest, AdversarialPredictionsDouble) {
+  RunAdversarialSweep<double>();
+}
+
+TEST(PredictedWindowTest, EmptyAndSingle) {
+  const std::vector<int64_t> empty;
+  EXPECT_EQ(PredictedWindowLowerBound(empty.data(), 0, int64_t{5}, 0, 8), 0u);
+  EXPECT_EQ(PredictedWindowUpperBound(empty.data(), 0, int64_t{5}, 0, 8), 0u);
+  const std::vector<int64_t> one = {10};
+  for (const size_t err : {size_t{0}, size_t{5}}) {
+    EXPECT_EQ(PredictedWindowLowerBound(one.data(), 1, int64_t{9}, 0, err),
+              0u);
+    EXPECT_EQ(PredictedWindowLowerBound(one.data(), 1, int64_t{10}, 0, err),
+              0u);
+    EXPECT_EQ(PredictedWindowLowerBound(one.data(), 1, int64_t{11}, 0, err),
+              1u);
+    EXPECT_EQ(PredictedWindowUpperBound(one.data(), 1, int64_t{10}, 0, err),
+              1u);
+  }
+}
+
+// Randomized duplicate-heavy fuzz across all three vectorized key types.
+// Values are drawn from a tiny domain so almost every key repeats, and the
+// predicted position is drawn independently of the key (usually wrong).
+template <typename K>
+void RunRandomizedFuzz(uint64_t seed) {
+  Xoshiro256 rng(seed);
+  for (int trial = 0; trial < 100; ++trial) {
+    const size_t n = 1 + rng.NextUint64(600);
+    std::vector<K> data(n);
+    for (auto& v : data) v = static_cast<K>(rng.NextUint64(32));
+    std::sort(data.begin(), data.end());
+    for (int probe = 0; probe < 60; ++probe) {
+      const K key = static_cast<K>(rng.NextUint64(34));
+      const size_t pred = rng.NextUint64(n + 4);
+      const size_t err = rng.NextUint64(16);
+      CheckAgainstStd(data, key, pred, err);
+    }
+  }
+}
+
+TEST(PredictedWindowTest, RandomizedDuplicateHeavyInt64) {
+  RunRandomizedFuzz<int64_t>(101);
+}
+TEST(PredictedWindowTest, RandomizedDuplicateHeavyUint64) {
+  RunRandomizedFuzz<uint64_t>(202);
+}
+TEST(PredictedWindowTest, RandomizedDuplicateHeavyDouble) {
+  RunRandomizedFuzz<double>(303);
+}
+
+// uint64 keys with the sign bit set exercise the XOR-bias trick in the
+// unsigned AVX2 kernel; doubles get negatives and fractions.
+TEST(PredictedWindowTest, Uint64HighBitKeys) {
+  Xoshiro256 rng(404);
+  for (int trial = 0; trial < 40; ++trial) {
+    const size_t n = 1 + rng.NextUint64(300);
+    std::vector<uint64_t> data(n);
+    for (auto& v : data) {
+      v = rng.NextUint64(64) * 0x2000000000000000ULL;  // straddles 2^63
+    }
+    std::sort(data.begin(), data.end());
+    for (int probe = 0; probe < 40; ++probe) {
+      const uint64_t key = rng.NextUint64(66) * 0x2000000000000000ULL;
+      CheckAgainstStd(data, key, rng.NextUint64(n), rng.NextUint64(8));
+    }
+  }
+}
+
+TEST(PredictedWindowTest, NegativeAndFractionalDoubles) {
+  Xoshiro256 rng(505);
+  for (int trial = 0; trial < 40; ++trial) {
+    const size_t n = 1 + rng.NextUint64(300);
+    std::vector<double> data(n);
+    for (auto& v : data) {
+      v = (static_cast<double>(rng.NextUint64(200)) - 100.0) / 4.0;
+    }
+    std::sort(data.begin(), data.end());
+    for (int probe = 0; probe < 40; ++probe) {
+      const double key = (static_cast<double>(rng.NextUint64(210)) - 105.0) /
+                         4.0;
+      CheckAgainstStd(data, key, rng.NextUint64(n), rng.NextUint64(8));
+    }
+  }
+}
+
+// Windows around kScanThreshold exercise the binary-narrow-then-scan
+// seam in BoundedSearch.
+TEST(BoundedSearchTest, ThresholdBoundarySizes) {
+  Xoshiro256 rng(606);
+  for (const size_t n :
+       {simd_internal::kScanThreshold - 1, simd_internal::kScanThreshold,
+        simd_internal::kScanThreshold + 1,
+        simd_internal::kScanThreshold * 3}) {
+    std::vector<int64_t> data(n);
+    for (auto& v : data) v = static_cast<int64_t>(rng.NextUint64(50));
+    std::sort(data.begin(), data.end());
+    for (int64_t key = -1; key <= 51; ++key) {
+      const size_t expected_lb = static_cast<size_t>(
+          std::lower_bound(data.begin(), data.end(), key) - data.begin());
+      const size_t expected_ub = static_cast<size_t>(
+          std::upper_bound(data.begin(), data.end(), key) - data.begin());
+      EXPECT_EQ(BoundedSearchLowerBound(data.data(), size_t{0}, n, key),
+                expected_lb)
+          << "n=" << n << " key=" << key;
+      EXPECT_EQ(BoundedSearchUpperBound(data.data(), size_t{0}, n, key),
+                expected_ub)
+          << "n=" << n << " key=" << key;
+    }
+  }
+}
+
+#if ALEX_SIMD_X86
+// Direct kernel equivalence: on AVX2 hardware the vector counters must be
+// byte-identical to the scalar counters on every window size (including
+// the 0..3-element tails the vector loop leaves to scalar cleanup). On a
+// non-AVX2 host or an ALEX_DISABLE_SIMD build this is vacuous — the scalar
+// path is the only one, and the oracle tests above still cover it.
+template <typename K>
+void RunKernelEquivalence(uint64_t seed) {
+  if (!__builtin_cpu_supports("avx2")) {
+    GTEST_SKIP() << "host lacks AVX2";
+  }
+  Xoshiro256 rng(seed);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t n = rng.NextUint64(67);  // covers all mod-4 tails
+    std::vector<K> data(std::max<size_t>(n, 1));
+    for (auto& v : data) v = static_cast<K>(rng.NextUint64(16));
+    std::sort(data.begin(), data.begin() + static_cast<ptrdiff_t>(n));
+    for (int probe = 0; probe < 20; ++probe) {
+      const K key = static_cast<K>(rng.NextUint64(18));
+      EXPECT_EQ(simd_internal::CountLessAvx2(data.data(), n, key),
+                simd_internal::CountLessScalar(data.data(), n, key))
+          << "n=" << n << " key=" << key;
+      EXPECT_EQ(simd_internal::CountLessEqAvx2(data.data(), n, key),
+                simd_internal::CountLessEqScalar(data.data(), n, key))
+          << "n=" << n << " key=" << key;
+    }
+  }
+}
+
+TEST(SimdKernelTest, CountersMatchScalarInt64) {
+  RunKernelEquivalence<int64_t>(707);
+}
+TEST(SimdKernelTest, CountersMatchScalarUint64) {
+  RunKernelEquivalence<uint64_t>(808);
+}
+TEST(SimdKernelTest, CountersMatchScalarDouble) {
+  RunKernelEquivalence<double>(909);
+}
+#endif  // ALEX_SIMD_X86
+
+}  // namespace
+}  // namespace alex::util
