@@ -25,6 +25,7 @@
 #include "models/linear_model.h"
 #include "util/bitmap.h"
 #include "util/search.h"
+#include "util/simd_scan.h"
 #include "util/simd_search.h"
 
 namespace alex::container {
@@ -255,6 +256,54 @@ class GappedStorage {
       ++got;
     }
     return got;
+  }
+
+  /// Visits every occupied slot in [slot_lo, slot_hi) in ascending order
+  /// as visit(key, payload), without materializing anything. Returns the
+  /// number of slots visited. The scan engine's per-leaf streaming path.
+  template <typename Visitor>
+  size_t VisitSlots(size_t slot_lo, size_t slot_hi, Visitor&& visit) const {
+    if (slot_hi > capacity()) slot_hi = capacity();
+    size_t got = 0;
+    for (size_t i = bitmap_.NextSet(slot_lo); i < slot_hi;
+         i = bitmap_.NextSet(i + 1)) {
+      visit(keys_[i], payloads_[i]);
+      ++got;
+    }
+    return got;
+  }
+
+  /// Number of occupied slots in [slot_lo, slot_hi).
+  size_t CountSlots(size_t slot_lo, size_t slot_hi) const {
+    return bitmap_.PopCountRange(slot_lo, slot_hi);
+  }
+
+  /// Fused count/sum/min/max of the *keys* in occupied slots
+  /// [slot_lo, slot_hi) (util/simd_scan.h kernels; gap slots are masked
+  /// out by the occupancy bitmap, so gap-fill copies never contribute).
+  util::AggState<K> AggregateKeySlots(size_t slot_lo, size_t slot_hi) const {
+    if (slot_hi > capacity()) slot_hi = capacity();
+    return util::MaskedAggregate(keys_.data(), bitmap_.words(), slot_lo,
+                                 slot_hi);
+  }
+
+  /// Fused count/sum/min/max of the *payloads* in occupied slots
+  /// [slot_lo, slot_hi). Only instantiated for arithmetic payload types.
+  util::AggState<P> AggregatePayloadSlots(size_t slot_lo,
+                                          size_t slot_hi) const {
+    if (slot_hi > capacity()) slot_hi = capacity();
+    return util::MaskedAggregate(payloads_.data(), bitmap_.words(), slot_lo,
+                                 slot_hi);
+  }
+
+  /// Number of occupied slots in [slot_lo, slot_hi) whose payload lies in
+  /// [payload_lo, payload_hi] — SIMD predicate pushdown. Only instantiated
+  /// for arithmetic payload types.
+  uint64_t CountPayloadSlotsBetween(size_t slot_lo, size_t slot_hi,
+                                    P payload_lo, P payload_hi) const {
+    if (slot_hi > capacity()) slot_hi = capacity();
+    return util::MaskedCountBetween(payloads_.data(), bitmap_.words(),
+                                    slot_lo, slot_hi, payload_lo, payload_hi);
   }
 
   /// Copies all (key, payload) pairs in slot order into `keys`/`payloads`.

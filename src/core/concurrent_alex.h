@@ -78,8 +78,50 @@
 #include "core/node.h"
 #include "core/serialization.h"
 #include "util/epoch.h"
+#include "util/simd_scan.h"
 
 namespace alex::core {
+
+/// What an Aggregate call computes per record in the key range.
+enum class AggField : uint8_t {
+  kKeys,      ///< aggregate the keys themselves
+  kPayloads,  ///< aggregate the payloads (arithmetic payload types only)
+};
+
+/// Pushed-down aggregate description. The engine always computes the
+/// fused count/sum/min/max of the selected field in one pass; `count_only`
+/// skips the value kernels when the caller just wants cardinality.
+/// The optional payload filter restricts the aggregate to records whose
+/// payload lies in [filter_lo, filter_hi] (arithmetic payloads only) —
+/// count-only filtered queries run on the SIMD predicate kernel, filtered
+/// value aggregation falls back to a per-slot loop.
+template <typename P>
+struct AggSpec {
+  AggField field = AggField::kKeys;
+  bool count_only = false;
+  bool has_payload_filter = false;
+  P filter_lo{};
+  P filter_hi{};
+};
+
+/// Result of an Aggregate call. `count` is the number of records in the
+/// key range that passed the filter; `keys`/`payloads` hold the value
+/// aggregates for whichever field the spec selected (the other stays
+/// empty). Partial results merge associatively via Merge — the engine
+/// merges leaves and shards in ascending key order, so double sums are
+/// deterministic run-to-run.
+template <typename K, typename P>
+struct AggResult {
+  uint64_t count = 0;
+  util::AggState<K> keys;
+  util::AggState<P> payloads;
+
+  void Merge(const AggResult& o) {
+    count += o.count;
+    keys.Merge(o.keys);
+    if constexpr (std::is_arithmetic_v<P>) payloads.Merge(o.payloads);
+  }
+};
 
 /// A lock-free-read, node-level-locked ALEX. All methods are safe to call
 /// from any thread. Pointer-returning lookups are deliberately not
@@ -353,6 +395,90 @@ class ConcurrentAlex {
     return out->size();
   }
 
+  /// Streaming range scan bounded by keys instead of a result cap: visits
+  /// every record with key in [lo, hi] in ascending key order as
+  /// visit(key, payload), never materializing through an intermediate
+  /// buffer. Same consistency contract as RangeScan — read-committed per
+  /// leaf, re-descending at the first unvisited key when the sibling
+  /// chain hands us a retired leaf. The visitor runs under the leaf's
+  /// shared latch: it must be cheap, must not block, and must not call
+  /// back into this index. Returns the number of records visited.
+  template <typename Visitor>
+  size_t Scan(K lo, K hi, Visitor&& visit) const {
+    if (hi < lo) return 0;
+    size_t total = 0;
+    util::EpochManager::Guard guard(*epoch_);
+    K resume = lo;
+    bool emitted = false;
+    const DataNodeT* leaf = DescendAcquire(resume);
+    while (leaf != nullptr) {
+      std::shared_lock<std::shared_mutex> latch(leaf->latch());
+      if (leaf->IsRetired()) {
+        latch.unlock();
+        leaf = DescendAcquire(resume);
+        continue;
+      }
+      // Two bounded searches bracket the leaf's contribution as one slot
+      // run; after a resume the strict upper bound skips the last visited
+      // key without a per-record compare.
+      const size_t slot_lo = emitted ? leaf->UpperBoundSlot(resume)
+                                     : leaf->LowerBoundSlot(resume);
+      const size_t slot_hi = leaf->UpperBoundSlot(hi);
+      if (slot_lo < slot_hi) {
+        total += leaf->VisitSlots(slot_lo, slot_hi, visit);
+        const size_t last = leaf->PrevOccupiedSlot(slot_hi);
+        if (last < leaf->capacity() && last >= slot_lo) {
+          resume = leaf->KeyAt(last);
+          emitted = true;
+        }
+      }
+      // A slot past the run means this leaf already holds a key > hi.
+      if (slot_hi < leaf->capacity()) break;
+      const DataNodeT* next = leaf->next_leaf_acquire();
+      latch.unlock();
+      leaf = next;
+    }
+    return total;
+  }
+
+  /// Pushed-down aggregate over [lo, hi]: count/sum/min/max computed
+  /// inside each leaf by the SIMD kernels of util/simd_scan.h (dense
+  /// bitmap words processed 4 slots per step with no per-slot branching),
+  /// merged across leaves in key order. No record is ever copied out.
+  /// Same walk and consistency contract as Scan.
+  AggResult<K, P> Aggregate(K lo, K hi, const AggSpec<P>& spec = {}) const {
+    AggResult<K, P> result;
+    if (hi < lo) return result;
+    util::EpochManager::Guard guard(*epoch_);
+    K resume = lo;
+    bool emitted = false;
+    const DataNodeT* leaf = DescendAcquire(resume);
+    while (leaf != nullptr) {
+      std::shared_lock<std::shared_mutex> latch(leaf->latch());
+      if (leaf->IsRetired()) {
+        latch.unlock();
+        leaf = DescendAcquire(resume);
+        continue;
+      }
+      const size_t slot_lo = emitted ? leaf->UpperBoundSlot(resume)
+                                     : leaf->LowerBoundSlot(resume);
+      const size_t slot_hi = leaf->UpperBoundSlot(hi);
+      if (slot_lo < slot_hi) {
+        AggregateLeafSlots(*leaf, slot_lo, slot_hi, spec, &result);
+        const size_t last = leaf->PrevOccupiedSlot(slot_hi);
+        if (last < leaf->capacity() && last >= slot_lo) {
+          resume = leaf->KeyAt(last);
+          emitted = true;
+        }
+      }
+      if (slot_hi < leaf->capacity()) break;
+      const DataNodeT* next = leaf->next_leaf_acquire();
+      latch.unlock();
+      leaf = next;
+    }
+    return result;
+  }
+
   /// Writes a snapshot of the live tree to `path` (core/serialization.h
   /// format). Safe to call with concurrent operations in flight: the
   /// collection walks the leaf chain under an epoch guard with each leaf's
@@ -448,6 +574,55 @@ class ConcurrentAlex {
 
  private:
   using InnerNodeT = InnerNode;
+
+  /// Folds the occupied slots [slot_lo, slot_hi) of one latched live leaf
+  /// into `out` per `spec`. Unfiltered aggregates take the fused SIMD
+  /// kernels; a filtered count takes the SIMD predicate kernel; filtered
+  /// value aggregation folds per slot (the filter decides record by
+  /// record). With non-arithmetic payloads, payload aggregation degrades
+  /// to a pure count and filters are unsupported.
+  static void AggregateLeafSlots(const DataNodeT& leaf, size_t slot_lo,
+                                 size_t slot_hi, const AggSpec<P>& spec,
+                                 AggResult<K, P>* out) {
+    if constexpr (std::is_arithmetic_v<P>) {
+      if (spec.has_payload_filter) {
+        if (spec.count_only) {
+          out->count += leaf.CountPayloadSlotsBetween(
+              slot_lo, slot_hi, spec.filter_lo, spec.filter_hi);
+          return;
+        }
+        util::AggState<K> ks;
+        util::AggState<P> ps;
+        const bool keys_field = spec.field == AggField::kKeys;
+        leaf.VisitSlots(slot_lo, slot_hi, [&](const K& k, const P& p) {
+          if (p < spec.filter_lo || spec.filter_hi < p) return;
+          if (keys_field) {
+            ks.Add(k);
+          } else {
+            ps.Add(p);
+          }
+        });
+        out->count += keys_field ? ks.count : ps.count;
+        out->keys.Merge(ks);
+        out->payloads.Merge(ps);
+        return;
+      }
+      if (!spec.count_only && spec.field == AggField::kPayloads) {
+        const util::AggState<P> st =
+            leaf.AggregatePayloadSlots(slot_lo, slot_hi);
+        out->count += st.count;
+        out->payloads.Merge(st);
+        return;
+      }
+    }
+    if (spec.count_only || spec.field == AggField::kPayloads) {
+      out->count += leaf.CountSlots(slot_lo, slot_hi);
+      return;
+    }
+    const util::AggState<K> st = leaf.AggregateKeySlots(slot_lo, slot_hi);
+    out->count += st.count;
+    out->keys.Merge(st);
+  }
 
   void BumpVersion() {
     structure_version_.fetch_add(1, std::memory_order_release);

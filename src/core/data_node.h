@@ -242,6 +242,19 @@ class DataNode : public Node {
     });
   }
 
+  /// First occupied slot with key > `key`, or capacity(). With
+  /// LowerBoundSlot this brackets a [lo, hi] key range as a slot range in
+  /// two model-guided (optionally SIMD-bounded) searches — the scan
+  /// engine's per-leaf "filter by key range" step.
+  size_t UpperBoundSlot(K key) const {
+    const size_t err = SearchErrorBound();
+    return Visit([&](const auto& s) {
+      return err == kNoErrorBound
+                 ? s.UpperBoundSlot(key, PredictSlot(key))
+                 : s.UpperBoundSlotBounded(key, PredictSlot(key), err);
+    });
+  }
+
   /// Inserts (Alg. 1 for GA, Alg. 2 for PMA). `allow_split_request` lets
   /// the index bypass the max-keys bound when a split is impossible
   /// (degenerate key distributions).
@@ -365,6 +378,50 @@ class DataNode : public Node {
                   std::vector<std::pair<K, P>>* out) const {
     return Visit([&](const auto& s) {
       return s.ScanFrom(slot, max_results, out);
+    });
+  }
+
+  /// Visits every occupied slot in [slot_lo, slot_hi) as
+  /// visit(key, payload); returns the count. The scan engine's streaming
+  /// per-leaf path — no materialization.
+  template <typename Visitor>
+  size_t VisitSlots(size_t slot_lo, size_t slot_hi, Visitor&& visit) const {
+    return Visit([&](const auto& s) {
+      return s.VisitSlots(slot_lo, slot_hi, visit);
+    });
+  }
+
+  /// Number of occupied slots in [slot_lo, slot_hi).
+  size_t CountSlots(size_t slot_lo, size_t slot_hi) const {
+    return Visit([&](const auto& s) {
+      return s.CountSlots(slot_lo, slot_hi);
+    });
+  }
+
+  /// Fused count/sum/min/max over the keys in [slot_lo, slot_hi)
+  /// (SIMD-dispatched, see util/simd_scan.h).
+  util::AggState<K> AggregateKeySlots(size_t slot_lo, size_t slot_hi) const {
+    return Visit([&](const auto& s) {
+      return s.AggregateKeySlots(slot_lo, slot_hi);
+    });
+  }
+
+  /// Fused count/sum/min/max over the payloads in [slot_lo, slot_hi).
+  /// Only instantiated for arithmetic payload types.
+  util::AggState<P> AggregatePayloadSlots(size_t slot_lo,
+                                          size_t slot_hi) const {
+    return Visit([&](const auto& s) {
+      return s.AggregatePayloadSlots(slot_lo, slot_hi);
+    });
+  }
+
+  /// Occupied slots in [slot_lo, slot_hi) with payload in
+  /// [payload_lo, payload_hi]. Only instantiated for arithmetic payloads.
+  uint64_t CountPayloadSlotsBetween(size_t slot_lo, size_t slot_hi,
+                                    P payload_lo, P payload_hi) const {
+    return Visit([&](const auto& s) {
+      return s.CountPayloadSlotsBetween(slot_lo, slot_hi, payload_lo,
+                                        payload_hi);
     });
   }
 

@@ -117,9 +117,11 @@
 #include <atomic>
 #include <cassert>
 #include <cerrno>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
+#include <deque>
 #include <limits>
 #include <map>
 #include <memory>
@@ -137,6 +139,7 @@
 #include "shard/manifest.h"
 #include "shard/router.h"
 #include "util/epoch.h"
+#include "util/parallel.h"
 #include "wal/log_reader.h"
 #include "wal/log_writer.h"
 #include "wal/wal_format.h"
@@ -169,6 +172,11 @@ struct ShardedOptions {
   /// Recovery thread-pool width for the per-shard replay (clamped to
   /// the shard count and the hardware concurrency).
   size_t recovery_threads = 8;
+  /// Fan-out width for cross-shard Scan/Aggregate (clamped to the number
+  /// of shards the range overlaps, but deliberately *not* to the hardware
+  /// concurrency — size it to the cores you want scans to use). <= 1 runs
+  /// scans sequentially on the calling thread.
+  size_t scan_threads = 4;
   /// Configuration applied to every shard's ConcurrentAlex.
   core::Config shard_config;
 };
@@ -508,6 +516,118 @@ class ShardedAlex {
       }
     }
     return out->size();
+  }
+
+  /// Cross-shard streaming scan of [lo, hi], visiting every record in
+  /// ascending key order as visit(key, payload) on the *calling* thread.
+  /// One routing table is pinned for the whole scan. With
+  /// options.scan_threads <= 1 (or a single overlapping shard) each
+  /// shard's ConcurrentAlex::Scan streams straight into the visitor —
+  /// zero buffering. Otherwise worker threads scan the overlapping shards
+  /// concurrently into per-shard chunk queues and the caller drains the
+  /// queues in shard order (the shards are disjoint ascending key ranges,
+  /// so ordered concatenation of the streams is the k-way merge); the
+  /// visitor is still never invoked concurrently. Read-committed per
+  /// leaf, like RangeScan. Returns the number of records visited.
+  template <typename Visitor>
+  size_t Scan(K lo, K hi, Visitor&& visit) const {
+    if (hi < lo) return 0;
+    util::EpochManager::Guard guard(epoch_);
+    Table* table = table_.load(std::memory_order_seq_cst);
+    const size_t first = table->router.Route(lo);
+    const size_t last = table->router.Route(hi);
+    const size_t n = last - first + 1;
+    const size_t workers = std::min(options_.scan_threads, n);
+    if (workers <= 1) {
+      size_t total = 0;
+      for (size_t s = first; s <= last; ++s) {
+        total += table->shards[s]->index.Scan(lo, hi, visit);
+      }
+      return total;
+    }
+    // Parallel mode: shard i's results flow through queue i as chunks of
+    // kScanChunkRecords pairs. Workers claim shards in ascending order
+    // (util::ParallelFor's cursor guarantees shard i is claimed before
+    // shard j > i), so the consumer draining queue 0, 1, ... in order can
+    // never deadlock behind an unclaimed earlier shard. The caller's
+    // epoch guard pins the table for the workers; each worker's shard
+    // scan pins its own guard for the leaf walk.
+    struct ChunkQueue {
+      std::mutex mutex;
+      std::condition_variable ready;
+      std::deque<std::vector<std::pair<K, P>>> chunks;
+      bool done = false;
+    };
+    std::vector<ChunkQueue> queues(n);
+    std::thread pump([&] {
+      util::ParallelFor(n, workers, [&](size_t i) {
+        ChunkQueue& q = queues[i];
+        std::vector<std::pair<K, P>> chunk;
+        chunk.reserve(kScanChunkRecords);
+        table->shards[first + i]->index.Scan(
+            lo, hi, [&](const K& key, const P& payload) {
+              chunk.emplace_back(key, payload);
+              if (chunk.size() >= kScanChunkRecords) {
+                {
+                  std::lock_guard<std::mutex> lock(q.mutex);
+                  q.chunks.push_back(std::move(chunk));
+                }
+                q.ready.notify_one();
+                chunk = std::vector<std::pair<K, P>>();
+                chunk.reserve(kScanChunkRecords);
+              }
+            });
+        {
+          std::lock_guard<std::mutex> lock(q.mutex);
+          if (!chunk.empty()) q.chunks.push_back(std::move(chunk));
+          q.done = true;
+        }
+        q.ready.notify_one();
+      });
+    });
+    size_t total = 0;
+    for (size_t i = 0; i < n; ++i) {
+      ChunkQueue& q = queues[i];
+      while (true) {
+        std::vector<std::pair<K, P>> chunk;
+        {
+          std::unique_lock<std::mutex> lock(q.mutex);
+          q.ready.wait(lock, [&] { return !q.chunks.empty() || q.done; });
+          if (q.chunks.empty()) break;  // done and drained
+          chunk = std::move(q.chunks.front());
+          q.chunks.pop_front();
+        }
+        for (const auto& [key, payload] : chunk) visit(key, payload);
+        total += chunk.size();
+      }
+    }
+    pump.join();
+    return total;
+  }
+
+  /// Cross-shard aggregate with full pushdown: the spec travels below the
+  /// router into each overlapping shard, where per-leaf SIMD kernels fold
+  /// count/sum/min/max without materializing a single record; the partial
+  /// aggregates come back up and merge at the router in ascending shard
+  /// order (so double sums are deterministic). The overlapping shard run
+  /// fans out on options.scan_threads workers; the routing table pinned
+  /// at entry serves the whole call. Read-committed per leaf, like Scan.
+  core::AggResult<K, P> Aggregate(K lo, K hi,
+                                  const core::AggSpec<P>& spec = {}) const {
+    core::AggResult<K, P> result;
+    if (hi < lo) return result;
+    util::EpochManager::Guard guard(epoch_);
+    Table* table = table_.load(std::memory_order_seq_cst);
+    const size_t first = table->router.Route(lo);
+    const size_t last = table->router.Route(hi);
+    const size_t n = last - first + 1;
+    if (n == 1) return table->shards[first]->index.Aggregate(lo, hi, spec);
+    std::vector<core::AggResult<K, P>> partials(n);
+    util::ParallelFor(n, std::min(options_.scan_threads, n), [&](size_t i) {
+      partials[i] = table->shards[first + i]->index.Aggregate(lo, hi, spec);
+    });
+    for (const auto& partial : partials) result.Merge(partial);
+    return result;
   }
 
   /// Total key count: the sum of per-shard counts, point-in-time per
@@ -933,18 +1053,20 @@ class ShardedAlex {
       if (!(bounds[i - 1] < bounds[i])) return false;
     }
     size_t total = 0;
-    std::vector<std::pair<K, P>> pairs;
     for (size_t i = 0; i < table->shards.size(); ++i) {
       const auto& shard = table->shards[i];
       if (!shard->index.CheckInvariants()) return false;
-      shard->index.RangeScan(std::numeric_limits<K>::lowest(),
-                             std::numeric_limits<size_t>::max(), &pairs);
-      if (pairs.size() != shard->index.size()) return false;
-      for (const auto& [key, payload] : pairs) {
-        (void)payload;
-        if (table->router.Route(key) != i) return false;
-      }
-      total += pairs.size();
+      // Visitor-based drain: routing is checked record by record as the
+      // scan streams — nothing is materialized.
+      bool routed_ok = true;
+      const size_t scanned = shard->index.Scan(
+          std::numeric_limits<K>::lowest(), std::numeric_limits<K>::max(),
+          [&](const K& key, const P&) {
+            if (table->router.Route(key) != i) routed_ok = false;
+          });
+      if (!routed_ok) return false;
+      if (scanned != shard->index.size()) return false;
+      total += scanned;
     }
     return total == size();
   }
@@ -1122,31 +1244,16 @@ class ShardedAlex {
 
   /// Runs fn(i) for i in [0, n) on a small thread pool (the per-shard
   /// recovery replay is embarrassingly parallel: distinct shards build
-  /// distinct state). Falls back to inline execution when one worker
-  /// suffices.
+  /// distinct state). The pool itself lives in util::ParallelFor — the
+  /// same pool the scan engine fans out on — with recovery's width policy
+  /// applied here: recovery_threads, clamped to the hardware concurrency
+  /// (replay is CPU-bound; oversubscription only adds contention).
   template <typename Fn>
   void ParallelOverShards(size_t n, Fn&& fn) const {
-    size_t workers =
-        std::min(std::max<size_t>(1, options_.recovery_threads), n);
+    size_t workers = std::max<size_t>(1, options_.recovery_threads);
     const unsigned hw = std::thread::hardware_concurrency();
     if (hw > 0) workers = std::min<size_t>(workers, hw);
-    if (workers <= 1) {
-      for (size_t i = 0; i < n; ++i) fn(i);
-      return;
-    }
-    std::atomic<size_t> cursor{0};
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (size_t w = 0; w < workers; ++w) {
-      pool.emplace_back([&cursor, n, &fn] {
-        for (size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-             i < n;
-             i = cursor.fetch_add(1, std::memory_order_relaxed)) {
-          fn(i);
-        }
-      });
-    }
-    for (auto& t : pool) t.join();
+    util::ParallelFor(n, workers, std::forward<Fn>(fn));
   }
 
   /// Rebuilds the table with the manifest's exact boundary array and
@@ -1472,6 +1579,12 @@ class ShardedAlex {
   /// deterministic under any interleaving) — the write hot path performs
   /// no cross-shard reads.
   static constexpr uint64_t kSkewCheckInterval = 1024;
+
+  /// Records per chunk handed from a parallel-scan worker to the
+  /// consuming caller. Large enough to amortize the queue mutex, small
+  /// enough to keep the ordered merge streaming.
+  static constexpr size_t kScanChunkRecords = 1024;
+
   void MaybeSplit(Table* table, Shard* shard, K hint_key, bool tick) {
     const size_t shard_keys = shard->index.size();
     if (shard_keys < options_.min_rebalance_keys) return;
@@ -1574,41 +1687,60 @@ class ShardedAlex {
         drained_lsns.push_back(log->last_lsn());
       }
     }
-    // Build: extract the write-quiescent victims (adjacent ascending
-    // ranges, so concatenation is sorted) and bulk-load the children
-    // off to the side.
-    std::vector<std::pair<K, P>> pairs, chunk;
-    for (size_t i = lo; i < hi; ++i) {
-      table->shards[i]->index.RangeScan(std::numeric_limits<K>::lowest(),
-                                        std::numeric_limits<size_t>::max(),
-                                        &chunk);
-      pairs.insert(pairs.end(), chunk.begin(), chunk.end());
-    }
-    const size_t n = pairs.size();
+    // Build: stream the write-quiescent victims (adjacent ascending
+    // ranges, so shard order is key order) straight into the children's
+    // bulk-load arrays through the visitor scan — no intermediate
+    // pair buffer, each record copied exactly once. The drained gates
+    // make the victim sizes exact, so every child's cut is known before
+    // the stream starts; the cut key observed when the stream crosses a
+    // child boundary becomes that child's split key.
+    size_t n = 0;
+    for (size_t i = lo; i < hi; ++i) n += table->shards[i]->index.size();
     // A split needs at least one key per child to cut its split keys
     // from; a merge (one child) works even on empty victims.
     if (ways > 1 && n < ways) return false;  // abort; gates release
     std::vector<K> split_keys;
     split_keys.reserve(ways - 1);
-    std::vector<K> part_keys;
-    std::vector<P> part_payloads;
+    std::vector<std::vector<K>> part_keys(ways);
+    std::vector<std::vector<P>> part_payloads(ways);
+    for (size_t j = 0; j < ways; ++j) {
+      const size_t quota = (j + 1) * n / ways - j * n / ways;
+      part_keys[j].reserve(quota);
+      part_payloads[j].reserve(quota);
+    }
+    size_t child_idx = 0;
+    // First global record index belonging to the next child; n >= ways
+    // (checked above) guarantees every child's cut is distinct, so a
+    // single comparison per record advances the target correctly.
+    size_t next_cut = ways > 1 ? n / ways : n;
+    size_t streamed = 0;
+    for (size_t i = lo; i < hi; ++i) {
+      table->shards[i]->index.Scan(
+          std::numeric_limits<K>::lowest(), std::numeric_limits<K>::max(),
+          [&](const K& key, const P& payload) {
+            if (streamed == next_cut && child_idx + 1 < ways) {
+              ++child_idx;
+              next_cut = (child_idx + 1) * n / ways;
+              split_keys.push_back(key);
+            }
+            part_keys[child_idx].push_back(key);
+            part_payloads[child_idx].push_back(payload);
+            ++streamed;
+          });
+    }
+    assert(streamed == n);
+    (void)streamed;
     std::vector<std::shared_ptr<Shard>> children;
     children.reserve(ways);
     for (size_t j = 0; j < ways; ++j) {
-      const size_t begin = j * n / ways;
-      const size_t end = (j + 1) * n / ways;
-      if (j > 0) split_keys.push_back(pairs[begin].first);
-      part_keys.clear();
-      part_payloads.clear();
-      part_keys.reserve(end - begin);
-      part_payloads.reserve(end - begin);
-      for (size_t i = begin; i < end; ++i) {
-        part_keys.push_back(pairs[i].first);
-        part_payloads.push_back(pairs[i].second);
-      }
       auto child = std::make_shared<Shard>(options_.shard_config, &epoch_);
-      child->index.BulkLoad(part_keys.data(), part_payloads.data(),
-                            part_keys.size());
+      child->index.BulkLoad(part_keys[j].data(), part_payloads[j].data(),
+                            part_keys[j].size());
+      // Return each child's build arrays as soon as it is loaded, so the
+      // transaction's peak extra memory is the partitions plus one
+      // child — not every child at once.
+      std::vector<K>().swap(part_keys[j]);
+      std::vector<P>().swap(part_payloads[j]);
       children.push_back(std::move(child));
     }
     // Log: fresh child logs whose lineage names every victim (the

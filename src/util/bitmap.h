@@ -114,12 +114,32 @@ class Bitmap {
     return total;
   }
 
-  /// Number of set bits in [lo, hi).
+  /// Number of set bits in [lo, hi). Word-at-a-time: the boundary words
+  /// are masked, interior words take one popcount each.
   size_t PopCountRange(size_t lo, size_t hi) const {
-    size_t total = 0;
-    for (size_t i = NextSet(lo); i < hi; i = NextSet(i + 1)) ++total;
+    if (hi > size_) hi = size_;
+    if (lo >= hi) return 0;
+    const size_t w_lo = lo >> 6;
+    const size_t w_hi = (hi - 1) >> 6;
+    const uint64_t lo_mask = ~0ULL << (lo & 63);
+    const uint64_t hi_mask = ~0ULL >> (63 - ((hi - 1) & 63));
+    if (w_lo == w_hi) {
+      return static_cast<size_t>(
+          __builtin_popcountll(words_[w_lo] & lo_mask & hi_mask));
+    }
+    size_t total =
+        static_cast<size_t>(__builtin_popcountll(words_[w_lo] & lo_mask));
+    for (size_t w = w_lo + 1; w < w_hi; ++w) {
+      total += static_cast<size_t>(__builtin_popcountll(words_[w]));
+    }
+    total += static_cast<size_t>(__builtin_popcountll(words_[w_hi] & hi_mask));
     return total;
   }
+
+  /// Raw 64-bit occupancy words (bit i of word w = slot w*64 + i). Exposed
+  /// for the masked SIMD scan kernels in util/simd_scan.h, which consume
+  /// whole words to find dense runs. Bits at or past size() are zero.
+  const uint64_t* words() const { return words_.data(); }
 
  private:
   size_t size_ = 0;

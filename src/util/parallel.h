@@ -1,0 +1,48 @@
+// Minimal fork/join helper for embarrassingly-parallel index work.
+//
+// Grown out of ShardedAlex's recovery pool (per-shard WAL replay) when the
+// scan engine needed the same shape: N independent tasks, a small worker
+// pool claiming them off an atomic cursor, join before returning. Callers
+// that touch EBR-protected state must hold their own epoch guard across
+// the call — a guard pinned by the calling thread keeps every table or
+// node it can reach alive for the workers too (reclamation cannot advance
+// past a pinned thread), while each worker takes its own guard for
+// anything it loads afresh.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace alex::util {
+
+/// Runs fn(i) for i in [0, n) on up to `workers` threads. Tasks are
+/// claimed in ascending order off a shared atomic cursor (so task i is
+/// always claimed no later than task j > i — consumers draining
+/// per-task output in order cannot deadlock behind an unclaimed earlier
+/// task). `workers <= 1` executes inline on the calling thread with no
+/// spawns. The calling thread does not participate as a worker when
+/// spawning; it blocks in join. fn must not throw.
+template <typename Fn>
+void ParallelFor(size_t n, size_t workers, Fn&& fn) {
+  if (workers > n) workers = n;
+  if (workers <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> cursor{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&cursor, n, &fn] {
+      for (size_t i = cursor.fetch_add(1, std::memory_order_relaxed); i < n;
+           i = cursor.fetch_add(1, std::memory_order_relaxed)) {
+        fn(i);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+}
+
+}  // namespace alex::util

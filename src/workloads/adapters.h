@@ -24,6 +24,37 @@ struct Payload {
   char bytes[N] = {};
 };
 
+namespace detail {
+
+/// Count of keys in [lo, hi] for indexes that only expose RangeScan:
+/// materialize a chunk, reduce it, resume past the last key seen. This is
+/// deliberately the straw-man execution strategy the pushed-down
+/// aggregate is benchmarked against — every counted record is copied into
+/// `buf` first.
+template <typename Index, typename K, typename P>
+size_t CountRangeByRescan(Index& index, K lo, K hi,
+                          std::vector<std::pair<K, P>>* buf) {
+  constexpr size_t kChunk = 1024;
+  size_t total = 0;
+  K resume = lo;
+  bool skip_resume = false;
+  while (true) {
+    const size_t got = index.RangeScan(resume, kChunk, buf);
+    if (got == 0) return total;
+    for (const auto& [key, payload] : *buf) {
+      (void)payload;
+      if (skip_resume && !(resume < key)) continue;  // re-fetched resume key
+      if (hi < key) return total;
+      ++total;
+    }
+    if (got < kChunk) return total;  // index exhausted
+    resume = buf->back().first;
+    skip_resume = true;
+  }
+}
+
+}  // namespace detail
+
 /// Adapter over core::Alex.
 template <typename K, typename P>
 class AlexAdapter {
@@ -46,6 +77,10 @@ class AlexAdapter {
                    std::vector<std::pair<K, P>>* out) {
     return index_.RangeScan(start, max_results, out);
   }
+  /// Keys in [lo, hi], via chunked materialize-then-reduce.
+  size_t CountRange(K lo, K hi) {
+    return detail::CountRangeByRescan(index_, lo, hi, &count_buffer_);
+  }
   size_t IndexSizeBytes() const { return index_.IndexSizeBytes(); }
   size_t DataSizeBytes() const { return index_.DataSizeBytes(); }
   size_t size() const { return index_.size(); }
@@ -54,6 +89,7 @@ class AlexAdapter {
 
  private:
   core::Alex<K, P> index_;
+  std::vector<std::pair<K, P>> count_buffer_;
 };
 
 /// Adapter over baseline::BPlusTree.
@@ -77,6 +113,10 @@ class BTreeAdapter {
                    std::vector<std::pair<K, P>>* out) {
     return tree_.RangeScan(start, max_results, out);
   }
+  /// Keys in [lo, hi], via chunked materialize-then-reduce.
+  size_t CountRange(K lo, K hi) {
+    return detail::CountRangeByRescan(tree_, lo, hi, &count_buffer_);
+  }
   size_t IndexSizeBytes() const { return tree_.IndexSizeBytes(); }
   size_t DataSizeBytes() const { return tree_.DataSizeBytes(); }
   size_t size() const { return tree_.size(); }
@@ -85,6 +125,7 @@ class BTreeAdapter {
 
  private:
   baseline::BPlusTree<K, P> tree_;
+  std::vector<std::pair<K, P>> count_buffer_;
 };
 
 /// Adapter over baseline::LearnedIndex.
@@ -109,6 +150,10 @@ class LearnedIndexAdapter {
                    std::vector<std::pair<K, P>>* out) {
     return index_.RangeScan(start, max_results, out);
   }
+  /// Keys in [lo, hi], via chunked materialize-then-reduce.
+  size_t CountRange(K lo, K hi) {
+    return detail::CountRangeByRescan(index_, lo, hi, &count_buffer_);
+  }
   size_t IndexSizeBytes() const { return index_.IndexSizeBytes(); }
   size_t DataSizeBytes() const { return index_.DataSizeBytes(); }
   size_t size() const { return index_.size(); }
@@ -117,6 +162,7 @@ class LearnedIndexAdapter {
 
  private:
   baseline::LearnedIndex<K, P> index_;
+  std::vector<std::pair<K, P>> count_buffer_;
 };
 
 /// Adapter over shard::ShardedAlex — the sharded service layer. Unlike
@@ -153,6 +199,23 @@ class ShardedAlexAdapter {
   size_t RangeScan(K start, size_t max_results,
                    std::vector<std::pair<K, P>>* out) {
     return index_.RangeScan(start, max_results, out);
+  }
+  /// Keys in [lo, hi], pushed down below the router: per-shard, per-leaf
+  /// bitmap popcounts — nothing is materialized.
+  size_t CountRange(K lo, K hi) {
+    core::AggSpec<P> spec;
+    spec.count_only = true;
+    return static_cast<size_t>(index_.Aggregate(lo, hi, spec).count);
+  }
+  /// Streaming ordered scan (see ShardedAlex::Scan).
+  template <typename Visitor>
+  size_t Scan(K lo, K hi, Visitor&& visit) {
+    return index_.Scan(lo, hi, std::forward<Visitor>(visit));
+  }
+  /// Pushed-down aggregate (see ShardedAlex::Aggregate).
+  core::AggResult<K, P> Aggregate(K lo, K hi,
+                                  const core::AggSpec<P>& spec = {}) {
+    return index_.Aggregate(lo, hi, spec);
   }
   size_t IndexSizeBytes() const { return index_.IndexSizeBytes(); }
   size_t DataSizeBytes() const { return index_.DataSizeBytes(); }

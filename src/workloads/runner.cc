@@ -12,6 +12,8 @@ const char* WorkloadName(WorkloadKind kind) {
       return "write-heavy";
     case WorkloadKind::kRangeScan:
       return "range-scan";
+    case WorkloadKind::kScanHeavy:
+      return "scan-heavy";
   }
   return "unknown";
 }
@@ -22,6 +24,7 @@ size_t ReadsPerInsert(WorkloadKind kind) {
       return 0;  // never inserts
     case WorkloadKind::kReadHeavy:
     case WorkloadKind::kRangeScan:
+    case WorkloadKind::kScanHeavy:
       return 19;
     case WorkloadKind::kWriteHeavy:
       return 1;
@@ -30,7 +33,8 @@ size_t ReadsPerInsert(WorkloadKind kind) {
 }
 
 bool IsScanWorkload(WorkloadKind kind) {
-  return kind == WorkloadKind::kRangeScan;
+  return kind == WorkloadKind::kRangeScan ||
+         kind == WorkloadKind::kScanHeavy;
 }
 
 }  // namespace alex::workload

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -62,6 +63,34 @@ WorkloadResult RunWorkload(Index& index, const WorkloadData<K>& data,
                                     spec.zipf_theta);
   const size_t reads_per_insert = ReadsPerInsert(spec.kind);
   const bool scans = IsScanWorkload(spec.kind);
+  const bool range_counts = spec.kind == WorkloadKind::kScanHeavy;
+  // kScanHeavy sizes each range as a fraction of the loaded key span, so
+  // the selectivity knob means the same thing for every index under test.
+  double range_width = 0.0;
+  if (range_counts) {
+    K key_min{};
+    K key_max{};
+    bool have_span = false;
+    if (!data.init_keys.empty()) {  // init_keys are sorted
+      key_min = data.init_keys.front();
+      key_max = data.init_keys.back();
+      have_span = true;
+    }
+    for (const K key : data.insert_keys) {
+      if (!have_span) {
+        key_min = key;
+        key_max = key;
+        have_span = true;
+      } else {
+        if (key < key_min) key_min = key;
+        if (key_max < key) key_max = key;
+      }
+    }
+    if (have_span) {
+      range_width = spec.scan_selectivity * (static_cast<double>(key_max) -
+                                             static_cast<double>(key_min));
+    }
+  }
   std::vector<std::pair<K, typename Index::payload_type>> scan_buffer;
   size_t next_insert = 0;
   size_t reads_in_cycle = 0;
@@ -90,7 +119,18 @@ WorkloadResult RunWorkload(Index& index, const WorkloadData<K>& data,
     if (pool.empty()) break;
     ++reads_in_cycle;
     const K target = pool[zipf.Next(rng)];
-    if (scans) {
+    if (range_counts) {
+      // Selectivity-sized range count: [target, target + width], clamped
+      // against overflow via double arithmetic. Exercises each adapter's
+      // CountRange — pushed-down aggregation where the index supports it,
+      // materialize-then-reduce otherwise.
+      const double hi_d = static_cast<double>(target) + range_width;
+      const double max_d =
+          static_cast<double>(std::numeric_limits<K>::max());
+      const K hi = hi_d >= max_d ? std::numeric_limits<K>::max()
+                                 : static_cast<K>(hi_d);
+      result.scanned_keys += index.CountRange(target, hi);
+    } else if (scans) {
       const size_t len = 1 + rng.NextUint64(spec.max_scan_length);
       const size_t got = index.RangeScan(target, len, &scan_buffer);
       result.scanned_keys += got;

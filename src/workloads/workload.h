@@ -1,9 +1,14 @@
-// YCSB-style workload definitions (paper §5.1.2). Four workloads:
+// YCSB-style workload definitions (paper §5.1.2). Five workloads:
 //
 //   read-only   — 100% point lookups                 (~ YCSB C)
 //   read-heavy  — 95% lookups / 5% inserts           (~ YCSB B)
 //   write-heavy — 50% lookups / 50% inserts          (~ YCSB A)
 //   range-scan  — 95% scans (lookup + scan <=100) / 5% inserts (~ YCSB E)
+//   scan-heavy  — 95% range *counts* / 5% inserts; analytics-style. Each
+//                 count covers [k, k + selectivity × keyspan] for a
+//                 Zipfian k — the range width is a fraction of the key
+//                 space (the selectivity knob), not a result-count cap,
+//                 so it exercises the pushed-down aggregate path.
 //
 // Lookup keys are drawn Zipfian from the *existing* keys so every lookup
 // finds a match; reads and inserts are interleaved in fixed cycles (19
@@ -17,17 +22,20 @@
 
 namespace alex::workload {
 
-/// The four workloads of §5.1.2, in paper order.
+/// The four workloads of §5.1.2 in paper order, plus the analytics-style
+/// scan-heavy extension.
 enum class WorkloadKind {
   kReadOnly,
   kReadHeavy,
   kWriteHeavy,
   kRangeScan,
+  kScanHeavy,
 };
 
 inline constexpr WorkloadKind kAllWorkloads[] = {
     WorkloadKind::kReadOnly, WorkloadKind::kReadHeavy,
-    WorkloadKind::kWriteHeavy, WorkloadKind::kRangeScan};
+    WorkloadKind::kWriteHeavy, WorkloadKind::kRangeScan,
+    WorkloadKind::kScanHeavy};
 
 /// Human-readable name matching the paper's figure captions.
 const char* WorkloadName(WorkloadKind kind);
@@ -48,6 +56,9 @@ struct WorkloadSpec {
   /// Maximum range-scan length; actual lengths are uniform in [1, max]
   /// (paper §5.1.2: "maximum scan length of 100").
   size_t max_scan_length = 100;
+  /// kScanHeavy only: each range count covers this fraction of the
+  /// loaded key span (range width = selectivity × (max key − min key)).
+  double scan_selectivity = 0.01;
   /// Wall-clock budget; the run stops at whichever of time/ops comes
   /// first. The paper runs 60 s; laptop-scale default is 1 s.
   double seconds = 1.0;
