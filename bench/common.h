@@ -14,9 +14,13 @@
 //
 // Machine-readable output: `--csv PATH` / `--json PATH` make a binary dump
 // its result rows (those it feeds a ResultSink) as a CSV table or a JSON
-// array-of-objects, so multicore runners can record real scaling curves as
+// object {"rows": [...], "metrics": {...}} whose "metrics" member embeds
+// the process-wide obs::MetricsRegistry snapshot, so multicore runners can
+// record real scaling curves *and* the internals that produced them as
 // artifacts. `--threads N` sets the worker count for the concurrency
-// benches (overrides ALEX_BENCH_THREADS).
+// benches (overrides ALEX_BENCH_THREADS). `--prom PATH` additionally dumps
+// a Prometheus text-exposition sample of the registry (and turns the
+// runtime obs flag on, since an all-zero scrape is useless).
 #pragma once
 
 #include <cstdio>
@@ -28,6 +32,7 @@
 
 #include "core/config.h"
 #include "datasets/dataset.h"
+#include "obs/metrics.h"
 #include "workloads/workload.h"
 
 namespace alex::bench {
@@ -36,9 +41,11 @@ namespace alex::bench {
 inline bool g_quick_mode = false;
 /// Value of `--threads N`; 0 when absent.
 inline size_t g_threads_flag = 0;
-/// Paths from `--csv PATH` / `--json PATH`; null when absent.
+/// Paths from `--csv PATH` / `--json PATH` / `--prom PATH`; null when
+/// absent.
 inline const char* g_csv_path = nullptr;
 inline const char* g_json_path = nullptr;
+inline const char* g_prom_path = nullptr;
 
 /// Parses the shared bench flags. Call first thing in main(). Unknown
 /// arguments are ignored so binaries can layer their own flags on top.
@@ -53,6 +60,9 @@ inline void ParseBenchArgs(int argc, char** argv) {
       g_csv_path = argv[++i];
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       g_json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--prom") == 0 && i + 1 < argc) {
+      g_prom_path = argv[++i];
+      obs::SetEnabled(true);
     }
   }
 }
@@ -128,6 +138,18 @@ class ResultSink {
   void Flush() const {
     if (g_csv_path != nullptr) WriteCsv(g_csv_path);
     if (g_json_path != nullptr) WriteJson(g_json_path);
+    if (g_prom_path != nullptr) WritePrometheus(g_prom_path);
+  }
+
+  /// Dumps the registry as Prometheus text exposition (0.0.4).
+  static void WritePrometheus(const char* path) {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) return;
+    const std::string text =
+        obs::MetricsRegistry::Global().SnapshotPrometheus();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    std::printf("wrote metrics sample to %s\n", path);
   }
 
   void WriteCsv(const char* path) const {
@@ -155,7 +177,7 @@ class ResultSink {
   void WriteJson(const char* path) const {
     std::FILE* f = std::fopen(path, "w");
     if (f == nullptr) return;
-    std::fputs("[\n", f);
+    std::fputs("{\n\"rows\": [\n", f);
     for (size_t r = 0; r < rows_.size(); ++r) {
       std::fputs("  {", f);
       for (size_t c = 0; c < rows_[r].size(); ++c) {
@@ -170,7 +192,13 @@ class ResultSink {
       }
       std::fprintf(f, "}%s\n", r + 1 < rows_.size() ? "," : "");
     }
-    std::fputs("]\n", f);
+    // Every artifact embeds the registry snapshot: all-zero when the
+    // obs flag stayed off, the run's internals when it was on.
+    std::fputs("],\n\"metrics\": ", f);
+    const std::string metrics =
+        obs::MetricsRegistry::Global().SnapshotJson();
+    std::fwrite(metrics.data(), 1, metrics.size(), f);
+    std::fputs("\n}\n", f);
     std::fclose(f);
     std::printf("wrote %zu rows to %s\n", rows_.size(), path);
   }

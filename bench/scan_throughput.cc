@@ -44,6 +44,7 @@
 
 #include "bench/common.h"
 #include "core/concurrent_alex.h"
+#include "obs/metrics.h"
 #include "shard/sharded_alex.h"
 #include "util/histogram.h"
 #include "util/random.h"
@@ -111,7 +112,11 @@ CellResult RunCell(const Sharded& index, Mode mode, K key_min, K span,
                    K range_width, uint64_t num_queries, uint64_t seed) {
   CellResult result;
   util::Xoshiro256 rng(seed);
-  util::PercentileRecorder latencies;
+  // Per-query latency through the shared obs accounting path (the same
+  // scoped-timer layer the index itself uses), reset per cell.
+  obs::Histogram* latencies =
+      obs::MetricsRegistry::Global().GetHistogram("bench.scan_query_ns");
+  latencies->Reset();
   std::vector<std::pair<K, P>> buf;
   uint64_t queries = 0;
   uint64_t keys = 0;
@@ -120,7 +125,7 @@ CellResult RunCell(const Sharded& index, Mode mode, K key_min, K span,
     const K lo = key_min + static_cast<K>(rng.NextUint64(
                                static_cast<uint64_t>(span - range_width)));
     const K hi = lo + range_width;
-    util::Timer query;
+    obs::ScopedLatencyTimer query(latencies);
     switch (mode) {
       case Mode::kMaterialize:
         result.checksum += MaterializeReduce(index, lo, hi, &buf, &keys);
@@ -149,7 +154,6 @@ CellResult RunCell(const Sharded& index, Mode mode, K key_min, K span,
         break;
       }
     }
-    latencies.Record(query.ElapsedNanos());
     ++queries;
   }
   const double elapsed = wall.ElapsedSeconds();
@@ -157,8 +161,9 @@ CellResult RunCell(const Sharded& index, Mode mode, K key_min, K span,
       elapsed > 0.0 ? static_cast<double>(queries) / elapsed : 0.0;
   result.keys_per_sec =
       elapsed > 0.0 ? static_cast<double>(keys) / elapsed : 0.0;
-  result.p50_ns = latencies.Percentile(0.50);
-  result.p99_ns = latencies.Percentile(0.99);
+  const util::Log2Histogram snapshot = latencies->Snapshot();
+  result.p50_ns = snapshot.Quantile(0.50);
+  result.p99_ns = snapshot.Quantile(0.99);
   return result;
 }
 

@@ -7,10 +7,12 @@
 // which syncs on a clock instead of per commit — should sustain a
 // multiple of kAlways's throughput at every writer count (the
 // acceptance bar is >= 5x at 8 writers). kNone bounds what the log
-// costs when the OS owns durability. Each logged run also reports the
-// per-commit wait distribution (p50/p99 microseconds) from the shard
-// logs' commit-wait histograms — the latency price of each policy's
-// durability, not just its throughput.
+// costs when the OS owns durability. Each run also reports latency
+// distributions from the shared obs registry (one accounting path, no
+// hand-rolled recorders): the WAL's "wal.commit_wait_ns" histogram
+// (p50/p99, reported in microseconds) and the sharded layer's per-op
+// insert latency — the latency price of each policy's durability, not
+// just its throughput.
 //
 // Usage: wal_throughput [--quick] [--threads N] [--csv PATH] [--json PATH]
 //   --threads caps the sweep's highest writer count (default 8).
@@ -25,6 +27,7 @@
 #include <vector>
 
 #include "bench/common.h"
+#include "obs/metrics.h"
 #include "shard/sharded_alex.h"
 #include "util/histogram.h"
 #include "util/timer.h"
@@ -56,12 +59,17 @@ void Cleanup(const std::string& prefix) {
 }
 
 /// One timed run; returns ops/sec. `policy_name` "off" disables the WAL.
-/// For logged runs, *p50_us / *p99_us receive the commit-wait quantiles.
+/// For logged runs, *p50_us / *p99_us receive the commit-wait quantiles;
+/// *ins_p50_us / *ins_p99_us receive the whole-insert latency quantiles
+/// (both from the shared obs registry, reset per run).
 double RunOnce(const char* policy_name, SyncPolicy policy, size_t writers,
                double seconds, size_t preload, uint64_t* p50_us,
-               uint64_t* p99_us) {
+               uint64_t* p99_us, uint64_t* ins_p50_us,
+               uint64_t* ins_p99_us) {
   *p50_us = 0;
   *p99_us = 0;
+  *ins_p50_us = 0;
+  *ins_p99_us = 0;
   const std::string prefix = TempPrefix();
   Cleanup(prefix);
   ShardedOptions options;
@@ -92,6 +100,9 @@ double RunOnce(const char* policy_name, SyncPolicy policy, size_t writers,
     }
   }
 
+  // Per-run isolation: the registry is process-wide, so each run starts
+  // from zero (the preload and WAL-anchor checkpoint above are excluded).
+  alex::obs::MetricsRegistry::Global().ResetAll();
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> total_ops{0};
   std::vector<std::thread> threads;
@@ -118,10 +129,20 @@ double RunOnce(const char* policy_name, SyncPolicy policy, size_t writers,
   stop.store(true, std::memory_order_relaxed);
   for (auto& t : threads) t.join();
   const double elapsed = timer.ElapsedSeconds();
-  const alex::util::Log2Histogram waits = index.CommitWaitHistogram();
-  if (waits.total() > 0) {
-    *p50_us = waits.Quantile(0.5);
-    *p99_us = waits.Quantile(0.99);
+  // Latency accounting comes from the shared obs layer: the WAL's own
+  // commit-wait histogram and the sharded layer's per-op insert timer.
+  alex::obs::MetricsRegistry& reg = alex::obs::MetricsRegistry::Global();
+  const alex::util::Log2Histogram waits =
+      reg.GetHistogram("wal.commit_wait_ns")->Snapshot();
+  if (waits.Count() > 0) {
+    *p50_us = waits.Quantile(0.5) / 1000;
+    *p99_us = waits.Quantile(0.99) / 1000;
+  }
+  const alex::util::Log2Histogram inserts =
+      reg.OpLatencySnapshot(alex::obs::OpType::kInsert);
+  if (inserts.Count() > 0) {
+    *ins_p50_us = inserts.Quantile(0.5) / 1000;
+    *ins_p99_us = inserts.Quantile(0.99) / 1000;
   }
   Cleanup(prefix);
   return static_cast<double>(total_ops.load()) / elapsed;
@@ -131,6 +152,9 @@ double RunOnce(const char* policy_name, SyncPolicy policy, size_t writers,
 
 int main(int argc, char** argv) {
   alex::bench::ParseBenchArgs(argc, argv);
+  // This bench is a registry consumer: its latency columns come from the
+  // shared obs layer, so recording must be on.
+  alex::obs::SetEnabled(true);
   const double seconds = alex::bench::EnvSeconds();
   const size_t preload = alex::bench::ScaledKeys(100000);
   const size_t max_writers = alex::bench::BenchThreads(8);
@@ -148,24 +172,30 @@ int main(int argc, char** argv) {
 
   ResultSink sink;
   alex::bench::PrintRule("WAL throughput: sync policy x writer count");
-  std::printf("%-8s %8s %12s %10s %10s\n", "policy", "writers", "Mops/s",
-              "p50(us)", "p99(us)");
+  std::printf("%-8s %8s %12s %10s %10s %10s %10s\n", "policy", "writers",
+              "Mops/s", "p50(us)", "p99(us)", "ins50(us)", "ins99(us)");
   double batch_at_max = 0.0, always_at_max = 0.0;
   for (size_t writers = 1; writers <= max_writers; writers *= 2) {
     for (const Policy& p : policies) {
-      uint64_t p50_us = 0, p99_us = 0;
-      const double ops = RunOnce(p.name, p.policy, writers, seconds,
-                                 preload, &p50_us, &p99_us);
-      std::printf("%-8s %8zu %12s %10" PRIu64 " %10" PRIu64 "\n", p.name,
-                  writers, alex::bench::Mops(ops).c_str(), p50_us,
-                  p99_us);
+      uint64_t p50_us = 0, p99_us = 0, ins_p50_us = 0, ins_p99_us = 0;
+      const double ops =
+          RunOnce(p.name, p.policy, writers, seconds, preload, &p50_us,
+                  &p99_us, &ins_p50_us, &ins_p99_us);
+      std::printf("%-8s %8zu %12s %10" PRIu64 " %10" PRIu64 " %10" PRIu64
+                  " %10" PRIu64 "\n",
+                  p.name, writers, alex::bench::Mops(ops).c_str(), p50_us,
+                  p99_us, ins_p50_us, ins_p99_us);
       sink.Add({{"policy", p.name},
                 {"writers", std::to_string(writers)},
                 {"ops_per_sec", ResultSink::Num(ops)},
                 {"commit_wait_p50_us",
                  ResultSink::Num(static_cast<double>(p50_us))},
                 {"commit_wait_p99_us",
-                 ResultSink::Num(static_cast<double>(p99_us))}});
+                 ResultSink::Num(static_cast<double>(p99_us))},
+                {"insert_p50_us",
+                 ResultSink::Num(static_cast<double>(ins_p50_us))},
+                {"insert_p99_us",
+                 ResultSink::Num(static_cast<double>(ins_p99_us))}});
       if (writers == max_writers) {
         if (std::string(p.name) == "batch") batch_at_max = ops;
         if (std::string(p.name) == "always") always_at_max = ops;
@@ -182,7 +212,9 @@ int main(int argc, char** argv) {
               {"writers", std::to_string(max_writers)},
               {"ops_per_sec", ResultSink::Num(ratio)},
               {"commit_wait_p50_us", "0"},
-              {"commit_wait_p99_us", "0"}});
+              {"commit_wait_p99_us", "0"},
+              {"insert_p50_us", "0"},
+              {"insert_p99_us", "0"}});
   }
   sink.Flush();
   return 0;

@@ -77,6 +77,7 @@
 #include "core/data_node.h"
 #include "core/node.h"
 #include "core/serialization.h"
+#include "obs/metrics.h"
 #include "util/epoch.h"
 #include "util/simd_scan.h"
 
@@ -179,8 +180,9 @@ class ConcurrentAlex {
     util::EpochManager::Guard guard(*epoch_);
     while (true) {
       const DataNodeT* leaf = DescendAcquire(key);
-      std::shared_lock<std::shared_mutex> latch(leaf->latch());
-      if (leaf->IsRetired()) continue;  // raced a split: re-descend
+      ALEX_OBS_TIMED_SHARED_LOCK(latch, leaf->latch(), "core.leaf_latch_contended",
+                                 "core.leaf_latch_wait_ns");
+      if (leaf->IsRetired()) { CountDescentRetry(); continue; }  // raced a split: re-descend
       const P* p = leaf->Find(key);
       if (p == nullptr) return false;
       *out = *p;
@@ -193,8 +195,9 @@ class ConcurrentAlex {
     util::EpochManager::Guard guard(*epoch_);
     while (true) {
       const DataNodeT* leaf = DescendAcquire(key);
-      std::shared_lock<std::shared_mutex> latch(leaf->latch());
-      if (leaf->IsRetired()) continue;
+      ALEX_OBS_TIMED_SHARED_LOCK(latch, leaf->latch(), "core.leaf_latch_contended",
+                                 "core.leaf_latch_wait_ns");
+      if (leaf->IsRetired()) { CountDescentRetry(); continue; }
       return leaf->Find(key) != nullptr;
     }
   }
@@ -223,8 +226,9 @@ class ConcurrentAlex {
     util::EpochManager::Guard guard(*epoch_);
     while (true) {
       DataNodeT* leaf = DescendAcquire(key);
-      std::unique_lock<std::shared_mutex> latch(leaf->latch());
-      if (leaf->IsRetired()) continue;
+      ALEX_OBS_TIMED_UNIQUE_LOCK(latch, leaf->latch(), "core.leaf_latch_contended",
+                                 "core.leaf_latch_wait_ns");
+      if (leaf->IsRetired()) { CountDescentRetry(); continue; }
       if (!leaf->Erase(key)) return false;
       index_.num_keys_.fetch_sub(1, std::memory_order_relaxed);
       return true;
@@ -237,8 +241,9 @@ class ConcurrentAlex {
     util::EpochManager::Guard guard(*epoch_);
     while (true) {
       DataNodeT* leaf = DescendAcquire(key);
-      std::unique_lock<std::shared_mutex> latch(leaf->latch());
-      if (leaf->IsRetired()) continue;
+      ALEX_OBS_TIMED_UNIQUE_LOCK(latch, leaf->latch(), "core.leaf_latch_contended",
+                                 "core.leaf_latch_wait_ns");
+      if (leaf->IsRetired()) { CountDescentRetry(); continue; }
       return leaf->UpdatePayload(key, payload);
     }
   }
@@ -264,8 +269,9 @@ class ConcurrentAlex {
     size_t i = 0;
     while (i < n) {
       const DataNodeT* leaf = DescendAcquire(keys[i]);
-      std::shared_lock<std::shared_mutex> latch(leaf->latch());
-      if (leaf->IsRetired()) continue;  // raced a split: re-descend
+      ALEX_OBS_TIMED_SHARED_LOCK(latch, leaf->latch(), "core.leaf_latch_contended",
+                                 "core.leaf_latch_wait_ns");
+      if (leaf->IsRetired()) { CountDescentRetry(); continue; }  // raced a split: re-descend
       const size_t j = RunEnd(keys, n, i, leaf);
       for (size_t k = i; k < j; ++k) leaf->PrefetchFor(keys[k]);
       for (; i < j; ++i) {
@@ -295,8 +301,9 @@ class ConcurrentAlex {
       DataNodeT* leaf = DescendAcquire(keys[i], &parent);
       bool need_escalate = false;
       {
-        std::unique_lock<std::shared_mutex> latch(leaf->latch());
-        if (leaf->IsRetired()) continue;
+        ALEX_OBS_TIMED_UNIQUE_LOCK(latch, leaf->latch(), "core.leaf_latch_contended",
+                                 "core.leaf_latch_wait_ns");
+        if (leaf->IsRetired()) { CountDescentRetry(); continue; }
         const size_t j = RunEnd(keys, n, i, leaf);
         size_t run_inserted = 0;
         while (i < j) {
@@ -342,8 +349,9 @@ class ConcurrentAlex {
     size_t i = 0;
     while (i < n) {
       DataNodeT* leaf = DescendAcquire(keys[i]);
-      std::unique_lock<std::shared_mutex> latch(leaf->latch());
-      if (leaf->IsRetired()) continue;
+      ALEX_OBS_TIMED_UNIQUE_LOCK(latch, leaf->latch(), "core.leaf_latch_contended",
+                                 "core.leaf_latch_wait_ns");
+      if (leaf->IsRetired()) { CountDescentRetry(); continue; }
       const size_t j = RunEnd(keys, n, i, leaf);
       size_t run_erased = 0;
       for (; i < j; ++i) {
@@ -371,8 +379,10 @@ class ConcurrentAlex {
     bool emitted = false;
     const DataNodeT* leaf = DescendAcquire(resume);
     while (leaf != nullptr && out->size() < max_results) {
-      std::shared_lock<std::shared_mutex> latch(leaf->latch());
+      ALEX_OBS_TIMED_SHARED_LOCK(latch, leaf->latch(), "core.leaf_latch_contended",
+                                 "core.leaf_latch_wait_ns");
       if (leaf->IsRetired()) {
+        CountDescentRetry();
         latch.unlock();
         leaf = DescendAcquire(resume);
         continue;
@@ -412,8 +422,10 @@ class ConcurrentAlex {
     bool emitted = false;
     const DataNodeT* leaf = DescendAcquire(resume);
     while (leaf != nullptr) {
-      std::shared_lock<std::shared_mutex> latch(leaf->latch());
+      ALEX_OBS_TIMED_SHARED_LOCK(latch, leaf->latch(), "core.leaf_latch_contended",
+                                 "core.leaf_latch_wait_ns");
       if (leaf->IsRetired()) {
+        CountDescentRetry();
         latch.unlock();
         leaf = DescendAcquire(resume);
         continue;
@@ -454,8 +466,10 @@ class ConcurrentAlex {
     bool emitted = false;
     const DataNodeT* leaf = DescendAcquire(resume);
     while (leaf != nullptr) {
-      std::shared_lock<std::shared_mutex> latch(leaf->latch());
+      ALEX_OBS_TIMED_SHARED_LOCK(latch, leaf->latch(), "core.leaf_latch_contended",
+                                 "core.leaf_latch_wait_ns");
       if (leaf->IsRetired()) {
+        CountDescentRetry();
         latch.unlock();
         leaf = DescendAcquire(resume);
         continue;
@@ -553,7 +567,8 @@ class ConcurrentAlex {
     util::EpochManager::Guard guard(*epoch_);
     while (true) {
       DataNodeT* leaf = DescendAcquire(key);
-      std::unique_lock<std::shared_mutex> latch(leaf->latch());
+      ALEX_OBS_TIMED_UNIQUE_LOCK(latch, leaf->latch(), "core.leaf_latch_contended",
+                                 "core.leaf_latch_wait_ns");
       // Only a latched *live* leaf may outlive the guard: retirement
       // requires this exclusive latch, so a live leaf cannot be retired
       // (or freed) while the caller holds the returned lock. A leaf that
@@ -574,6 +589,13 @@ class ConcurrentAlex {
 
  private:
   using InnerNodeT = InnerNode;
+
+  /// Telemetry for a failed leaf validation (the leaf retired under a
+  /// racing structural change): the operation re-descends from the root.
+  static void CountDescentRetry() {
+    ALEX_OBS_COUNTER_INC("core.descent_retries");
+    ALEX_OBS_CTX_ADD(descent_retries, 1);
+  }
 
   /// Folds the occupied slots [slot_lo, slot_hi) of one latched live leaf
   /// into `out` per `spec`. Unfiltered aggregates take the fused SIMD
@@ -676,8 +698,9 @@ class ConcurrentAlex {
       InnerNodeT* parent = nullptr;
       DataNodeT* leaf = DescendAcquire(key, &parent);
       {
-        std::unique_lock<std::shared_mutex> latch(leaf->latch());
-        if (leaf->IsRetired()) continue;
+        ALEX_OBS_TIMED_UNIQUE_LOCK(latch, leaf->latch(), "core.leaf_latch_contended",
+                                 "core.leaf_latch_wait_ns");
+        if (leaf->IsRetired()) { CountDescentRetry(); continue; }
         const InsertResult result = leaf->Insert(key, payload);
         if (result == InsertResult::kOk) {
           index_.num_keys_.fetch_add(1, std::memory_order_relaxed);
@@ -715,8 +738,12 @@ class ConcurrentAlex {
         index_.root_.load(std::memory_order_seq_cst) != leaf) {
       return false;  // the root changed under us; re-descend
     }
-    std::unique_lock<std::shared_mutex> latch(leaf->latch());
-    if (leaf->IsRetired()) return false;  // a rival split won; re-descend
+    ALEX_OBS_TIMED_UNIQUE_LOCK(latch, leaf->latch(), "core.leaf_latch_contended",
+                                 "core.leaf_latch_wait_ns");
+    if (leaf->IsRetired()) {
+      CountDescentRetry();
+      return false;  // a rival split won; re-descend
+    }
     // The world may have moved while we were unlatched (a rival insert or
     // erase can change the outcome), so re-attempt the insert first.
     InsertResult result = leaf->Insert(key, payload);
@@ -790,6 +817,8 @@ class ConcurrentAlex {
     }
     BumpVersion();
     ++index_.stats_->num_splits;
+    ALEX_OBS_COUNTER_INC("core.leaf_splits");
+    ALEX_OBS_CTX_ADD(leaf_splits, 1);
     // Freed only after every reader that could hold it unpins; our own
     // guard keeps it alive through the latch release below.
     epoch_->Retire(leaf);
@@ -808,7 +837,8 @@ class ConcurrentAlex {
       auto* leaf = static_cast<DataNodeT*>(node);
       size_t drained;
       {
-        std::unique_lock<std::shared_mutex> latch(leaf->latch());
+        ALEX_OBS_TIMED_UNIQUE_LOCK(latch, leaf->latch(), "core.leaf_latch_contended",
+                                 "core.leaf_latch_wait_ns");
         drained = leaf->num_keys();
         leaf->MarkRetired();
       }

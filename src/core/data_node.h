@@ -26,6 +26,7 @@
 #include "core/config.h"
 #include "core/node.h"
 #include "models/linear_model.h"
+#include "obs/metrics.h"
 
 namespace alex::core {
 
@@ -85,6 +86,17 @@ class DataNode : public Node {
   /// True when lookups currently take the branchless bounded window path.
   bool UsesBoundedSearch() const {
     return SearchErrorBound() != kNoErrorBound;
+  }
+
+  /// In-leaf search dispatch telemetry: did the model's tracked error
+  /// bound hold (bounded branchless window) or did the lookup fall back to
+  /// unbounded exponential search?
+  static void CountSearchDispatch(size_t err) {
+    if (err == kNoErrorBound) {
+      ALEX_OBS_COUNTER_INC("core.search_exponential");
+    } else {
+      ALEX_OBS_COUNTER_INC("core.search_bounded");
+    }
   }
 
   /// Software-prefetches the slots a probe of `key` will touch. Batched
@@ -212,6 +224,7 @@ class DataNode : public Node {
   /// Const point lookup: reads only, so shared-latch holders never write.
   const P* Find(K key) const {
     const size_t err = SearchErrorBound();
+    CountSearchDispatch(err);
     return Visit([&](const auto& s) -> const P* {
       const size_t slot =
           err == kNoErrorBound
@@ -225,6 +238,7 @@ class DataNode : public Node {
   /// Slot of `key`, or capacity() when absent.
   size_t FindSlotOf(K key) const {
     const size_t err = SearchErrorBound();
+    CountSearchDispatch(err);
     return Visit([&](const auto& s) {
       return err == kNoErrorBound
                  ? s.FindSlot(key, PredictSlot(key))
@@ -235,6 +249,7 @@ class DataNode : public Node {
   /// First occupied slot with key >= `key`, or capacity().
   size_t LowerBoundSlot(K key) const {
     const size_t err = SearchErrorBound();
+    CountSearchDispatch(err);
     return Visit([&](const auto& s) {
       return err == kNoErrorBound
                  ? s.LowerBoundSlot(key, PredictSlot(key))
@@ -248,6 +263,7 @@ class DataNode : public Node {
   /// engine's per-leaf "filter by key range" step.
   size_t UpperBoundSlot(K key) const {
     const size_t err = SearchErrorBound();
+    CountSearchDispatch(err);
     return Visit([&](const auto& s) {
       return err == kNoErrorBound
                  ? s.UpperBoundSlot(key, PredictSlot(key))

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "models/linear_model.h"
+#include "obs/metrics.h"
 
 namespace alex::shard {
 
@@ -111,8 +112,10 @@ class ShardRouter {
     const size_t s = model_.Predict(static_cast<double>(key), shards);
     if ((s == 0 || !(key < boundaries_[s - 1])) &&
         (s + 1 == shards || key < boundaries_[s])) {
+      ALEX_OBS_COUNTER_INC("shard.router_model_hits");
       return s;
     }
+    ALEX_OBS_COUNTER_INC("shard.router_fallbacks");
     return static_cast<size_t>(
         std::upper_bound(boundaries_.begin(), boundaries_.end(), key) -
         boundaries_.begin());

@@ -136,6 +136,7 @@
 #include "core/concurrent_alex.h"
 #include "core/config.h"
 #include "core/serialization.h"
+#include "obs/metrics.h"
 #include "shard/manifest.h"
 #include "shard/router.h"
 #include "util/epoch.h"
@@ -271,12 +272,16 @@ class ShardedAlex {
   /// before returning (the relative skew check itself is amortized — see
   /// MaybeSplit).
   bool Insert(K key, const P& payload) {
+    obs::ScopedOpTimer op_timer(obs::OpType::kInsert);
     util::EpochManager::Guard guard(epoch_);
     while (true) {
       Table* table = table_.load(std::memory_order_seq_cst);
       const size_t idx = table->router.Route(key);
+      op_timer.set_shard(static_cast<uint32_t>(idx));
       Shard* shard = table->shards[idx].get();
-      std::shared_lock<std::shared_mutex> gate(shard->write_gate);
+      ALEX_OBS_TIMED_SHARED_LOCK(gate, shard->write_gate,
+                                 "shard.write_gate_contended",
+                                 "shard.write_gate_wait_ns");
       if (shard->retired.load(std::memory_order_seq_cst)) {
         continue;  // raced a rebalance/bulk load: re-route
       }
@@ -305,11 +310,16 @@ class ShardedAlex {
   /// skew check, the check is amortized to every kSkewCheckInterval-th
   /// commit into the shard.
   bool Erase(K key) {
+    obs::ScopedOpTimer op_timer(obs::OpType::kErase);
     util::EpochManager::Guard guard(epoch_);
     while (true) {
       Table* table = table_.load(std::memory_order_seq_cst);
-      Shard* shard = table->shards[table->router.Route(key)].get();
-      std::shared_lock<std::shared_mutex> gate(shard->write_gate);
+      const size_t idx = table->router.Route(key);
+      op_timer.set_shard(static_cast<uint32_t>(idx));
+      Shard* shard = table->shards[idx].get();
+      ALEX_OBS_TIMED_SHARED_LOCK(gate, shard->write_gate,
+                                 "shard.write_gate_contended",
+                                 "shard.write_gate_wait_ns");
       if (shard->retired.load(std::memory_order_seq_cst)) continue;
       if (!LogWrite(shard, wal::WalRecordType::kErase, key, nullptr)) {
         return false;
@@ -326,11 +336,16 @@ class ShardedAlex {
 
   /// Overwrites an existing payload; false when absent.
   bool Update(K key, const P& payload) {
+    obs::ScopedOpTimer op_timer(obs::OpType::kUpdate);
     util::EpochManager::Guard guard(epoch_);
     while (true) {
       Table* table = table_.load(std::memory_order_seq_cst);
-      Shard* shard = table->shards[table->router.Route(key)].get();
-      std::shared_lock<std::shared_mutex> gate(shard->write_gate);
+      const size_t idx = table->router.Route(key);
+      op_timer.set_shard(static_cast<uint32_t>(idx));
+      Shard* shard = table->shards[idx].get();
+      ALEX_OBS_TIMED_SHARED_LOCK(gate, shard->write_gate,
+                                 "shard.write_gate_contended",
+                                 "shard.write_gate_wait_ns");
       if (shard->retired.load(std::memory_order_seq_cst)) continue;
       if (!LogWrite(shard, wal::WalRecordType::kUpdate, key, &payload)) {
         return false;
@@ -356,6 +371,7 @@ class ShardedAlex {
   /// returns the number found. Lock-free at the shard layer, like Get.
   size_t MultiGet(const K* keys, size_t n, P* payloads, bool* found) const {
     if (n == 0) return 0;
+    obs::ScopedOpTimer op_timer(obs::OpType::kMultiGet);
     std::vector<size_t> order;
     std::vector<K> sorted_keys;
     SortBatch(keys, n, &order, &sorted_keys);
@@ -388,6 +404,7 @@ class ShardedAlex {
   size_t MultiInsert(const K* keys, const P* payloads, size_t n,
                      bool* inserted = nullptr) {
     if (n == 0) return 0;
+    obs::ScopedOpTimer op_timer(obs::OpType::kMultiInsert);
     std::vector<size_t> order;
     std::vector<K> sorted_keys;
     SortBatch(keys, n, &order, &sorted_keys);
@@ -402,7 +419,9 @@ class ShardedAlex {
       const size_t idx = table->router.Route(sorted_keys[i]);
       Shard* shard = table->shards[idx].get();
       const size_t j = RunEnd(table, idx, sorted_keys, i);
-      std::shared_lock<std::shared_mutex> gate(shard->write_gate);
+      ALEX_OBS_TIMED_SHARED_LOCK(gate, shard->write_gate,
+                                 "shard.write_gate_contended",
+                                 "shard.write_gate_wait_ns");
       if (shard->retired.load(std::memory_order_seq_cst)) {
         continue;  // raced a topology transaction: re-route from key i
       }
@@ -440,6 +459,7 @@ class ShardedAlex {
   /// batch per shard run, like MultiInsert.
   size_t MultiErase(const K* keys, size_t n, bool* erased = nullptr) {
     if (n == 0) return 0;
+    obs::ScopedOpTimer op_timer(obs::OpType::kMultiErase);
     std::vector<size_t> order;
     std::vector<K> sorted_keys;
     SortBatch(keys, n, &order, &sorted_keys);
@@ -452,7 +472,9 @@ class ShardedAlex {
       const size_t idx = table->router.Route(sorted_keys[i]);
       Shard* shard = table->shards[idx].get();
       const size_t j = RunEnd(table, idx, sorted_keys, i);
-      std::shared_lock<std::shared_mutex> gate(shard->write_gate);
+      ALEX_OBS_TIMED_SHARED_LOCK(gate, shard->write_gate,
+                                 "shard.write_gate_contended",
+                                 "shard.write_gate_wait_ns");
       if (shard->retired.load(std::memory_order_seq_cst)) continue;
       const size_t len = j - i;
       if (!LogWriteBatch(shard, wal::WalRecordType::kErase,
@@ -481,16 +503,22 @@ class ShardedAlex {
   /// Copies the payload of `key` into `*out`; returns false when absent.
   /// No shard-layer locking: epoch guard + table load + route only.
   bool Get(K key, P* out) const {
+    obs::ScopedOpTimer op_timer(obs::OpType::kGet);
     util::EpochManager::Guard guard(epoch_);
     Table* table = table_.load(std::memory_order_seq_cst);
-    return table->shards[table->router.Route(key)]->index.Get(key, out);
+    const size_t idx = table->router.Route(key);
+    op_timer.set_shard(static_cast<uint32_t>(idx));
+    return table->shards[idx]->index.Get(key, out);
   }
 
   /// True when `key` is present (same lock-free path as Get).
   bool Contains(K key) const {
+    obs::ScopedOpTimer op_timer(obs::OpType::kContains);
     util::EpochManager::Guard guard(epoch_);
     Table* table = table_.load(std::memory_order_seq_cst);
-    return table->shards[table->router.Route(key)]->index.Contains(key);
+    const size_t idx = table->router.Route(key);
+    op_timer.set_shard(static_cast<uint32_t>(idx));
+    return table->shards[idx]->index.Contains(key);
   }
 
   /// Cross-shard range scan: stitches per-shard scans in key order (the
@@ -501,6 +529,7 @@ class ShardedAlex {
   size_t RangeScan(K start, size_t max_results,
                    std::vector<std::pair<K, P>>* out) const {
     out->clear();
+    obs::ScopedOpTimer op_timer(obs::OpType::kRangeScan);
     util::EpochManager::Guard guard(epoch_);
     Table* table = table_.load(std::memory_order_seq_cst);
     size_t idx = table->router.Route(start);
@@ -532,6 +561,7 @@ class ShardedAlex {
   template <typename Visitor>
   size_t Scan(K lo, K hi, Visitor&& visit) const {
     if (hi < lo) return 0;
+    obs::ScopedOpTimer op_timer(obs::OpType::kScan);
     util::EpochManager::Guard guard(epoch_);
     Table* table = table_.load(std::memory_order_seq_cst);
     const size_t first = table->router.Route(lo);
@@ -616,6 +646,7 @@ class ShardedAlex {
                                   const core::AggSpec<P>& spec = {}) const {
     core::AggResult<K, P> result;
     if (hi < lo) return result;
+    obs::ScopedOpTimer op_timer(obs::OpType::kAggregate);
     util::EpochManager::Guard guard(epoch_);
     Table* table = table_.load(std::memory_order_seq_cst);
     const size_t first = table->router.Route(lo);
@@ -1121,6 +1152,8 @@ class ShardedAlex {
   bool LogWrite(Shard* shard, wal::WalRecordType type, const K& key,
                 const P* payload) {
     if (shard->log == nullptr) return true;
+    // The log itself feeds the op-context's wal_wait_ns from the commit
+    // wait it already measures — no extra clock reads here.
     const wal::WalStatus status = shard->log->Log(type, key, payload);
     if (status == wal::WalStatus::kOk) return true;
     wal::WalStatus expected = wal::WalStatus::kOk;
@@ -1793,11 +1826,14 @@ class ShardedAlex {
     switch (op) {
       case TopologyOp::kSplit:
         rebalances_.fetch_add(1, std::memory_order_relaxed);
+        ALEX_OBS_COUNTER_INC("shard.topology_splits");
         break;
       case TopologyOp::kMerge:
         merges_.fetch_add(1, std::memory_order_relaxed);
+        ALEX_OBS_COUNTER_INC("shard.topology_merges");
         break;
       case TopologyOp::kRebalance:
+        ALEX_OBS_COUNTER_INC("shard.topology_rebalances");
         break;
     }
     topology_epoch_.fetch_add(1, std::memory_order_relaxed);

@@ -46,6 +46,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace alex::util {
 
 class EpochManager {
@@ -124,6 +126,9 @@ class EpochManager {
     const uint64_t stamp = global_epoch_.load(std::memory_order_seq_cst);
     std::lock_guard<std::mutex> lock(retire_mutex_);
     retired_.push_back(Retired{object, deleter, stamp});
+    ALEX_OBS_COUNTER_INC("epoch.retired");
+    ALEX_OBS_GAUGE_SET("epoch.retired_unreclaimed",
+                       static_cast<int64_t>(retired_.size()));
   }
 
   /// Tries to advance the epoch and frees every sufficiently old retired
@@ -157,17 +162,28 @@ class EpochManager {
       global_epoch_.compare_exchange_strong(epoch, epoch + 1,
                                             std::memory_order_seq_cst);
       epoch += 1;
+      ALEX_OBS_COUNTER_INC("epoch.advances");
+    } else {
+      ALEX_OBS_COUNTER_INC("epoch.advance_stalls");
     }
     size_t kept = 0;
+    size_t freed_this_round = 0;
     for (size_t i = 0; i < retired_.size(); ++i) {
       if (retired_[i].stamp + 2 <= epoch) {
         retired_[i].deleter(retired_[i].object);
         ++freed_;
+        ++freed_this_round;
       } else {
         retired_[kept++] = retired_[i];
       }
     }
     retired_.resize(kept);
+    if (freed_this_round > 0) {
+      ALEX_OBS_COUNTER_ADD("epoch.freed",
+                           static_cast<uint64_t>(freed_this_round));
+    }
+    ALEX_OBS_GAUGE_SET("epoch.retired_unreclaimed",
+                       static_cast<int64_t>(retired_.size()));
   }
 
   /// Current global epoch (diagnostics).

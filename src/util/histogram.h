@@ -26,6 +26,8 @@ class Log2Histogram {
   void Record(uint64_t value) {
     ++counts_[BucketOf(value)];
     ++total_;
+    sum_ += value;
+    if (value > max_) max_ = value;
   }
 
   /// Adds every observation of `other` into this histogram (used to
@@ -33,6 +35,22 @@ class Log2Histogram {
   void Merge(const Log2Histogram& other) {
     for (int b = 0; b < kNumBuckets; ++b) counts_[b] += other.counts_[b];
     total_ += other.total_;
+    sum_ += other.sum_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  /// Folds raw per-bucket counts in (e.g. from obs::Histogram's atomic
+  /// mirror): adds `bucket_counts[0..num_buckets)` into the buckets and
+  /// accumulates the exact sum/max the mirror tracked alongside them.
+  void AddFolded(const uint64_t* bucket_counts, int num_buckets,
+                 uint64_t sum, uint64_t max) {
+    const int n = std::min(num_buckets, kNumBuckets);
+    for (int b = 0; b < n; ++b) {
+      counts_[b] += bucket_counts[b];
+      total_ += bucket_counts[b];
+    }
+    sum_ += sum;
+    if (max > max_) max_ = max;
   }
 
   /// Bucket index for `value` (see class comment).
@@ -46,8 +64,23 @@ class Log2Histogram {
     return b == 0 ? 0 : (1ULL << (b - 1));
   }
 
+  /// Inclusive upper edge of bucket `b`.
+  static uint64_t BucketHi(int b) {
+    if (b == 0) return 0;
+    if (b >= 64) return ~0ULL;
+    return (1ULL << b) - 1;
+  }
+
   uint64_t count(int bucket) const { return counts_[bucket]; }
   uint64_t total() const { return total_; }
+
+  /// Number of observations (alias of total(), matching the registry's
+  /// count/sum/max accessor naming).
+  uint64_t Count() const { return total_; }
+  /// Exact sum of all observations (modulo 2^64).
+  uint64_t Sum() const { return sum_; }
+  /// Largest observation, 0 when empty.
+  uint64_t Max() const { return max_; }
 
   /// Fraction of observations equal to zero (direct model hits in Fig. 7b).
   double FractionZero() const {
@@ -64,12 +97,20 @@ class Log2Histogram {
     return -1;
   }
 
-  /// Smallest value v such that at least `q` (in [0,1]) of the mass lies in
-  /// buckets whose lower edge is <= v. Approximate (bucket resolution).
+  /// Approximate q-quantile (q in [0,1]) with within-bucket linear
+  /// interpolation.
   ///
   /// The rank target is ceil(q * total) clamped to [1, total]: nearest-rank
   /// semantics. A truncated target of 0 would be satisfied by the (possibly
   /// empty) zero bucket, reporting 0 for any quantile of a small sample set.
+  ///
+  /// The target rank's bucket is exact; within the bucket the rank's
+  /// observations are assumed uniformly spread, so rank r of the bucket's n
+  /// observations maps to lo + (r - 0.5)/n * (hi - lo + 1). (The previous
+  /// bucket-lower-edge answer understated wide buckets by up to 2x; an
+  /// upper-edge answer overstates symmetrically.) The result always lies in
+  /// [BucketLo(b), BucketHi(b)] of the exact-rank bucket b, and never above
+  /// the recorded maximum.
   uint64_t Quantile(double q) const {
     if (total_ == 0) return 0;
     q = std::min(std::max(q, 0.0), 1.0);
@@ -79,8 +120,21 @@ class Log2Histogram {
                            std::ceil(q * static_cast<double>(total_)))));
     uint64_t cumulative = 0;
     for (int b = 0; b < kNumBuckets; ++b) {
+      const uint64_t before = cumulative;
       cumulative += counts_[b];
-      if (cumulative >= target) return BucketLo(b);
+      if (cumulative < target) continue;
+      if (b == 0) return 0;
+      const double width =
+          static_cast<double>(BucketHi(b) - BucketLo(b)) + 1.0;
+      const double rank_in_bucket =
+          static_cast<double>(target - before);  // in [1, counts_[b]]
+      const double frac =
+          (rank_in_bucket - 0.5) / static_cast<double>(counts_[b]);
+      uint64_t v =
+          BucketLo(b) + static_cast<uint64_t>(frac * width);
+      v = std::max(v, BucketLo(b));
+      v = std::min(v, BucketHi(b));
+      return std::min(v, std::max(max_, BucketLo(b)));
     }
     return BucketLo(kNumBuckets - 1);
   }
@@ -100,6 +154,8 @@ class Log2Histogram {
  private:
   std::array<uint64_t, kNumBuckets> counts_{};
   uint64_t total_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t max_ = 0;
 };
 
 /// Exact percentile recorder. Stores every observation; suitable for the

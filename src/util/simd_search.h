@@ -32,6 +32,7 @@
 #include <cstdlib>
 #include <type_traits>
 
+#include "obs/metrics.h"
 #include "util/search.h"
 
 #if !defined(ALEX_DISABLE_SIMD) && defined(__x86_64__) && \
@@ -233,10 +234,12 @@ size_t BoundedSearchLowerBound(const K* data, size_t lo, size_t hi, K key) {
 #if ALEX_SIMD_X86
   if constexpr (simd_internal::kHasAvx2Kernel<K>) {
     if (SimdSearchEnabled()) {
+      ALEX_OBS_COUNTER_INC("simd.bounded_search_vector");
       return lo + simd_internal::CountLessAvx2(data + lo, hi - lo, key);
     }
   }
 #endif
+  ALEX_OBS_COUNTER_INC("simd.bounded_search_scalar");
   return lo + simd_internal::CountLessScalar(data + lo, hi - lo, key);
 }
 
@@ -254,10 +257,12 @@ size_t BoundedSearchUpperBound(const K* data, size_t lo, size_t hi, K key) {
 #if ALEX_SIMD_X86
   if constexpr (simd_internal::kHasAvx2Kernel<K>) {
     if (SimdSearchEnabled()) {
+      ALEX_OBS_COUNTER_INC("simd.bounded_search_vector");
       return lo + simd_internal::CountLessEqAvx2(data + lo, hi - lo, key);
     }
   }
 #endif
+  ALEX_OBS_COUNTER_INC("simd.bounded_search_scalar");
   return lo + simd_internal::CountLessEqScalar(data + lo, hi - lo, key);
 }
 

@@ -56,30 +56,36 @@ TEST(Log2HistogramTest, QuantileFindsMassBoundary) {
   for (int i = 0; i < 90; ++i) h.Record(0);
   for (int i = 0; i < 10; ++i) h.Record(1024);
   EXPECT_EQ(h.Quantile(0.5), 0u);
+  // Interpolation would report mid-bucket for [1024, 2048), but the
+  // recorded maximum (1024) caps the answer — the histogram never
+  // reports a quantile above any value it actually saw.
   EXPECT_EQ(h.Quantile(0.99), 1024u);
 }
 
 // Regression: Quantile used floor(q * total) as the target rank, so any
 // quantile of a small sample returned bucket 0 — the median of a single
-// observation of 100 came back 0 instead of its bucket's lower edge 64.
+// observation of 100 came back 0 instead of a value in its bucket. With
+// within-bucket interpolation, one observation sits at its bucket's
+// midpoint (rank 1 of 1 -> fraction 0.5), clamped to the recorded max.
 TEST(Log2HistogramTest, QuantileOfSingleObservationIsItsBucket) {
   Log2Histogram h;
-  h.Record(100);  // bucket [64, 128)
-  EXPECT_EQ(h.Quantile(0.5), 64u);
-  EXPECT_EQ(h.Quantile(0.01), 64u);
-  EXPECT_EQ(h.Quantile(0.99), 64u);
-  EXPECT_EQ(h.Quantile(1.0), 64u);
+  h.Record(100);  // bucket [64, 128), midpoint 64 + 0.5*64 = 96
+  for (const double q : {0.5, 0.01, 0.99, 1.0}) {
+    EXPECT_EQ(h.Quantile(q), 96u) << "q=" << q;
+    EXPECT_GE(h.Quantile(q), 64u);
+    EXPECT_LE(h.Quantile(q), h.Max());
+  }
 }
 
 TEST(Log2HistogramTest, SmallSampleQuantilesAreNotZeroBiased) {
   Log2Histogram h;
-  h.Record(10);    // bucket [8, 16)
-  h.Record(20);    // bucket [16, 32)
-  h.Record(3000);  // bucket [2048, 4096)
-  EXPECT_EQ(h.Quantile(0.5), 16u);   // rank ceil(0.5*3)=2 -> second sample
-  EXPECT_EQ(h.Quantile(0.34), 16u);  // rank ceil(1.02)=2 -> second sample
-  EXPECT_EQ(h.Quantile(0.33), 8u);   // rank ceil(0.99)=1 -> first sample
-  EXPECT_EQ(h.Quantile(1.0), 2048u);
+  h.Record(10);    // bucket [8, 16), midpoint 12
+  h.Record(20);    // bucket [16, 32), midpoint 24
+  h.Record(3000);  // bucket [2048, 4096), midpoint 3072 -> max-capped 3000
+  EXPECT_EQ(h.Quantile(0.5), 24u);   // rank ceil(0.5*3)=2 -> second sample
+  EXPECT_EQ(h.Quantile(0.34), 24u);  // rank ceil(1.02)=2 -> second sample
+  EXPECT_EQ(h.Quantile(0.33), 12u);  // rank ceil(0.99)=1 -> first sample
+  EXPECT_EQ(h.Quantile(1.0), 3000u);
   // Zero-valued samples still report bucket 0 when they carry the rank.
   Log2Histogram z;
   z.Record(0);
@@ -88,11 +94,67 @@ TEST(Log2HistogramTest, SmallSampleQuantilesAreNotZeroBiased) {
   EXPECT_EQ(z.Quantile(0.5), 0u);
 }
 
+TEST(Log2HistogramTest, CountSumMaxAccessors) {
+  Log2Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Sum(), 0u);
+  EXPECT_EQ(h.Max(), 0u);
+  h.Record(3);
+  h.Record(100);
+  h.Record(7);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_EQ(h.Sum(), 110u);
+  EXPECT_EQ(h.Max(), 100u);
+  Log2Histogram other;
+  other.Record(1000);
+  h.Merge(other);
+  EXPECT_EQ(h.Count(), 4u);
+  EXPECT_EQ(h.Sum(), 1110u);
+  EXPECT_EQ(h.Max(), 1000u);
+}
+
+TEST(Log2HistogramTest, AddFoldedMatchesRecording) {
+  Log2Histogram reference;
+  uint64_t counts[Log2Histogram::kNumBuckets] = {};
+  uint64_t sum = 0, max = 0;
+  for (const uint64_t v : {0ull, 5ull, 5ull, 900ull, 1ull << 30}) {
+    reference.Record(v);
+    ++counts[Log2Histogram::BucketOf(v)];
+    sum += v;
+    max = std::max(max, v);
+  }
+  Log2Histogram folded;
+  folded.AddFolded(counts, Log2Histogram::kNumBuckets, sum, max);
+  EXPECT_EQ(folded.Count(), reference.Count());
+  EXPECT_EQ(folded.Sum(), reference.Sum());
+  EXPECT_EQ(folded.Max(), reference.Max());
+  for (const double q : {0.1, 0.5, 0.9, 1.0}) {
+    EXPECT_EQ(folded.Quantile(q), reference.Quantile(q)) << "q=" << q;
+  }
+}
+
+// The interpolation model: ranks spread uniformly inside a bucket. On an
+// actually-uniform sample over one wide bucket, the median must land near
+// the bucket's midpoint — the old lower-edge answer sat at 1024 (2x off),
+// an upper-edge answer at 2047.
+TEST(Log2HistogramTest, InterpolationCentersUniformBucket) {
+  Log2Histogram h;
+  for (uint64_t v = 1024; v < 2048; ++v) h.Record(v);
+  const uint64_t p50 = h.Quantile(0.5);
+  EXPECT_GE(p50, 1500u);
+  EXPECT_LE(p50, 1600u);
+  const uint64_t p90 = h.Quantile(0.9);
+  EXPECT_GE(p90, 1900u);
+  EXPECT_LE(p90, 1975u);
+}
+
 // Cross-check against an exact-rank oracle: the histogram's Quantile(q)
-// must equal the bucket floor of the ceil(q*n)-th smallest sample — the
-// same samples a PercentileRecorder would report (up to bucket
-// granularity). This is the contract the WAL bench relies on when it
-// prints commit-wait p50/p99 from Log2Histogram.
+// must land inside the bucket of the ceil(q*n)-th smallest sample — the
+// same sample a PercentileRecorder would report, localized to bucket
+// granularity — and never above the largest recorded value. This is the
+// contract the WAL bench relies on when it prints commit-wait p50/p99
+// from Log2Histogram. Within-bucket interpolation refines where inside
+// that bucket the answer lands; it must not move it to another bucket.
 TEST(Log2HistogramTest, QuantileMatchesExactRankOracle) {
   Xoshiro256 rng(4711);
   for (int trial = 0; trial < 20; ++trial) {
@@ -111,8 +173,14 @@ TEST(Log2HistogramTest, QuantileMatchesExactRankOracle) {
                  n, static_cast<size_t>(
                         std::ceil(q * static_cast<double>(n)))));
       const uint64_t exact = samples[rank - 1];
-      EXPECT_EQ(h.Quantile(q),
-                Log2Histogram::BucketLo(Log2Histogram::BucketOf(exact)))
+      const int bucket = Log2Histogram::BucketOf(exact);
+      const uint64_t got = h.Quantile(q);
+      EXPECT_GE(got, Log2Histogram::BucketLo(bucket))
+          << "q=" << q << " n=" << n << " exact=" << exact;
+      EXPECT_LE(got, Log2Histogram::BucketHi(bucket))
+          << "q=" << q << " n=" << n << " exact=" << exact;
+      EXPECT_LE(got, std::max(samples.back(),
+                              Log2Histogram::BucketLo(bucket)))
           << "q=" << q << " n=" << n << " exact=" << exact;
     }
   }

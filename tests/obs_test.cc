@@ -1,0 +1,343 @@
+// Unit tests for the observability layer (src/obs/metrics.h): metric
+// primitives (striped counters, gauges, atomic histograms), the slow-op
+// trace ring, the registry with its JSON / Prometheus exports, the scoped
+// timers, and the SIMD dispatch counters.
+//
+// The registry and the enable flag are process-global, so every test
+// starts from a known state (flag off, all metrics zero, default slow-op
+// threshold) via the fixture. The striped-counter concurrency test is the
+// suite's TSan target: writers hammer one counter from more threads than
+// stripes while readers fold snapshots.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/simd_search.h"
+
+namespace alex::obs {
+namespace {
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetEnabled(false);
+    MetricsRegistry::Global().ResetAll();
+    MetricsRegistry::Global().slow_ops().set_threshold_ns(
+        SlowOpRing::kDefaultThresholdNs);
+  }
+  void TearDown() override {
+    SetEnabled(false);
+    MetricsRegistry::Global().slow_ops().set_threshold_ns(
+        SlowOpRing::kDefaultThresholdNs);
+  }
+};
+
+TEST_F(ObsTest, CounterIsExactAndResets) {
+  Counter c;
+  EXPECT_EQ(c.Load(), 0u);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.Load(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Load(), 0u);
+}
+
+// TSan target: more writer threads than stripes (so stripe cells are
+// shared), plus a reader folding Load() and registry snapshots the whole
+// time. Conservation: the final fold must equal exactly the number of
+// increments issued — stripes may collide but never lose an increment.
+TEST_F(ObsTest, StripedCounterIsExactUnderContention) {
+  constexpr size_t kWriters = 8;
+  constexpr uint64_t kPerWriter = 50000;
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* counter = reg.GetCounter("test.striped");
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    uint64_t last = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const uint64_t now = counter->Load();
+      EXPECT_GE(now, last);  // monotone while only writers run
+      last = now;
+      (void)reg.SnapshotJson();
+      (void)reg.NonZeroMetricCount();
+    }
+  });
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (size_t t = 0; t < kWriters; ++t) {
+    writers.emplace_back([counter] {
+      for (uint64_t i = 0; i < kPerWriter; ++i) counter->Increment();
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(counter->Load(), kWriters * kPerWriter);
+}
+
+TEST_F(ObsTest, GaugeSetAddLoad) {
+  Gauge g;
+  g.Set(7);
+  EXPECT_EQ(g.Load(), 7);
+  g.Add(-10);
+  EXPECT_EQ(g.Load(), -3);
+  g.Reset();
+  EXPECT_EQ(g.Load(), 0);
+}
+
+TEST_F(ObsTest, HistogramRecordsAndSnapshots) {
+  Histogram h;
+  h.Record(100);
+  h.Record(100);
+  h.Record(5000);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_EQ(h.Sum(), 5200u);
+  EXPECT_EQ(h.Max(), 5000u);
+  const util::Log2Histogram snap = h.Snapshot();
+  EXPECT_EQ(snap.Count(), 3u);
+  EXPECT_EQ(snap.Sum(), 5200u);
+  EXPECT_EQ(snap.Max(), 5000u);
+  // Median lands in the bucket of 100, p99 in the bucket of 5000.
+  EXPECT_GE(snap.Quantile(0.5), 64u);
+  EXPECT_LE(snap.Quantile(0.5), 127u);
+  EXPECT_GE(snap.Quantile(0.99), 4096u);
+  EXPECT_LE(snap.Quantile(0.99), 5000u);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Max(), 0u);
+}
+
+TEST_F(ObsTest, SlowOpRingCapturesOrderedAndWraps) {
+  SlowOpRing ring;
+  EXPECT_EQ(ring.threshold_ns(), SlowOpRing::kDefaultThresholdNs);
+  ring.set_threshold_ns(123);
+  EXPECT_EQ(ring.threshold_ns(), 123u);
+  OpContext ctx;
+  ctx.descent_retries = 4;
+  ctx.leaf_splits = 2;
+  ctx.wal_wait_ns = 777;
+  for (uint64_t i = 0; i < 5; ++i) {
+    ring.Push(OpType::kInsert, static_cast<uint32_t>(i), 1000 + i, ctx);
+  }
+  std::vector<SlowOpRecord> records = ring.Snapshot();
+  ASSERT_EQ(records.size(), 5u);
+  for (uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(records[i].ticket, i);
+    EXPECT_EQ(records[i].op, OpType::kInsert);
+    EXPECT_EQ(records[i].shard, static_cast<uint32_t>(i));
+    EXPECT_EQ(records[i].duration_ns, 1000 + i);
+    EXPECT_EQ(records[i].descent_retries, 4u);
+    EXPECT_EQ(records[i].leaf_splits, 2u);
+    EXPECT_EQ(records[i].wal_wait_ns, 777u);
+  }
+  // Overflow: the ring keeps the most recent kCapacity records.
+  for (uint64_t i = 5; i < SlowOpRing::kCapacity + 10; ++i) {
+    ring.Push(OpType::kGet, kShardAll, i, OpContext{});
+  }
+  records = ring.Snapshot();
+  ASSERT_EQ(records.size(), SlowOpRing::kCapacity);
+  EXPECT_EQ(records.front().ticket, 10u);  // 266 pushed, oldest 10 survive..
+  EXPECT_EQ(records.back().ticket, SlowOpRing::kCapacity + 9);
+  EXPECT_EQ(ring.captured(), SlowOpRing::kCapacity + 10);
+  ring.Reset();
+  EXPECT_TRUE(ring.Snapshot().empty());
+  EXPECT_EQ(ring.captured(), 0u);
+}
+
+TEST_F(ObsTest, RegistryPointersAreStableAcrossResetAll) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* c1 = reg.GetCounter("test.stable");
+  Counter* c2 = reg.GetCounter("test.stable");
+  EXPECT_EQ(c1, c2);
+  c1->Add(5);
+  reg.ResetAll();
+  EXPECT_EQ(c1->Load(), 0u);  // same object, zeroed
+  c1->Add(3);
+  EXPECT_EQ(reg.GetCounter("test.stable")->Load(), 3u);
+}
+
+TEST_F(ObsTest, NonZeroMetricCountCountsEveryKind) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  EXPECT_EQ(reg.NonZeroMetricCount(), 0u);
+  reg.GetCounter("test.zero_counter");  // registered but zero: not counted
+  reg.GetCounter("test.nz_counter")->Increment();
+  reg.GetGauge("test.nz_gauge")->Set(-1);
+  reg.GetHistogram("test.nz_hist")->Record(9);
+  EXPECT_EQ(reg.NonZeroMetricCount(), 3u);
+}
+
+TEST_F(ObsTest, SnapshotJsonContainsAllSections) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("test.json_counter")->Add(12);
+  reg.GetGauge("test.json_gauge")->Set(-4);
+  reg.GetHistogram("test.json_hist")->Record(1000);
+  OpContext ctx;
+  ctx.descent_retries = 1;
+  reg.slow_ops().Push(OpType::kRangeScan, kShardAll, 5555, ctx);
+  const std::string json = reg.SnapshotJson();
+  EXPECT_NE(json.find("\"test.json_counter\": 12"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_gauge\": -4"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_hist\": {\"count\": 1"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"op\": \"range_scan\""), std::string::npos);
+  EXPECT_NE(json.find("\"shard\": \"all\""), std::string::npos);
+  EXPECT_NE(json.find("\"duration_ns\": 5555"), std::string::npos);
+}
+
+TEST_F(ObsTest, SnapshotPrometheusSanitizesAndTypes) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("test.prom_counter")->Add(3);
+  reg.GetGauge("test.prom_gauge")->Set(8);
+  reg.GetHistogram("test.prom_hist")->Record(100);
+  const std::string text = reg.SnapshotPrometheus();
+  EXPECT_NE(text.find("# TYPE alex_test_prom_counter counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("alex_test_prom_counter 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE alex_test_prom_gauge gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE alex_test_prom_hist summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("alex_test_prom_hist{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("alex_test_prom_hist_sum 100"), std::string::npos);
+  EXPECT_NE(text.find("alex_test_prom_hist_count 1"), std::string::npos);
+  // Dots in metric names must sanitize to a legal Prometheus name.
+  EXPECT_EQ(text.find("test.prom"), std::string::npos);
+}
+
+#if !defined(ALEX_DISABLE_OBS)
+
+TEST_F(ObsTest, ScopedOpTimerRecordsPerShardLatency) {
+  SetEnabled(true);
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  { ScopedOpTimer timer(OpType::kGet, 3); }
+  EXPECT_EQ(reg.OpLatencySnapshot(OpType::kGet).Count(), 1u);
+  EXPECT_EQ(reg.GetHistogram("op.get.latency_ns.shard_3")->Count(), 1u);
+  // Shard indexes past the tracked cap fold into the "all" slot.
+  { ScopedOpTimer timer(OpType::kGet, MetricsRegistry::kMaxTrackedShards); }
+  { ScopedOpTimer timer(OpType::kGet, kShardAll); }
+  EXPECT_EQ(reg.GetHistogram("op.get.latency_ns.shard_all")->Count(), 2u);
+  EXPECT_EQ(reg.OpLatencySnapshot(OpType::kGet).Count(), 3u);
+}
+
+TEST_F(ObsTest, ScopedOpTimerCapturesSlowOpWithContext) {
+  SetEnabled(true);
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.slow_ops().set_threshold_ns(0);  // every op is "slow"
+  {
+    ScopedOpTimer timer(OpType::kInsert);
+    timer.set_shard(5);
+    // What the inner layers do while the op runs:
+    ALEX_OBS_CTX_ADD(descent_retries, 2);
+    ALEX_OBS_CTX_ADD(leaf_splits, 1);
+    ALEX_OBS_CTX_ADD(wal_wait_ns, 1234);
+  }
+  const std::vector<SlowOpRecord> records = reg.slow_ops().Snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].op, OpType::kInsert);
+  EXPECT_EQ(records[0].shard, 5u);
+  EXPECT_EQ(records[0].descent_retries, 2u);
+  EXPECT_EQ(records[0].leaf_splits, 1u);
+  EXPECT_EQ(records[0].wal_wait_ns, 1234u);
+  // A second op must start from a clean context: the timer resets it.
+  { ScopedOpTimer timer(OpType::kGet, 0); }
+  const std::vector<SlowOpRecord> again = reg.slow_ops().Snapshot();
+  ASSERT_EQ(again.size(), 2u);
+  EXPECT_EQ(again[1].op, OpType::kGet);
+  EXPECT_EQ(again[1].descent_retries, 0u);
+  EXPECT_EQ(again[1].wal_wait_ns, 0u);
+}
+
+TEST_F(ObsTest, FastOpsStayOutOfTheSlowOpRing) {
+  SetEnabled(true);
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  // Default threshold is 10ms; an empty scope is nanoseconds.
+  { ScopedOpTimer timer(OpType::kGet, 0); }
+  EXPECT_EQ(reg.slow_ops().captured(), 0u);
+  EXPECT_EQ(reg.OpLatencySnapshot(OpType::kGet).Count(), 1u);
+}
+
+#endif  // !ALEX_DISABLE_OBS
+
+// With the runtime flag off (or the layer compiled out) every
+// instrumentation site must be inert: nothing registered, nothing
+// recorded, nothing traced.
+TEST_F(ObsTest, DisabledFlagMakesEverySiteInert) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.slow_ops().set_threshold_ns(0);
+  ALEX_OBS_COUNTER_INC("test.disabled_counter");
+  ALEX_OBS_GAUGE_SET("test.disabled_gauge", 9);
+  ALEX_OBS_HIST_RECORD("test.disabled_hist", 9);
+  ALEX_OBS_CTX_ADD(descent_retries, 9);
+  { ScopedOpTimer timer(OpType::kInsert, 1); }
+  EXPECT_EQ(reg.NonZeroMetricCount(), 0u);
+  EXPECT_EQ(reg.slow_ops().captured(), 0u);
+  EXPECT_EQ(reg.OpLatencySnapshot(OpType::kInsert).Count(), 0u);
+}
+
+TEST_F(ObsTest, ScopedLatencyTimerRecordsRegardlessOfFlag) {
+  // Benches opt into this timer explicitly; it does not consult the flag.
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Histogram* h = reg.GetHistogram("test.latency_timer");
+  { ScopedLatencyTimer timer(h); }
+  EXPECT_EQ(h->Count(), 1u);
+  { ScopedLatencyTimer timer(nullptr); }  // nullptr disables cleanly
+  EXPECT_EQ(h->Count(), 1u);
+}
+
+#if !defined(ALEX_DISABLE_OBS)
+
+// Satellite: the in-leaf search kernels count their dispatch decision.
+// Dispatch is decided once per process (CPU feature probe +
+// ALEX_FORCE_SCALAR_SEARCH cached in a function-local static), so every
+// bounded search in this process lands on the same counter — and the two
+// counters together must account for every call.
+TEST_F(ObsTest, SimdDispatchCountersAccountForEverySearch) {
+  SetEnabled(true);
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  std::vector<int64_t> data(256);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<int64_t>(i) * 3;
+  }
+  constexpr uint64_t kSearches = 32;
+  for (uint64_t i = 0; i < kSearches; ++i) {
+    const int64_t key = static_cast<int64_t>(i * 17 % 800);
+    const size_t pos = i % 2 == 0
+                           ? util::BoundedSearchLowerBound(
+                                 data.data(), 0, data.size(), key)
+                           : util::BoundedSearchUpperBound(
+                                 data.data(), 0, data.size(), key);
+    ASSERT_LE(pos, data.size());
+  }
+  const uint64_t vec =
+      reg.GetCounter("simd.bounded_search_vector")->Load();
+  const uint64_t scalar =
+      reg.GetCounter("simd.bounded_search_scalar")->Load();
+  EXPECT_EQ(vec + scalar, kSearches);
+  if (util::SimdSearchEnabled()) {
+    EXPECT_EQ(vec, kSearches);
+    EXPECT_EQ(scalar, 0u);
+  } else {
+    EXPECT_EQ(vec, 0u);
+    EXPECT_EQ(scalar, kSearches);
+  }
+}
+
+#endif  // !ALEX_DISABLE_OBS
+
+TEST_F(ObsTest, ClockConvertsTicks) {
+  EXPECT_EQ(TicksToNs(0), 0u);
+  EXPECT_GT(NsPerTick(), 0.0);
+  const uint64_t t0 = NowTicks();
+  const uint64_t t1 = NowTicks();
+  EXPECT_GE(t1, t0);
+}
+
+}  // namespace
+}  // namespace alex::obs
