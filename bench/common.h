@@ -20,7 +20,10 @@
 // artifacts. `--threads N` sets the worker count for the concurrency
 // benches (overrides ALEX_BENCH_THREADS). `--prom PATH` additionally dumps
 // a Prometheus text-exposition sample of the registry (and turns the
-// runtime obs flag on, since an all-zero scrape is useless).
+// runtime obs flag on, since an all-zero scrape is useless). `--trace PATH`
+// writes the slow-op ring and event journal as a chrome://tracing JSON
+// document; `--health PATH` writes the latest HealthMonitor report (both
+// also force the obs flag on).
 #pragma once
 
 #include <cstdio>
@@ -32,6 +35,9 @@
 
 #include "core/config.h"
 #include "datasets/dataset.h"
+#include "obs/health.h"
+#include "obs/inspect.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "workloads/workload.h"
 
@@ -46,6 +52,9 @@ inline size_t g_threads_flag = 0;
 inline const char* g_csv_path = nullptr;
 inline const char* g_json_path = nullptr;
 inline const char* g_prom_path = nullptr;
+/// Paths from `--trace PATH` / `--health PATH`; null when absent.
+inline const char* g_trace_path = nullptr;
+inline const char* g_health_path = nullptr;
 
 /// Parses the shared bench flags. Call first thing in main(). Unknown
 /// arguments are ignored so binaries can layer their own flags on top.
@@ -62,6 +71,12 @@ inline void ParseBenchArgs(int argc, char** argv) {
       g_json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--prom") == 0 && i + 1 < argc) {
       g_prom_path = argv[++i];
+      obs::SetEnabled(true);
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      g_trace_path = argv[++i];
+      obs::SetEnabled(true);
+    } else if (std::strcmp(argv[i], "--health") == 0 && i + 1 < argc) {
+      g_health_path = argv[++i];
       obs::SetEnabled(true);
     }
   }
@@ -139,6 +154,30 @@ class ResultSink {
     if (g_csv_path != nullptr) WriteCsv(g_csv_path);
     if (g_json_path != nullptr) WriteJson(g_json_path);
     if (g_prom_path != nullptr) WritePrometheus(g_prom_path);
+    if (g_trace_path != nullptr) WriteTrace(g_trace_path);
+    if (g_health_path != nullptr) WriteHealth(g_health_path);
+  }
+
+  /// Dumps the slow-op ring + event journal as chrome://tracing JSON.
+  static void WriteTrace(const char* path) {
+    if (obs::WriteChromeTrace(path)) {
+      std::printf("wrote chrome trace to %s\n", path);
+    } else {
+      std::printf("FAILED to write chrome trace to %s\n", path);
+    }
+  }
+
+  /// Dumps the latest health report (taking a final sample so a bench
+  /// that never started the sampler thread still gets a real verdict).
+  static void WriteHealth(const char* path) {
+    obs::HealthMonitor::Global().SampleNow();
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) return;
+    const std::string report = obs::HealthMonitor::Global().ReportJson();
+    std::fwrite(report.data(), 1, report.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote health report to %s\n", path);
   }
 
   /// Dumps the registry as Prometheus text exposition (0.0.4).
@@ -198,6 +237,14 @@ class ResultSink {
     const std::string metrics =
         obs::MetricsRegistry::Global().SnapshotJson();
     std::fwrite(metrics.data(), 1, metrics.size(), f);
+    // Plus the health verdict and the journal tail, so an artifact is a
+    // self-contained diagnosis: what ran, how it scored, what happened.
+    std::fputs(",\n\"health\": ", f);
+    const std::string health = obs::HealthMonitor::Global().ReportJson();
+    std::fwrite(health.data(), 1, health.size(), f);
+    std::fputs(",\n\"journal\": ", f);
+    const std::string journal = obs::GlobalJournal().SnapshotJson(64);
+    std::fwrite(journal.data(), 1, journal.size(), f);
     std::fputs("\n}\n", f);
     std::fclose(f);
     std::printf("wrote %zu rows to %s\n", rows_.size(), path);

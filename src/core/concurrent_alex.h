@@ -77,6 +77,7 @@
 #include "core/data_node.h"
 #include "core/node.h"
 #include "core/serialization.h"
+#include "obs/inspect.h"
 #include "obs/metrics.h"
 #include "util/epoch.h"
 #include "util/simd_scan.h"
@@ -557,6 +558,30 @@ class ConcurrentAlex {
     return index_.CheckInvariants();
   }
 
+  /// Structural introspection walk (obs/inspect.h): per-leaf fill factor,
+  /// gap density, depth and tracked-model-error distributions, plus the
+  /// sibling-chain length. Safe against concurrent operations: the walk
+  /// runs under an epoch guard, visits each leaf under its shared latch,
+  /// and skips (but counts) leaves a racing split retired mid-walk — so
+  /// the result is read-committed, not a frozen point-in-time image.
+  obs::TreeStructure CollectStructure() const {
+    obs::TreeStructure out;
+    util::EpochManager::Guard guard(*epoch_);
+    CollectNode(index_.root_.load(std::memory_order_seq_cst), 0, &out);
+    // Chain length via the scan path's own pointers: leftmost leaf, then
+    // next-leaf links. Bounded in case a burst of splits grows the chain
+    // under us faster than the subtree count we just took.
+    const DataNodeT* leaf = DescendAcquire(std::numeric_limits<K>::lowest());
+    const uint64_t bound = out.leaf_count + out.retired_seen + 64;
+    uint64_t chain = 0;
+    while (leaf != nullptr && chain < bound) {
+      ++chain;
+      leaf = leaf->next_leaf_acquire();
+    }
+    out.chain_length = chain;
+    return out;
+  }
+
   // ---- Test hooks for the lock-freedom contract ----
 
   /// Exclusively latches the leaf owning `key` and returns the lock. While
@@ -595,6 +620,46 @@ class ConcurrentAlex {
   static void CountDescentRetry() {
     ALEX_OBS_COUNTER_INC("core.descent_retries");
     ALEX_OBS_CTX_ADD(descent_retries, 1);
+  }
+
+  /// Recursive helper for CollectStructure: inner nodes contribute to the
+  /// node counts (merged partitions — consecutive slots sharing one child
+  /// pointer — are visited once); each live leaf contributes its stats
+  /// under its shared latch.
+  void CollectNode(Node* node, uint64_t depth,
+                   obs::TreeStructure* out) const {
+    if (node == nullptr) return;
+    if (node->is_leaf()) {
+      DataNodeT* leaf = static_cast<DataNodeT*>(node);
+      std::shared_lock<std::shared_mutex> latch(leaf->latch());
+      if (leaf->IsRetired()) {
+        ++out->retired_seen;
+        return;
+      }
+      ++out->leaf_count;
+      out->min_depth =
+          out->leaf_count == 1 ? depth : std::min(out->min_depth, depth);
+      out->max_depth = std::max(out->max_depth, depth);
+      out->depth_sum += depth;
+      out->keys += leaf->num_keys();
+      out->capacity += leaf->capacity();
+      const size_t err = leaf->TrackedModelError();
+      if (err == DataNodeT::kNoErrorBound) {
+        ++out->unbounded_leaves;
+      } else {
+        out->model_error.Record(err);
+      }
+      return;
+    }
+    InnerNodeT* inner = static_cast<InnerNodeT*>(node);
+    ++out->inner_count;
+    Node* prev = nullptr;
+    for (size_t i = 0; i < inner->num_children(); ++i) {
+      Node* child = inner->ChildAcquire(i);
+      if (child == prev) continue;  // merged partition: one child, many slots
+      prev = child;
+      CollectNode(child, depth + 1, out);
+    }
   }
 
   /// Folds the occupied slots [slot_lo, slot_hi) of one latched live leaf

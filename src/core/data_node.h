@@ -88,6 +88,15 @@ class DataNode : public Node {
     return SearchErrorBound() != kNoErrorBound;
   }
 
+  /// Raw tracked error (build-time max error + insert drift) regardless of
+  /// the SIMD clamp, or kNoErrorBound for model-less nodes. Introspection
+  /// uses this for the max-error distribution; lookups use
+  /// SearchErrorBound(), which additionally applies the config clamp.
+  size_t TrackedModelError() const {
+    if (!has_model_) return kNoErrorBound;
+    return model_error_ + insert_drift_;
+  }
+
   /// In-leaf search dispatch telemetry: did the model's tracked error
   /// bound hold (bounded branchless window) or did the lookup fall back to
   /// unbounded exponential search?

@@ -53,6 +53,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -135,6 +136,19 @@ inline double NsPerTick() {
 
 inline uint64_t TicksToNs(uint64_t ticks) {
   return static_cast<uint64_t>(static_cast<double>(ticks) * NsPerTick());
+}
+
+/// Reads an unsigned integer environment override, falling back to
+/// `fallback` when the variable is unset or unparseable. Re-read on every
+/// call (no caching) so objects constructed after a setenv — fresh rings
+/// in tests, the health monitor's options — pick the override up.
+inline uint64_t EnvOverrideU64(const char* name, uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw, &end, 10);
+  if (end == raw || (end != nullptr && *end != '\0')) return fallback;
+  return static_cast<uint64_t>(v);
 }
 
 // ---------------------------------------------------------------------------
@@ -353,9 +367,12 @@ inline OpContext& TlsOpContext() {
   return ctx;
 }
 
-/// One captured slow operation.
+/// One captured slow operation. `ts_ns` is the capture (completion) time
+/// on the TicksToNs clock, so slow ops can be placed on the same timeline
+/// as journal events in the Chrome-trace export.
 struct SlowOpRecord {
   uint64_t ticket = 0;  // monotone capture index; higher = more recent
+  uint64_t ts_ns = 0;   // completion timestamp
   OpType op = OpType::kGet;
   uint32_t shard = 0;  // kShardAll for cross-shard ops
   uint64_t duration_ns = 0;
@@ -374,6 +391,12 @@ class SlowOpRing {
   static constexpr size_t kCapacity = 256;  // power of two
   static constexpr uint64_t kDefaultThresholdNs = 10'000'000;  // 10 ms
 
+  /// The construction-time threshold: kDefaultThresholdNs unless the
+  /// ALEX_OBS_SLOW_OP_NS environment variable overrides it.
+  static uint64_t InitialThresholdNs() {
+    return EnvOverrideU64("ALEX_OBS_SLOW_OP_NS", kDefaultThresholdNs);
+  }
+
   void set_threshold_ns(uint64_t ns) {
     threshold_ns_.store(ns, std::memory_order_relaxed);
   }
@@ -390,6 +413,7 @@ class SlowOpRing {
     const uint64_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
     Slot& s = slots_[ticket & (kCapacity - 1)];
     s.seq.store(2 * ticket + 1, std::memory_order_release);
+    s.ts_ns.store(TicksToNs(NowTicks()), std::memory_order_relaxed);
     s.op.store(static_cast<uint64_t>(op), std::memory_order_relaxed);
     s.shard.store(shard, std::memory_order_relaxed);
     s.duration_ns.store(duration_ns, std::memory_order_relaxed);
@@ -408,6 +432,7 @@ class SlowOpRing {
       if (seq == 0 || (seq & 1) != 0) continue;  // empty or being written
       SlowOpRecord rec;
       rec.ticket = seq / 2 - 1;
+      rec.ts_ns = s.ts_ns.load(std::memory_order_relaxed);
       rec.op = static_cast<OpType>(s.op.load(std::memory_order_relaxed));
       rec.shard =
           static_cast<uint32_t>(s.shard.load(std::memory_order_relaxed));
@@ -436,6 +461,7 @@ class SlowOpRing {
  private:
   struct Slot {
     std::atomic<uint64_t> seq{0};
+    std::atomic<uint64_t> ts_ns{0};
     std::atomic<uint64_t> op{0};
     std::atomic<uint64_t> shard{0};
     std::atomic<uint64_t> duration_ns{0};
@@ -445,7 +471,7 @@ class SlowOpRing {
   };
 
   std::atomic<uint64_t> next_{0};
-  std::atomic<uint64_t> threshold_ns_{kDefaultThresholdNs};
+  std::atomic<uint64_t> threshold_ns_{InitialThresholdNs()};
   std::array<Slot, kCapacity> slots_{};
 };
 
@@ -522,6 +548,22 @@ class MetricsRegistry {
   SlowOpRing& slow_ops() { return slow_ops_; }
   const SlowOpRing& slow_ops() const { return slow_ops_; }
 
+  /// Total operations recorded against one per-shard latency slot, summed
+  /// across op types. Cheap relative to a full snapshot: only slots some
+  /// operation has actually touched have a histogram to fold, so in a
+  /// 4-shard run this reads 4-5 histograms per op type, not 33. The health
+  /// sampler uses this for per-shard traffic-skew deltas.
+  uint64_t OpCountForShardSlot(size_t slot_idx) const {
+    if (slot_idx > kMaxTrackedShards) return 0;
+    uint64_t total = 0;
+    for (size_t op = 0; op < kNumOpTypes; ++op) {
+      const Histogram* h =
+          op_latency_[op][slot_idx].load(std::memory_order_acquire);
+      if (h != nullptr) total += h->Count();
+    }
+    return total;
+  }
+
   /// Metrics whose value is currently nonzero (counters > 0, gauges != 0,
   /// histograms with at least one sample).
   size_t NonZeroMetricCount() const {
@@ -572,7 +614,8 @@ class MetricsRegistry {
       out += "\", \"shard\": ";
       out += rec.shard == kShardAll ? std::string("\"all\"")
                                     : std::to_string(rec.shard);
-      out += ", \"duration_ns\": " + std::to_string(rec.duration_ns) +
+      out += ", \"ts_ns\": " + std::to_string(rec.ts_ns) +
+             ", \"duration_ns\": " + std::to_string(rec.duration_ns) +
              ", \"descent_retries\": " + std::to_string(rec.descent_retries) +
              ", \"leaf_splits\": " + std::to_string(rec.leaf_splits) +
              ", \"wal_wait_ns\": " + std::to_string(rec.wal_wait_ns) + "}";
@@ -581,26 +624,80 @@ class MetricsRegistry {
     return out;
   }
 
+  /// Human-readable help text for a metric family, keyed by the internal
+  /// (pre-sanitization) name. Known families get specific text; everything
+  /// else gets a generic line so every exposition family still carries a
+  /// # HELP entry.
+  static std::string MetricHelp(const std::string& name) {
+    static const std::map<std::string, const char*> kCatalog = {
+        {"epoch.retired", "Nodes retired into epoch-based reclamation"},
+        {"epoch.freed", "Retired nodes actually freed by reclamation"},
+        {"epoch.advances", "Successful global epoch advances"},
+        {"epoch.advance_stalls",
+         "Reclamation attempts that found a pinned older epoch"},
+        {"epoch.retired_unreclaimed",
+         "Nodes retired but not yet freed (reclamation backlog)"},
+        {"epoch.global_epoch", "Current global reclamation epoch"},
+        {"wal.fsyncs", "WAL fsync/fdatasync calls issued"},
+        {"wal.bytes_written", "Bytes appended to WAL segments"},
+        {"wal.commit_batches", "WAL group-commit batches flushed"},
+        {"wal.records_logged", "Records appended to the WAL"},
+        {"wal.commit_wait_ns",
+         "Time a committing thread waited inside WAL group commit"},
+        {"wal.commit_batch_bytes", "Bytes flushed per WAL commit batch"},
+        {"wal.commit_batch_records", "Records flushed per WAL commit batch"},
+        {"shard.write_gate_contended",
+         "Write-gate acquisitions that found the gate held"},
+        {"shard.write_gate_wait_ns",
+         "Wait time for contended write-gate acquisitions"},
+        {"shard.router_model_hits",
+         "Routed lookups answered by the router's learned model"},
+        {"shard.router_fallbacks",
+         "Routed lookups that fell back to boundary binary search"},
+        {"shard.router_refits", "Router model refits from key distribution"},
+        {"shard.topology_splits", "Committed shard split transactions"},
+        {"shard.topology_merges", "Committed shard merge transactions"},
+        {"shard.topology_rebalances",
+         "Committed shard rebalance transactions"},
+        {"shard.size_skew_x100",
+         "Largest shard size over mean shard size, times 100"},
+        {"core.leaf_latch_contended",
+         "Leaf latch acquisitions that found the latch held"},
+        {"core.leaf_latch_wait_ns",
+         "Wait time for contended leaf latch acquisitions"},
+        {"health.transitions", "Health detector state transitions"},
+    };
+    const auto it = kCatalog.find(name);
+    if (it != kCatalog.end()) return it->second;
+    if (name.rfind("op.", 0) == 0 && name.find(".latency_ns.") != std::string::npos) {
+      return "Per-operation latency (" + name + ")";
+    }
+    return "Metric " + name;
+  }
+
   /// Prometheus text exposition format, version 0.0.4. Counters and gauges
   /// as their own types; histograms as summaries (quantile labels + _sum +
-  /// _count). Metric names are prefixed "alex_" and sanitized to
-  /// [a-zA-Z0-9_].
+  /// _count). Every family carries # HELP and # TYPE metadata. Metric
+  /// names are prefixed "alex_" and sanitized to [a-zA-Z0-9_].
   std::string SnapshotPrometheus() const {
     std::lock_guard<std::mutex> lock(mu_);
     std::string out;
     for (const auto& [name, c] : counters_) {
       const std::string prom = PrometheusName(name);
+      out += "# HELP " + prom + " " + MetricHelp(name) + "\n";
       out += "# TYPE " + prom + " counter\n";
       out += prom + " " + std::to_string(c->Load()) + "\n";
     }
     for (const auto& [name, g] : gauges_) {
       const std::string prom = PrometheusName(name);
+      out += "# HELP " + prom + " " + MetricHelp(name) + "\n";
       out += "# TYPE " + prom + " gauge\n";
       out += prom + " " + std::to_string(g->Load()) + "\n";
     }
     for (const auto& [name, h] : histograms_) {
       const std::string prom = PrometheusName(name);
       const util::Log2Histogram snap = h->Snapshot();
+      out += "# HELP " + prom + " " + MetricHelp(name) + "\n";
       out += "# TYPE " + prom + " summary\n";
       out += prom + "{quantile=\"0.5\"} " +
              std::to_string(snap.Quantile(0.50)) + "\n";

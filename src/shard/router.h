@@ -56,6 +56,7 @@ class ShardRouter {
     for (size_t i = 0; i < n; i += stride) sample.push_back(keys[i]);
     router.model_ =
         model::TrainCdfModel(sample.data(), sample.size(), num_shards);
+    ALEX_OBS_COUNTER_INC("shard.router_refits");
     return router;
   }
 
@@ -96,6 +97,7 @@ class ShardRouter {
       builder.Add(static_cast<double>(boundaries[i]),
                   static_cast<double>(i + 1));
     }
+    ALEX_OBS_COUNTER_INC("shard.router_refits");
     return ShardRouter(std::move(boundaries), builder.Build());
   }
 

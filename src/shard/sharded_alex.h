@@ -136,6 +136,8 @@
 #include "core/concurrent_alex.h"
 #include "core/config.h"
 #include "core/serialization.h"
+#include "obs/inspect.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "shard/manifest.h"
 #include "shard/router.h"
@@ -235,6 +237,8 @@ class ShardedAlex {
       wal_enabled_ = false;
       last_wal_error_.store(wal::WalStatus::kIoError,
                             std::memory_order_relaxed);
+      ALEX_OBS_EVENT(obs::EventType::kWalError, obs::kShardAll, 0, 0,
+                     static_cast<int>(wal::WalStatus::kIoError), 0);
     }
     Table* old = table_.exchange(next, std::memory_order_seq_cst);
     util::EpochManager::Guard guard(epoch_);
@@ -253,6 +257,8 @@ class ShardedAlex {
     }
     epoch_.Retire(old);
     epoch_.TryReclaim();
+    ALEX_OBS_EVENT(obs::EventType::kBulkLoad, obs::kShardAll, 0, 0, n,
+                   shards);
     if (wal_enabled_ &&
         SaveToLocked(wal_prefix_) != core::SnapshotStatus::kOk) {
       // The bulk-loaded baseline now exists in no snapshot and no log;
@@ -263,6 +269,8 @@ class ShardedAlex {
       wal_enabled_ = false;
       last_wal_error_.store(wal::WalStatus::kCheckpointFailed,
                             std::memory_order_relaxed);
+      ALEX_OBS_EVENT(obs::EventType::kWalError, obs::kShardAll, 0, 0,
+                     static_cast<int>(wal::WalStatus::kCheckpointFailed), 0);
     }
   }
 
@@ -904,6 +912,7 @@ class ShardedAlex {
 
     std::unique_ptr<Table> next;
     uint64_t floor_wal_id = manifest.next_wal_id;
+    [[maybe_unused]] uint64_t journal_replayed = 0;  // kRecovery event
     if (segments.empty()) {
       // Pure snapshot load: rebuild the saved table exactly (same
       // shards, boundaries, and router model).
@@ -940,6 +949,7 @@ class ShardedAlex {
         return core::SnapshotStatus::kWalReplayFailed;
       }
       floor_wal_id = std::max(floor_wal_id, rep->max_wal_id + 1);
+      journal_replayed = rep->records_replayed;
 
       std::vector<K> keys;
       std::vector<P> payloads;
@@ -976,6 +986,7 @@ class ShardedAlex {
           &next);
       if (status != core::SnapshotStatus::kOk) return status;
       floor_wal_id = std::max(floor_wal_id, rep->max_wal_id + 1);
+      journal_replayed = rep->records_replayed;
     }
 
     if (have_manifest) {
@@ -989,6 +1000,7 @@ class ShardedAlex {
     // gates must drop before the retire loop re-takes them.
     wal_enabled_ = false;
     quiesce.clear();
+    [[maybe_unused]] const size_t recovered_shards = next->shards.size();
     Table* old = table_.exchange(next.release(),
                                  std::memory_order_seq_cst);
     util::EpochManager::Guard guard(epoch_);
@@ -1002,6 +1014,8 @@ class ShardedAlex {
     }
     epoch_.Retire(old);
     epoch_.TryReclaim();
+    ALEX_OBS_EVENT(obs::EventType::kRecovery, obs::kShardAll, 0, 0,
+                   journal_replayed, recovered_shards);
     return core::SnapshotStatus::kOk;
   }
 
@@ -1036,14 +1050,23 @@ class ShardedAlex {
     wal_options_ = options;
     if (!AttachFreshLogs(&table->shards, /*parents=*/{})) {
       DetachLogs(table);
+      ALEX_OBS_EVENT(obs::EventType::kWalError, obs::kShardAll, 0, 0,
+                     static_cast<int>(wal::WalStatus::kIoError), 0);
       return wal::WalStatus::kIoError;
     }
     wal_enabled_ = true;
     if (SaveToLocked(prefix) != core::SnapshotStatus::kOk) {
       DetachLogs(table);
       wal_enabled_ = false;
+      ALEX_OBS_EVENT(obs::EventType::kWalError, obs::kShardAll, 0, 0,
+                     static_cast<int>(wal::WalStatus::kCheckpointFailed), 0);
       return wal::WalStatus::kCheckpointFailed;
     }
+    ALEX_OBS_EVENT(obs::EventType::kWalEnabled, obs::kShardAll,
+                   table->shards.empty() || table->shards[0]->log == nullptr
+                       ? 0
+                       : table->shards[0]->log->wal_id(),
+                   0, table->shards.size(), 0);
     return wal::WalStatus::kOk;
   }
 
@@ -1100,6 +1123,28 @@ class ShardedAlex {
       total += scanned;
     }
     return total == size();
+  }
+
+  /// Structural introspection (obs/inspect.h): per-shard tree shape —
+  /// depth, leaf count, fill factor, gap density, tracked-model-error
+  /// distribution, chain length — plus the merged totals, stamped with
+  /// the topology epoch the walk observed. Safe against concurrent
+  /// operations (epoch-guarded, per-leaf shared latches); the result is
+  /// read-committed per leaf, like a scan.
+  obs::StructureReport Inspect() const {
+    obs::StructureReport report;
+    util::EpochManager::Guard guard(epoch_);
+    Table* table = table_.load(std::memory_order_seq_cst);
+    report.topology_epoch = topology_epoch_.load(std::memory_order_relaxed);
+    report.shards.reserve(table->shards.size());
+    for (size_t i = 0; i < table->shards.size(); ++i) {
+      obs::ShardStructure s;
+      s.shard = static_cast<uint32_t>(i);
+      s.tree = table->shards[i]->index.CollectStructure();
+      report.total.Merge(s.tree);
+      report.shards.push_back(std::move(s));
+    }
+    return report;
   }
 
  private:
@@ -1159,6 +1204,9 @@ class ShardedAlex {
     wal::WalStatus expected = wal::WalStatus::kOk;
     last_wal_error_.compare_exchange_strong(expected, status,
                                             std::memory_order_relaxed);
+    ALEX_OBS_EVENT(obs::EventType::kWalError, obs::kShardAll,
+                   shard->log->wal_id(), shard->log->last_lsn(),
+                   static_cast<int>(status), 0);
     return false;
   }
 
@@ -1174,6 +1222,9 @@ class ShardedAlex {
     wal::WalStatus expected = wal::WalStatus::kOk;
     last_wal_error_.compare_exchange_strong(expected, status,
                                             std::memory_order_relaxed);
+    ALEX_OBS_EVENT(obs::EventType::kWalError, obs::kShardAll,
+                   shard->log->wal_id(), shard->log->last_lsn(),
+                   static_cast<int>(status), 0);
     return false;
   }
 
@@ -1484,6 +1535,16 @@ class ShardedAlex {
       wal::SplitPrefixPath(prefix, &dir, &base);
       if (!wal::SyncPath(dir)) return core::SnapshotStatus::kIoError;
     }
+    {
+      // Committed: journal the checkpoint with the highest LSN any shard
+      // anchored (the point recovery replays from).
+      uint64_t max_lsn = 0;
+      for (const uint64_t lsn : manifest.checkpoint_lsns) {
+        max_lsn = std::max(max_lsn, lsn);
+      }
+      ALEX_OBS_EVENT(obs::EventType::kCheckpoint, obs::kShardAll, 0, max_lsn,
+                     manifest.generation, table->shards.size());
+    }
     // Post-commit, best-effort cleanup: the superseded generation's
     // shard files, any strays from crashed saves (other generations, or
     // same-generation indexes past the shard count), and — after a
@@ -1626,8 +1687,24 @@ class ShardedAlex {
     if (!over_absolute && !tick) {
       return;
     }
-    if (!ShouldSplit(shard_keys, TotalKeys(table),
-                     table->shards.size())) {
+    // The tick path reads every shard's size anyway; fold the pass into
+    // one loop and publish the size-skew gauge (largest/mean x100, the
+    // same shape ShouldSplit tests) for the health watchdog.
+    size_t total = 0;
+    size_t largest = 0;
+    for (const auto& s : table->shards) {
+      const size_t keys = s->index.size();
+      total += keys;
+      largest = std::max(largest, keys);
+    }
+    if (tick && total > 0) {
+      [[maybe_unused]] const double mean =
+          static_cast<double>(total) /
+          static_cast<double>(table->shards.size());
+      ALEX_OBS_GAUGE_SET("shard.size_skew_x100",
+                         100.0 * static_cast<double>(largest) / mean);
+    }
+    if (!ShouldSplit(shard_keys, total, table->shards.size())) {
       return;
     }
     std::unique_lock<std::mutex> rebalance(rebalance_mutex_,
@@ -1827,13 +1904,25 @@ class ShardedAlex {
       case TopologyOp::kSplit:
         rebalances_.fetch_add(1, std::memory_order_relaxed);
         ALEX_OBS_COUNTER_INC("shard.topology_splits");
+        ALEX_OBS_EVENT(obs::EventType::kTopologySplit, lo,
+                       parent_ids.empty() ? 0 : parent_ids[0],
+                       drained_lsns.empty() ? 0 : drained_lsns[0], hi - lo,
+                       ways);
         break;
       case TopologyOp::kMerge:
         merges_.fetch_add(1, std::memory_order_relaxed);
         ALEX_OBS_COUNTER_INC("shard.topology_merges");
+        ALEX_OBS_EVENT(obs::EventType::kTopologyMerge, lo,
+                       parent_ids.empty() ? 0 : parent_ids[0],
+                       drained_lsns.empty() ? 0 : drained_lsns[0], hi - lo,
+                       ways);
         break;
       case TopologyOp::kRebalance:
         ALEX_OBS_COUNTER_INC("shard.topology_rebalances");
+        ALEX_OBS_EVENT(obs::EventType::kTopologyRebalance, lo,
+                       parent_ids.empty() ? 0 : parent_ids[0],
+                       drained_lsns.empty() ? 0 : drained_lsns[0], hi - lo,
+                       ways);
         break;
     }
     topology_epoch_.fetch_add(1, std::memory_order_relaxed);

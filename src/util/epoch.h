@@ -163,6 +163,7 @@ class EpochManager {
                                             std::memory_order_seq_cst);
       epoch += 1;
       ALEX_OBS_COUNTER_INC("epoch.advances");
+      ALEX_OBS_GAUGE_SET("epoch.global_epoch", static_cast<int64_t>(epoch));
     } else {
       ALEX_OBS_COUNTER_INC("epoch.advance_stalls");
     }

@@ -55,6 +55,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "util/histogram.h"
 #include "wal/wal_format.h"
@@ -191,6 +192,8 @@ class ShardLog {
     arena_records_ += 1;
     if (!FlushArenaLocked(/*sync=*/true)) {
       io_error_ = true;
+      ALEX_OBS_EVENT(obs::EventType::kWalError, obs::kShardAll, wal_id_, lsn,
+                     static_cast<int64_t>(WalStatus::kIoError), 0);
       return WalStatus::kIoError;
     }
     return WalStatus::kOk;
@@ -215,6 +218,8 @@ class ShardLog {
     arena_records_ += 1;
     if (!FlushArenaLocked(/*sync=*/true)) {
       io_error_ = true;
+      ALEX_OBS_EVENT(obs::EventType::kWalError, obs::kShardAll, wal_id_, lsn,
+                     static_cast<int64_t>(WalStatus::kIoError), 0);
       return WalStatus::kIoError;
     }
     ::close(fd_);
@@ -239,6 +244,8 @@ class ShardLog {
     if (io_error_) return WalStatus::kIoError;
     if (!FlushArenaLocked(/*sync=*/false)) {
       io_error_ = true;
+      ALEX_OBS_EVENT(obs::EventType::kWalError, obs::kShardAll, wal_id_,
+                     last_lsn_, static_cast<int64_t>(WalStatus::kIoError), 0);
       return WalStatus::kIoError;
     }
     const int old_fd = fd_;
@@ -379,6 +386,8 @@ class ShardLog {
       flush_in_flight_ = false;
       if (!ok) {
         io_error_ = true;  // sticky, like any committer's failed sync
+        ALEX_OBS_EVENT(obs::EventType::kWalError, obs::kShardAll, wal_id_,
+                       target, static_cast<int64_t>(WalStatus::kIoError), 0);
       } else {
         if (target > durable_lsn_) durable_lsn_ = target;
         last_sync_ = std::chrono::steady_clock::now();
@@ -438,6 +447,9 @@ class ShardLog {
       flush_in_flight_ = false;
       if (!ok) {
         io_error_ = true;
+        ALEX_OBS_EVENT(obs::EventType::kWalError, obs::kShardAll, wal_id_,
+                       batch_lsn, static_cast<int64_t>(WalStatus::kIoError),
+                       0);
         cv_.notify_all();
         return WalStatus::kIoError;
       }

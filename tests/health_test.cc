@@ -1,0 +1,530 @@
+// Tests for the health watchdog (src/obs/health.h): the SampleRing
+// seqlock, env-var and runtime configuration, every detector driven
+// across its kOk -> kWarn -> kCritical -> kOk edges by synthetic sample
+// injection (with exactly one journal transition event per edge), the two
+// acceptance scenarios — a forced real epoch-reclamation stall and a
+// forced real WAL commit-wait regression, each detected with the
+// offending metric named — plus structural introspection (Inspect) and
+// the Chrome-trace exporter.
+//
+// The TSan target is SamplerVsConcurrentMutators: the sampler thread
+// collects and evaluates while writer threads mutate a ShardedAlex
+// through splits and readers pull reports, ring snapshots and structure
+// walks the whole time.
+#include "obs/health.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/inspect.h"
+#include "obs/journal.h"
+#include "shard/sharded_alex.h"
+#include "util/epoch.h"
+
+namespace alex {
+namespace {
+
+using obs::EventType;
+using obs::GlobalJournal;
+using obs::HealthDetector;
+using obs::HealthLevel;
+using obs::HealthMonitor;
+using obs::HealthOptions;
+using obs::HealthReport;
+using obs::JournalEvent;
+using obs::SampledMetrics;
+using obs::SampleRing;
+using Sharded = shard::ShardedAlex<int64_t, int64_t>;
+
+class HealthTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::SetEnabled(false);
+    obs::MetricsRegistry::Global().ResetAll();
+    obs::MetricsRegistry::Global().slow_ops().set_threshold_ns(
+        obs::SlowOpRing::kDefaultThresholdNs);
+    GlobalJournal().Reset();
+    monitor_ = std::make_unique<HealthMonitor>(HealthOptions{});
+    next_ts_ns_ = 1'000'000'000;
+    cursor_ = SampledMetrics{};
+  }
+  void TearDown() override {
+    monitor_->Stop();
+    obs::SetEnabled(false);
+    obs::MetricsRegistry::Global().slow_ops().set_threshold_ns(
+        obs::SlowOpRing::kDefaultThresholdNs);
+    GlobalJournal().Reset();
+  }
+
+  /// Injects the running cumulative sample with the next timestamp; tests
+  /// mutate `cursor_` between calls (counters must only grow).
+  void Inject() {
+    cursor_.ts_ns = next_ts_ns_;
+    next_ts_ns_ += 1'000'000'000;  // 1s windows
+    monitor_->EvaluateSample(cursor_);
+  }
+
+  HealthLevel LevelOf(HealthDetector d) const {
+    return monitor_->Report().verdicts[static_cast<size_t>(d)].level;
+  }
+
+  /// The packed (old*256+new) edges journaled for detector `d`, in order.
+  std::vector<int64_t> EdgesFor(HealthDetector d) const {
+    std::vector<int64_t> edges;
+    for (const JournalEvent& e : GlobalJournal().Snapshot()) {
+      if (e.type == EventType::kHealthTransition &&
+          e.a == static_cast<int64_t>(d)) {
+        edges.push_back(e.b);
+      }
+    }
+    return edges;
+  }
+
+  /// Asserts the canonical Ok->Warn->Critical->Ok edge sequence.
+  void ExpectCanonicalEdges(HealthDetector d) {
+    const std::vector<int64_t> edges = EdgesFor(d);
+    ASSERT_EQ(edges.size(), 3u) << "detector " << obs::DetectorName(d);
+    EXPECT_EQ(edges[0], 0 * 256 + 1);  // ok -> warn
+    EXPECT_EQ(edges[1], 1 * 256 + 2);  // warn -> critical
+    EXPECT_EQ(edges[2], 2 * 256 + 0);  // critical -> ok
+  }
+
+  std::unique_ptr<HealthMonitor> monitor_;
+  SampledMetrics cursor_{};
+  uint64_t next_ts_ns_ = 0;
+};
+
+#if !defined(ALEX_DISABLE_OBS)
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+#endif
+
+// ---------------------------------------------------------------------------
+// SampleRing.
+
+TEST_F(HealthTest, SampleRingRoundTripsAndKeepsNewestAcrossWrap) {
+  SampleRing ring;
+  constexpr uint64_t kPushes = SampleRing::kCapacity + 36;
+  for (uint64_t i = 0; i < kPushes; ++i) {
+    SampledMetrics s;
+    s.ts_ns = i + 1;
+    s.total_ops = i * 10;
+    ring.Push(s);
+  }
+  EXPECT_EQ(ring.pushed(), kPushes);
+  const std::vector<SampledMetrics> got = ring.Snapshot();
+  ASSERT_EQ(got.size(), SampleRing::kCapacity);
+  for (size_t i = 0; i < got.size(); ++i) {
+    const uint64_t expected = kPushes - SampleRing::kCapacity + i;
+    EXPECT_EQ(got[i].ts_ns, expected + 1);
+    EXPECT_EQ(got[i].total_ops, expected * 10);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration: env overrides and runtime setters.
+
+TEST_F(HealthTest, SampleIntervalEnvOverrideIsPickedUpByFreshOptions) {
+  ASSERT_EQ(::setenv("ALEX_OBS_SAMPLE_MS", "7", 1), 0);
+  EXPECT_EQ(HealthOptions::FromEnv().sample_interval_ms, 7u);
+  ASSERT_EQ(::setenv("ALEX_OBS_SAMPLE_MS", "0", 1), 0);  // clamped to 1
+  EXPECT_EQ(HealthOptions::FromEnv().sample_interval_ms, 1u);
+  ASSERT_EQ(::setenv("ALEX_OBS_SAMPLE_MS", "junk", 1), 0);  // ignored
+  EXPECT_EQ(HealthOptions::FromEnv().sample_interval_ms, 100u);
+  ASSERT_EQ(::unsetenv("ALEX_OBS_SAMPLE_MS"), 0);
+  EXPECT_EQ(HealthOptions::FromEnv().sample_interval_ms, 100u);
+}
+
+TEST_F(HealthTest, IntervalIsRuntimeAdjustableAndClamped) {
+  monitor_->SetIntervalMs(5);
+  EXPECT_EQ(monitor_->interval_ms(), 5u);
+  monitor_->SetIntervalMs(0);
+  EXPECT_EQ(monitor_->interval_ms(), 1u);  // floor: the cv needs a period
+  HealthOptions options;
+  options.sample_interval_ms = 42;
+  monitor_->set_options(options);
+  EXPECT_EQ(monitor_->interval_ms(), 42u);
+}
+
+// ---------------------------------------------------------------------------
+// Detector edges by synthetic injection. Every test drives one rule
+// kOk -> kWarn -> kCritical -> kOk and checks the journal recorded exactly
+// one transition event per edge.
+
+TEST_F(HealthTest, FirstSampleIsAllOkWithDetectorIdentitiesFilled) {
+  Inject();
+  const HealthReport report = monitor_->Report();
+  EXPECT_EQ(report.level, HealthLevel::kOk);
+  EXPECT_EQ(report.samples, 1u);
+  for (size_t i = 0; i < obs::kNumHealthDetectors; ++i) {
+    EXPECT_EQ(report.verdicts[i].detector, static_cast<HealthDetector>(i));
+    EXPECT_STRNE(report.verdicts[i].metric, "");
+  }
+  EXPECT_TRUE(EdgesFor(HealthDetector::kEpochStall).empty());
+  EXPECT_EQ(monitor_->ring().pushed(), 1u);
+}
+
+TEST_F(HealthTest, EpochStallEdges) {
+  Inject();  // baseline
+  cursor_.epoch_advance_stalls += 4;  // stalls, no advances, backlog
+  cursor_.epoch_retired_unreclaimed = 10;
+  Inject();
+  EXPECT_EQ(LevelOf(HealthDetector::kEpochStall), HealthLevel::kWarn);
+  cursor_.epoch_advance_stalls += 16;
+  Inject();
+  EXPECT_EQ(LevelOf(HealthDetector::kEpochStall), HealthLevel::kCritical);
+  EXPECT_EQ(monitor_->Report().level, HealthLevel::kCritical);
+  cursor_.epoch_advances += 1;  // reclamation moved: healthy again
+  cursor_.epoch_advance_stalls += 20;
+  Inject();
+  EXPECT_EQ(LevelOf(HealthDetector::kEpochStall), HealthLevel::kOk);
+  ExpectCanonicalEdges(HealthDetector::kEpochStall);
+  // A steady window adds no further transition events.
+  Inject();
+  EXPECT_EQ(EdgesFor(HealthDetector::kEpochStall).size(), 3u);
+}
+
+TEST_F(HealthTest, RetiredGrowthEdges) {
+  Inject();
+  cursor_.epoch_retired_unreclaimed = 4096;
+  Inject();
+  EXPECT_EQ(LevelOf(HealthDetector::kRetiredGrowth), HealthLevel::kWarn);
+  cursor_.epoch_retired_unreclaimed = 65536;
+  Inject();
+  EXPECT_EQ(LevelOf(HealthDetector::kRetiredGrowth), HealthLevel::kCritical);
+  cursor_.epoch_retired_unreclaimed = 0;
+  Inject();
+  EXPECT_EQ(LevelOf(HealthDetector::kRetiredGrowth), HealthLevel::kOk);
+  ExpectCanonicalEdges(HealthDetector::kRetiredGrowth);
+}
+
+TEST_F(HealthTest, WalCommitWaitEdgesAgainstEwmaBaseline) {
+  // Windows are staged through a real cumulative histogram so the bucket
+  // vectors match what Collect() would have seen.
+  util::Log2Histogram cum;
+  auto stage = [&](uint64_t value_ns, int count) {
+    for (int i = 0; i < count; ++i) cum.Record(value_ns);
+  };
+  auto publish = [&] {
+    cursor_.wal_commit_count = cum.Count();
+    cursor_.wal_commit_sum_ns = cum.Sum();
+    cursor_.wal_commit_max_ns = cum.Max();
+    for (int b = 0; b < util::Log2Histogram::kNumBuckets; ++b) {
+      cursor_.wal_commit_buckets[b] = cum.count(b);
+    }
+    Inject();
+  };
+  Inject();                      // baseline sample
+  stage(1'000'000, 32);          // ~1ms window seeds the EWMA baseline
+  publish();
+  EXPECT_EQ(LevelOf(HealthDetector::kWalCommitWait), HealthLevel::kOk);
+  stage(1'000'000, 32);          // steady window: still Ok
+  publish();
+  EXPECT_EQ(LevelOf(HealthDetector::kWalCommitWait), HealthLevel::kOk);
+  stage(8'000'000, 32);          // ~8x the baseline: warn (>= 4x)
+  publish();
+  EXPECT_EQ(LevelOf(HealthDetector::kWalCommitWait), HealthLevel::kWarn);
+  stage(100'000'000, 32);        // ~100x: critical (>= 16x)
+  publish();
+  EXPECT_EQ(LevelOf(HealthDetector::kWalCommitWait), HealthLevel::kCritical);
+  stage(1'000'000, 32);          // recovery window
+  publish();
+  EXPECT_EQ(LevelOf(HealthDetector::kWalCommitWait), HealthLevel::kOk);
+  ExpectCanonicalEdges(HealthDetector::kWalCommitWait);
+  EXPECT_STREQ(monitor_->Report()
+                   .verdicts[static_cast<size_t>(HealthDetector::kWalCommitWait)]
+                   .metric,
+               "wal.commit_wait_ns");
+}
+
+TEST_F(HealthTest, WriteGateWaitEdges) {
+  Inject();
+  auto window = [&](uint64_t mean_ns) {
+    cursor_.gate_contended += 8;
+    cursor_.gate_wait_count += 8;
+    cursor_.gate_wait_sum_ns += 8 * mean_ns;
+    Inject();
+  };
+  window(2'000'000);  // 2ms mean contended wait
+  EXPECT_EQ(LevelOf(HealthDetector::kWriteGateWait), HealthLevel::kWarn);
+  window(20'000'000);  // 20ms
+  EXPECT_EQ(LevelOf(HealthDetector::kWriteGateWait), HealthLevel::kCritical);
+  window(1'000);  // healthy again
+  EXPECT_EQ(LevelOf(HealthDetector::kWriteGateWait), HealthLevel::kOk);
+  ExpectCanonicalEdges(HealthDetector::kWriteGateWait);
+}
+
+TEST_F(HealthTest, RouterFallbackEdges) {
+  Inject();
+  auto window = [&](uint64_t hits, uint64_t fallbacks) {
+    cursor_.router_hits += hits;
+    cursor_.router_fallbacks += fallbacks;
+    Inject();
+  };
+  window(70, 30);  // 30% fallback
+  EXPECT_EQ(LevelOf(HealthDetector::kRouterFallback), HealthLevel::kWarn);
+  window(10, 90);  // 90%
+  EXPECT_EQ(LevelOf(HealthDetector::kRouterFallback), HealthLevel::kCritical);
+  window(100, 0);
+  EXPECT_EQ(LevelOf(HealthDetector::kRouterFallback), HealthLevel::kOk);
+  ExpectCanonicalEdges(HealthDetector::kRouterFallback);
+  // Below the minimum route count the rule never judges.
+  cursor_.router_fallbacks += 10;  // 10 routes, all fallbacks
+  Inject();
+  EXPECT_EQ(LevelOf(HealthDetector::kRouterFallback), HealthLevel::kOk);
+}
+
+TEST_F(HealthTest, ShardSizeSkewEdges) {
+  Inject();
+  cursor_.size_skew_x100 = 500;  // largest shard 5x the mean
+  Inject();
+  EXPECT_EQ(LevelOf(HealthDetector::kShardSkew), HealthLevel::kWarn);
+  cursor_.size_skew_x100 = 2000;
+  Inject();
+  EXPECT_EQ(LevelOf(HealthDetector::kShardSkew), HealthLevel::kCritical);
+  cursor_.size_skew_x100 = 110;
+  Inject();
+  EXPECT_EQ(LevelOf(HealthDetector::kShardSkew), HealthLevel::kOk);
+  ExpectCanonicalEdges(HealthDetector::kShardSkew);
+}
+
+TEST_F(HealthTest, ShardTrafficSkewNamesItsOwnMetric) {
+  Inject();
+  // One hot shard among eight active: max/mean = 4000/508.75 ~ 7.9x.
+  cursor_.shard_ops[0] += 4000;
+  for (size_t slot = 1; slot < 8; ++slot) cursor_.shard_ops[slot] += 10;
+  cursor_.total_ops += 4070;
+  cursor_.size_skew_x100 = 100;  // sizes balanced; traffic is the problem
+  Inject();
+  const obs::HealthVerdict v =
+      monitor_->Report().verdicts[static_cast<size_t>(HealthDetector::kShardSkew)];
+  EXPECT_EQ(v.level, HealthLevel::kWarn);
+  EXPECT_STREQ(v.metric, "op.shard_traffic_skew_x100");
+}
+
+TEST_F(HealthTest, SlowOpBurstEdges) {
+  Inject();
+  cursor_.slow_ops_captured += 20;
+  Inject();
+  EXPECT_EQ(LevelOf(HealthDetector::kSlowOpBurst), HealthLevel::kWarn);
+  cursor_.slow_ops_captured += 70;
+  Inject();
+  EXPECT_EQ(LevelOf(HealthDetector::kSlowOpBurst), HealthLevel::kCritical);
+  Inject();  // quiet window
+  EXPECT_EQ(LevelOf(HealthDetector::kSlowOpBurst), HealthLevel::kOk);
+  ExpectCanonicalEdges(HealthDetector::kSlowOpBurst);
+}
+
+TEST_F(HealthTest, ReportJsonCarriesLevelsAndVerdicts) {
+  Inject();
+  cursor_.size_skew_x100 = 2000;
+  Inject();
+  const std::string json = monitor_->ReportJson();
+  EXPECT_NE(json.find("\"level\": \"critical\""), std::string::npos);
+  EXPECT_NE(json.find("\"detector\": \"shard_skew\""), std::string::npos);
+  EXPECT_NE(json.find("\"metric\": \"shard.size_skew_x100\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"ops_per_sec\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance scenarios against the real registry.
+
+#if !defined(ALEX_DISABLE_OBS)
+
+// A pinned reader blocks epoch advancement while a backlog exists: the
+// watchdog must name epoch.advance_stalls.
+TEST_F(HealthTest, DetectsForcedEpochReclamationStall) {
+  obs::SetEnabled(true);
+  util::EpochManager manager;
+  {
+    util::EpochManager::Guard guard(manager);
+    manager.Retire(new int(7));
+    manager.TryReclaim();    // advances once; the pin now lags the epoch
+    monitor_->SampleNow();   // baseline after the advance
+    for (int i = 0; i < 20; ++i) manager.TryReclaim();  // all stall
+    monitor_->SampleNow();
+  }
+  const obs::HealthVerdict v =
+      monitor_->Report().verdicts[static_cast<size_t>(HealthDetector::kEpochStall)];
+  EXPECT_EQ(v.level, HealthLevel::kCritical);  // 20 stalls >= critical 16
+  EXPECT_STREQ(v.metric, "epoch.advance_stalls");
+  EXPECT_GE(v.observed, 16.0);
+  // The edge was journaled.
+  EXPECT_FALSE(EdgesFor(HealthDetector::kEpochStall).empty());
+  // Unpinned now: reclamation drains the backlog.
+  manager.TryReclaim();
+  manager.TryReclaim();
+  EXPECT_EQ(manager.retired_count(), 0u);
+}
+
+// A 50x commit-wait regression against a settled baseline must fire the
+// WAL detector off the real registry histogram.
+TEST_F(HealthTest, DetectsForcedWalCommitWaitRegression) {
+  obs::Histogram* wait =
+      obs::MetricsRegistry::Global().GetHistogram("wal.commit_wait_ns");
+  monitor_->SampleNow();  // baseline sample
+  for (int i = 0; i < 32; ++i) wait->Record(1'000'000);  // ~1ms windows
+  monitor_->SampleNow();  // seeds the EWMA baseline
+  for (int i = 0; i < 32; ++i) wait->Record(1'000'000);
+  monitor_->SampleNow();  // settles it
+  EXPECT_EQ(LevelOf(HealthDetector::kWalCommitWait), HealthLevel::kOk);
+  for (int i = 0; i < 32; ++i) wait->Record(50'000'000);  // 50x regression
+  monitor_->SampleNow();
+  const obs::HealthVerdict v =
+      monitor_->Report()
+          .verdicts[static_cast<size_t>(HealthDetector::kWalCommitWait)];
+  EXPECT_EQ(v.level, HealthLevel::kCritical);
+  EXPECT_STREQ(v.metric, "wal.commit_wait_ns");
+  EXPECT_GT(v.observed, v.threshold);
+  EXPECT_FALSE(EdgesFor(HealthDetector::kWalCommitWait).empty());
+}
+
+// The sampler thread ticks while disabled but must not sample; enabling
+// the flag makes it sample on its own.
+TEST_F(HealthTest, SamplerThreadSkipsTicksWhileDisabled) {
+  ASSERT_TRUE(monitor_->Start(/*interval_ms=*/2));
+  EXPECT_FALSE(monitor_->Start(2));  // already running
+  EXPECT_TRUE(monitor_->running());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(monitor_->samples(), 0u);  // ticked, never sampled
+  obs::SetEnabled(true);
+  for (int spins = 0; spins < 2000 && monitor_->samples() < 2; ++spins) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(monitor_->samples(), 2u);
+  monitor_->Stop();
+  EXPECT_FALSE(monitor_->running());
+}
+
+// TSan target: the sampler evaluates real registry state while writers
+// drive splits and WAL commits and readers pull reports, ring snapshots
+// and structure walks.
+TEST_F(HealthTest, SamplerVsConcurrentMutators) {
+  obs::SetEnabled(true);
+  obs::MetricsRegistry::Global().slow_ops().set_threshold_ns(0);
+  shard::ShardedOptions options;
+  options.num_shards = 2;
+  options.min_rebalance_keys = 256;
+  options.max_shard_keys = 2048;
+  Sharded index(options);
+  std::vector<int64_t> keys, payloads;
+  for (int64_t i = 0; i < 2048; ++i) {
+    keys.push_back(i * 8);
+    payloads.push_back(i);
+  }
+  index.BulkLoad(keys.data(), payloads.data(), keys.size());
+  ASSERT_TRUE(monitor_->Start(/*interval_ms=*/1));
+
+  constexpr int kWriters = 2;
+  constexpr int64_t kInserts = 6000;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&index, w] {
+      for (int64_t i = 0; i < kInserts; ++i) {
+        index.Insert((kInserts * w + i) * 8 + 1 + w, i);
+      }
+    });
+  }
+  std::thread reader([&] {
+    int64_t v = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      index.Get(1024 * 8, &v);
+      (void)monitor_->Report();
+      (void)monitor_->ring().Snapshot();
+      (void)index.Inspect();
+      (void)GlobalJournal().Snapshot();
+    }
+  });
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  monitor_->Stop();
+  EXPECT_GE(monitor_->samples(), 1u);
+  EXPECT_TRUE(index.CheckInvariants());
+}
+
+// ---------------------------------------------------------------------------
+// Structural introspection and the Chrome-trace exporter.
+
+TEST_F(HealthTest, InspectReportsConsistentStructure) {
+  shard::ShardedOptions options;
+  options.num_shards = 4;
+  Sharded index(options);
+  std::vector<int64_t> keys, payloads;
+  constexpr int64_t kKeys = 8192;
+  for (int64_t i = 0; i < kKeys; ++i) {
+    keys.push_back(i * 2);
+    payloads.push_back(i);
+  }
+  index.BulkLoad(keys.data(), payloads.data(), keys.size());
+  const obs::StructureReport report = index.Inspect();
+  EXPECT_EQ(report.shards.size(), 4u);
+  EXPECT_EQ(report.total.keys, static_cast<uint64_t>(kKeys));
+  EXPECT_GT(report.total.leaf_count, 0u);
+  EXPECT_GT(report.total.fill_factor(), 0.0);
+  EXPECT_LE(report.total.fill_factor(), 1.0);
+  EXPECT_LE(report.total.min_depth, report.total.max_depth);
+  // Every live leaf is reachable both top-down and along the chain.
+  EXPECT_EQ(report.total.chain_length, report.total.leaf_count);
+  // Every leaf is either bounded (in the error histogram) or counted
+  // unbounded.
+  EXPECT_EQ(report.total.model_error.Count() + report.total.unbounded_leaves,
+            report.total.leaf_count);
+  uint64_t shard_keys = 0;
+  for (const obs::ShardStructure& s : report.shards) {
+    shard_keys += s.tree.keys;
+  }
+  EXPECT_EQ(shard_keys, static_cast<uint64_t>(kKeys));
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"fill_factor\""), std::string::npos);
+  EXPECT_NE(json.find("\"model_error\""), std::string::npos);
+  EXPECT_NE(json.find("\"topology_epoch\""), std::string::npos);
+}
+
+TEST_F(HealthTest, ChromeTraceExportsSlowOpsAndJournalEvents) {
+  obs::SetEnabled(true);
+  // Floor the threshold so real ops land in the slow-op ring.
+  obs::MetricsRegistry::Global().slow_ops().set_threshold_ns(0);
+  shard::ShardedOptions options;
+  options.num_shards = 2;
+  Sharded index(options);
+  std::vector<int64_t> keys, payloads;
+  for (int64_t i = 0; i < 1024; ++i) {
+    keys.push_back(i);
+    payloads.push_back(i);
+  }
+  index.BulkLoad(keys.data(), payloads.data(), keys.size());
+  int64_t v = 0;
+  for (int64_t i = 0; i < 64; ++i) index.Get(i, &v);
+
+  const std::string path = TempPath("health_trace.json");
+  std::remove(path.c_str());
+  ASSERT_TRUE(obs::WriteChromeTrace(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string doc((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_EQ(doc.rfind("{\"traceEvents\": [", 0), 0u);
+  EXPECT_NE(doc.find("\"cat\": \"slow_op\""), std::string::npos);
+  EXPECT_NE(doc.find("\"cat\": \"journal\""), std::string::npos);  // bulk load
+  EXPECT_NE(doc.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\": \"i\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+#endif  // !ALEX_DISABLE_OBS
+
+}  // namespace
+}  // namespace alex

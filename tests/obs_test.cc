@@ -12,8 +12,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -207,8 +210,151 @@ TEST_F(ObsTest, SnapshotPrometheusSanitizesAndTypes) {
             std::string::npos);
   EXPECT_NE(text.find("alex_test_prom_hist_sum 100"), std::string::npos);
   EXPECT_NE(text.find("alex_test_prom_hist_count 1"), std::string::npos);
-  // Dots in metric names must sanitize to a legal Prometheus name.
-  EXPECT_EQ(text.find("test.prom"), std::string::npos);
+  // Dots in metric names must sanitize to a legal Prometheus name in
+  // TYPE and sample lines; the raw name may appear only inside # HELP
+  // prose (which is freeform text).
+  for (size_t at = text.find("test.prom"); at != std::string::npos;
+       at = text.find("test.prom", at + 1)) {
+    const size_t nl = text.rfind('\n', at);
+    const size_t line_start = nl == std::string::npos ? 0 : nl + 1;
+    EXPECT_EQ(text.compare(line_start, 7, "# HELP "), 0)
+        << "raw name outside HELP: ..."
+        << text.substr(line_start, at - line_start + 9);
+  }
+}
+
+// Text-exposition 0.0.4 conformance: every line is a comment or a sample,
+// every sample's family was announced by # HELP and # TYPE first, every
+// metric name is legal, and summaries carry quantile labels plus
+// _sum/_count.
+TEST_F(ObsTest, PrometheusExpositionConforms) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("epoch.retired")->Add(3);
+  reg.GetGauge("shard.size_skew_x100")->Set(120);
+  reg.GetHistogram("wal.commit_wait_ns")->Record(5000);
+  reg.GetCounter("test.conform_counter")->Increment();
+  const std::string text = reg.SnapshotPrometheus();
+
+  const auto is_name_start = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  const auto is_name_char = [&](char c) {
+    return is_name_start(c) || (c >= '0' && c <= '9');
+  };
+
+  std::vector<std::string> helped, typed;
+  size_t samples = 0;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    if (line.rfind("# HELP ", 0) == 0) {
+      const size_t sp = line.find(' ', 7);
+      ASSERT_NE(sp, std::string::npos) << line;
+      helped.push_back(line.substr(7, sp - 7));
+      EXPECT_GT(line.size(), sp + 1) << "HELP without text: " << line;
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const size_t sp = line.find(' ', 7);
+      ASSERT_NE(sp, std::string::npos) << line;
+      const std::string family = line.substr(7, sp - 7);
+      const std::string kind = line.substr(sp + 1);
+      EXPECT_TRUE(kind == "counter" || kind == "gauge" || kind == "summary")
+          << line;
+      // HELP must have announced the family already (same family, HELP
+      // before TYPE per the exposition format).
+      EXPECT_FALSE(helped.empty());
+      EXPECT_EQ(helped.back(), family) << line;
+      typed.push_back(family);
+      continue;
+    }
+    ASSERT_NE(line[0], '#') << "unknown comment: " << line;
+    // Sample line: name[{labels}] value
+    size_t name_end = 0;
+    ASSERT_TRUE(is_name_start(line[0])) << line;
+    while (name_end < line.size() && is_name_char(line[name_end])) {
+      ++name_end;
+    }
+    ASSERT_LT(name_end, line.size()) << line;
+    ASSERT_TRUE(line[name_end] == ' ' || line[name_end] == '{') << line;
+    std::string name = line.substr(0, name_end);
+    // _sum/_count samples belong to their summary family.
+    for (const char* suffix : {"_sum", "_count"}) {
+      const size_t len = std::strlen(suffix);
+      if (name.size() > len &&
+          name.compare(name.size() - len, len, suffix) == 0 &&
+          std::find(typed.begin(), typed.end(), name) == typed.end()) {
+        name = name.substr(0, name.size() - len);
+      }
+    }
+    EXPECT_NE(std::find(typed.begin(), typed.end(), name), typed.end())
+        << "sample before # TYPE: " << line;
+    // The value parses as a number.
+    const size_t value_at = line.rfind(' ');
+    char* parse_end = nullptr;
+    std::strtod(line.c_str() + value_at + 1, &parse_end);
+    EXPECT_EQ(*parse_end, '\0') << line;
+    ++samples;
+  }
+  EXPECT_GE(samples, 4u);
+  // The summary family carries quantile labels.
+  EXPECT_NE(text.find("alex_wal_commit_wait_ns{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("alex_wal_commit_wait_ns{quantile=\"0.99\"}"),
+            std::string::npos);
+}
+
+// The # HELP catalogue: known metrics get real prose, per-op latency
+// families match by prefix, unknown names fall back but never break the
+// format.
+TEST_F(ObsTest, PrometheusHelpCatalogue) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("epoch.retired")->Increment();
+  reg.GetHistogram("op.insert.latency_ns.all")->Record(100);
+  reg.GetCounter("test.unknown_metric")->Increment();
+  const std::string text = reg.SnapshotPrometheus();
+  EXPECT_NE(text.find("# HELP alex_epoch_retired "), std::string::npos);
+  // Catalogue prose, not the fallback.
+  EXPECT_EQ(MetricsRegistry::MetricHelp("epoch.retired").rfind("Metric ", 0),
+            std::string::npos);
+  EXPECT_EQ(MetricsRegistry::MetricHelp("op.insert.latency_ns.all")
+                .rfind("Metric ", 0),
+            std::string::npos);
+  EXPECT_EQ(MetricsRegistry::MetricHelp("test.unknown_metric"),
+            "Metric test.unknown_metric");
+}
+
+TEST_F(ObsTest, SlowOpThresholdEnvOverride) {
+  ASSERT_EQ(::setenv("ALEX_OBS_SLOW_OP_NS", "5555", 1), 0);
+  {
+    SlowOpRing ring;  // fresh ring reads the env at construction
+    EXPECT_EQ(ring.threshold_ns(), 5555u);
+  }
+  ASSERT_EQ(::setenv("ALEX_OBS_SLOW_OP_NS", "junk", 1), 0);
+  {
+    SlowOpRing ring;  // unparseable: default
+    EXPECT_EQ(ring.threshold_ns(), SlowOpRing::kDefaultThresholdNs);
+  }
+  ASSERT_EQ(::unsetenv("ALEX_OBS_SLOW_OP_NS"), 0);
+  {
+    SlowOpRing ring;
+    EXPECT_EQ(ring.threshold_ns(), SlowOpRing::kDefaultThresholdNs);
+  }
+}
+
+TEST_F(ObsTest, SlowOpRecordsCarryCompletionTimestamps) {
+  SlowOpRing ring;
+  ring.Push(OpType::kGet, 0, 1000, OpContext{});
+  ring.Push(OpType::kGet, 0, 1000, OpContext{});
+  const std::vector<SlowOpRecord> records = ring.Snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_GT(records[0].ts_ns, 0u);
+  EXPECT_GE(records[1].ts_ns, records[0].ts_ns);
 }
 
 #if !defined(ALEX_DISABLE_OBS)
