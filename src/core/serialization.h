@@ -48,6 +48,8 @@ enum class SnapshotStatus {
   kManifestMismatch,     ///< a shard file disagrees with its manifest entry
   kWalReplayFailed,      ///< the WAL tail could not be replayed (see the
                          ///< wal::RecoveryReport for the distinct WalStatus)
+  kSegmentCorrupt,       ///< a cold-tier segment failed a block or
+                         ///< metadata checksum (tier/segment.h)
 };
 
 inline const char* SnapshotStatusName(SnapshotStatus status) {
@@ -65,6 +67,7 @@ inline const char* SnapshotStatusName(SnapshotStatus status) {
     case SnapshotStatus::kMissingShard: return "missing-shard";
     case SnapshotStatus::kManifestMismatch: return "manifest-mismatch";
     case SnapshotStatus::kWalReplayFailed: return "wal-replay-failed";
+    case SnapshotStatus::kSegmentCorrupt: return "segment-corrupt";
   }
   return "unknown";
 }

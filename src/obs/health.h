@@ -101,6 +101,10 @@ struct SampledMetrics {
   // cross-shard/overflow slot; excluded from traffic skew).
   uint64_t shard_ops[MetricsRegistry::kMaxTrackedShards + 1] = {};
   uint64_t total_ops = 0;
+
+  // Cold-tier block cache (tier/block_cache.h).
+  uint64_t tier_cache_hits = 0;
+  uint64_t tier_cache_misses = 0;
 };
 
 static_assert(std::is_trivially_copyable<SampledMetrics>::value,
@@ -199,8 +203,9 @@ enum class HealthDetector : uint8_t {
   kRouterFallback,    // model-fallback fraction of routed lookups
   kShardSkew,         // per-shard size or traffic imbalance
   kSlowOpBurst,       // slow-op ring captures per window
+  kTierCacheMiss,     // cold-tier cache miss ratio vs EWMA baseline
 };
-constexpr size_t kNumHealthDetectors = 7;
+constexpr size_t kNumHealthDetectors = 8;
 
 inline const char* DetectorName(HealthDetector d) {
   switch (d) {
@@ -211,6 +216,7 @@ inline const char* DetectorName(HealthDetector d) {
     case HealthDetector::kRouterFallback: return "router_fallback";
     case HealthDetector::kShardSkew: return "shard_skew";
     case HealthDetector::kSlowOpBurst: return "slow_op_burst";
+    case HealthDetector::kTierCacheMiss: return "tier_cache_miss";
   }
   return "?";
 }
@@ -306,6 +312,15 @@ struct HealthOptions {
   uint64_t slow_op_warn = 16;
   uint64_t slow_op_critical = 64;
 
+  // kTierCacheMiss: windowed cold-tier miss ratio vs EWMA baseline (the
+  // kWalCommitWait shape applied to a rate instead of a latency). The
+  // floor keeps a cold cache's first touches from firing the rule.
+  double tier_miss_warn_factor = 4.0;
+  double tier_miss_critical_factor = 16.0;
+  double tier_miss_floor = 0.02;
+  uint64_t tier_min_window_lookups = 64;
+  double tier_baseline_alpha = 0.25;
+
   static HealthOptions FromEnv() {
     HealthOptions opt;
     opt.sample_interval_ms =
@@ -346,6 +361,8 @@ class HealthMonitor {
     router_hits_ = registry_->GetCounter("shard.router_model_hits");
     router_fallbacks_ = registry_->GetCounter("shard.router_fallbacks");
     size_skew_ = registry_->GetGauge("shard.size_skew_x100");
+    tier_cache_hits_ = registry_->GetCounter("tier.cache_hits");
+    tier_cache_misses_ = registry_->GetCounter("tier.cache_misses");
     transitions_ = registry_->GetCounter("health.transitions");
   }
 
@@ -414,6 +431,7 @@ class HealthMonitor {
       report.verdicts[4] = JudgeRouterFallback(prev, sample);
       report.verdicts[5] = JudgeShardSkew(prev, sample);
       report.verdicts[6] = JudgeSlowOpBurst(prev, sample);
+      report.verdicts[7] = JudgeTierCacheMiss(prev, sample);
     } else {
       // First sample: no window to judge; all detectors report Ok with
       // their identities filled in.
@@ -427,6 +445,7 @@ class HealthMonitor {
       report.verdicts[4].metric = "shard.router_fallbacks";
       report.verdicts[5].metric = "shard.size_skew_x100";
       report.verdicts[6].metric = "slow_ops.captured";
+      report.verdicts[7].metric = "tier.cache_misses";
     }
 
     for (const HealthVerdict& v : report.verdicts) {
@@ -503,6 +522,7 @@ class HealthMonitor {
     last_ = SampledMetrics{};
     samples_.store(0, std::memory_order_relaxed);
     wal_baseline_p99_ns_ = 0.0;
+    tier_miss_baseline_ = 0.0;
     levels_.fill(HealthLevel::kOk);
     std::lock_guard<std::mutex> rlock(report_mutex_);
     report_ = HealthReport{};
@@ -532,6 +552,8 @@ class HealthMonitor {
     s.router_fallbacks = router_fallbacks_->Load();
     s.slow_ops_captured = registry_->slow_ops().captured();
     s.size_skew_x100 = size_skew_->Load();
+    s.tier_cache_hits = tier_cache_hits_->Load();
+    s.tier_cache_misses = tier_cache_misses_->Load();
     for (size_t slot = 0; slot <= MetricsRegistry::kMaxTrackedShards;
          ++slot) {
       s.shard_ops[slot] = registry_->OpCountForShardSlot(slot);
@@ -735,6 +757,47 @@ class HealthMonitor {
                    static_cast<double>(options_.slow_op_warn));
   }
 
+  HealthVerdict JudgeTierCacheMiss(const SampledMetrics& prev,
+                                   const SampledMetrics& cur) {
+    const uint64_t hits = Delta(cur.tier_cache_hits, prev.tier_cache_hits);
+    const uint64_t misses =
+        Delta(cur.tier_cache_misses, prev.tier_cache_misses);
+    const uint64_t lookups = hits + misses;
+    HealthLevel level = HealthLevel::kOk;
+    double ratio = 0.0;
+    double warn_at =
+        std::max(options_.tier_miss_floor,
+                 tier_miss_baseline_ * options_.tier_miss_warn_factor);
+    if (lookups >= options_.tier_min_window_lookups) {
+      ratio = static_cast<double>(misses) / static_cast<double>(lookups);
+      if (tier_miss_baseline_ <= 0.0) {
+        // First qualifying window seeds the baseline and is Ok by
+        // definition, exactly like the WAL commit-wait rule.
+        tier_miss_baseline_ = ratio;
+      } else {
+        const double crit_at = std::max(
+            options_.tier_miss_floor,
+            tier_miss_baseline_ * options_.tier_miss_critical_factor);
+        if (ratio >= crit_at) {
+          level = HealthLevel::kCritical;
+        } else if (ratio >= warn_at) {
+          level = HealthLevel::kWarn;
+        } else {
+          // Only healthy windows teach the baseline: a working set that
+          // outgrew the cache keeps firing instead of normalizing.
+          tier_miss_baseline_ =
+              (1.0 - options_.tier_baseline_alpha) * tier_miss_baseline_ +
+              options_.tier_baseline_alpha * ratio;
+        }
+      }
+      warn_at =
+          std::max(options_.tier_miss_floor,
+                   tier_miss_baseline_ * options_.tier_miss_warn_factor);
+    }
+    return Verdict(HealthDetector::kTierCacheMiss, level,
+                   "tier.cache_misses", ratio, warn_at);
+  }
+
   void SamplerLoop() {
     std::unique_lock<std::mutex> lock(tick_mutex_);
     while (!stop_.load(std::memory_order_relaxed)) {
@@ -769,6 +832,8 @@ class HealthMonitor {
   Counter* router_hits_ = nullptr;
   Counter* router_fallbacks_ = nullptr;
   Gauge* size_skew_ = nullptr;
+  Counter* tier_cache_hits_ = nullptr;
+  Counter* tier_cache_misses_ = nullptr;
   Counter* transitions_ = nullptr;
 
   // Evaluation state, under mutex_.
@@ -777,6 +842,7 @@ class HealthMonitor {
   SampledMetrics last_{};
   bool have_last_ = false;
   double wal_baseline_p99_ns_ = 0.0;
+  double tier_miss_baseline_ = 0.0;
   std::array<HealthLevel, kNumHealthDetectors> levels_{};
   std::atomic<uint64_t> samples_{0};
 

@@ -107,6 +107,9 @@ struct TreeStructure {
 
 struct ShardStructure {
   uint32_t shard = 0;
+  /// Cold shards (tier/segment.h) keep an empty tree; their contents
+  /// live in an mmap-backed segment plus a small delta overlay.
+  bool cold = false;
   TreeStructure tree;
 };
 

@@ -52,6 +52,9 @@ namespace alex::obs {
 ///   kWalError     a = wal::WalStatus as int; wal_id/lsn = failing log.
 ///   kHealthTransition  a = health detector id, b = packed edge
 ///       (old_level * 256 + new_level); see obs/health.h.
+///   kTierDemotion/kTierPromotion/kTierCompaction  a = keys in the shard,
+///       b = cold segment id (the new segment for demotion/compaction,
+///       the retired one for promotion); shard = victim index.
 enum class EventType : uint8_t {
   kTopologySplit = 0,
   kTopologyMerge,
@@ -62,6 +65,9 @@ enum class EventType : uint8_t {
   kWalEnabled,
   kWalError,
   kHealthTransition,
+  kTierDemotion,
+  kTierPromotion,
+  kTierCompaction,
 };
 
 inline const char* EventName(EventType type) {
@@ -75,6 +81,9 @@ inline const char* EventName(EventType type) {
     case EventType::kWalEnabled: return "wal_enabled";
     case EventType::kWalError: return "wal_error";
     case EventType::kHealthTransition: return "health_transition";
+    case EventType::kTierDemotion: return "tier_demotion";
+    case EventType::kTierPromotion: return "tier_promotion";
+    case EventType::kTierCompaction: return "tier_compaction";
   }
   return "?";
 }

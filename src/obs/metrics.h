@@ -666,6 +666,16 @@ class MetricsRegistry {
         {"core.leaf_latch_wait_ns",
          "Wait time for contended leaf latch acquisitions"},
         {"health.transitions", "Health detector state transitions"},
+        {"tier.cache_hits", "Cold-tier block cache hits"},
+        {"tier.cache_misses", "Cold-tier block cache misses"},
+        {"tier.cache_evictions", "Cold-tier blocks evicted from the cache"},
+        {"tier.cache_pinned_bytes",
+         "Cold-tier cache bytes pinned by in-flight readers"},
+        {"tier.demotions", "Resident shards demoted to cold segments"},
+        {"tier.promotions", "Cold segments promoted back to resident"},
+        {"tier.compactions",
+         "Cold-shard compactions (delta overlay folded into a new segment)"},
+        {"tier.cold_bytes", "Bytes held in cold-tier segment files"},
     };
     const auto it = kCatalog.find(name);
     if (it != kCatalog.end()) return it->second;

@@ -7,10 +7,16 @@
 // per-shard key counts (so a load can detect a shard file that was
 // swapped or rebuilt independently of its manifest).
 //
-// Layout (format v3): ManifestHeader, boundaries (num_shards-1 keys),
+// Layout (format v4): ManifestHeader, boundaries (num_shards-1 keys),
 // per-shard key counts (num_shards uint64s), per-shard WAL ids and
 // checkpoint LSNs (num_shards uint64s each; all zero when the WAL is
-// disabled), then a trailing FNV-1a checksum over everything before it.
+// disabled), per-shard tier tags and cold-segment ids (num_shards
+// uint64s each; tag 0 = resident with a .shard snapshot file, tag 1 =
+// cold with a .seg-<id> segment file), the next cold-segment id to
+// allocate (one uint64), then a trailing FNV-1a checksum over
+// everything before it. A v3 manifest (no tier arrays) still loads:
+// every shard is implicitly resident and segment allocation restarts
+// from the directory scan.
 // The WAL fields make the manifest the checkpoint record: shard i's
 // snapshot file captures exactly the effects of its log's records up to
 // checkpoint_lsns[i], so recovery replays only what came after —
@@ -43,8 +49,15 @@ namespace internal {
 inline constexpr uint64_t kManifestMagic = 0x414C455853485244ULL;
 // Version 2 added the per-shard WAL ids and checkpoint LSNs; version 3
 // added the topology epoch and the boundary-preserving-recovery
-// contract (each shard file + wal lineage replays independently).
-inline constexpr uint32_t kManifestVersion = 3;
+// contract (each shard file + wal lineage replays independently);
+// version 4 added the per-shard tier tags + cold segment ids and the
+// next-segment-id watermark. Readers accept v3 (all shards resident).
+inline constexpr uint32_t kManifestVersion = 4;
+inline constexpr uint32_t kOldestReadableManifestVersion = 3;
+
+/// Tier tag values stored in ShardManifest::tier_tags.
+inline constexpr uint64_t kTierResident = 0;
+inline constexpr uint64_t kTierCold = 1;
 
 // The checksum primitive is shared with the snapshot body checksum.
 using core::internal::Fnv1a;
@@ -84,12 +97,25 @@ struct ShardManifest {
   /// never enabled) or exactly num_shards long.
   std::vector<uint64_t> wal_ids;
   std::vector<uint64_t> checkpoint_lsns;
+  /// Per-shard storage tier (internal::kTierResident / kTierCold) and,
+  /// for cold shards, the id of the segment file holding its records.
+  /// Either empty (every shard resident — the v3 reading) or exactly
+  /// num_shards long.
+  std::vector<uint64_t> tier_tags;
+  std::vector<uint64_t> segment_ids;
   model::LinearModel router_model;
   uint64_t generation = 0;
   uint64_t next_wal_id = 0;
   uint64_t topology_epoch = 0;
+  /// Lower bound on the next cold-segment id to allocate (the directory
+  /// scan can only raise it).
+  uint64_t next_segment_id = 0;
 
   size_t num_shards() const { return shard_keys.size(); }
+  bool IsCold(size_t shard) const {
+    return shard < tier_tags.size() &&
+           tier_tags[shard] == internal::kTierCold;
+  }
   uint64_t total_keys() const {
     uint64_t total = 0;
     for (const uint64_t n : shard_keys) total += n;
@@ -122,6 +148,11 @@ core::SnapshotStatus WriteManifest(const std::string& path,
   std::vector<uint64_t> checkpoint_lsns = manifest.checkpoint_lsns;
   wal_ids.resize(manifest.num_shards(), 0);
   checkpoint_lsns.resize(manifest.num_shards(), 0);
+  // Likewise the tier arrays: empty in memory means all-resident.
+  std::vector<uint64_t> tier_tags = manifest.tier_tags;
+  std::vector<uint64_t> segment_ids = manifest.segment_ids;
+  tier_tags.resize(manifest.num_shards(), internal::kTierResident);
+  segment_ids.resize(manifest.num_shards(), 0);
 
   uint64_t checksum = internal::Fnv1a(&header, sizeof(header),
                                       internal::kFnvOffsetBasis);
@@ -135,6 +166,13 @@ core::SnapshotStatus WriteManifest(const std::string& path,
                              wal_ids.size() * sizeof(uint64_t), checksum);
   checksum = internal::Fnv1a(checkpoint_lsns.data(),
                              checkpoint_lsns.size() * sizeof(uint64_t),
+                             checksum);
+  checksum = internal::Fnv1a(tier_tags.data(),
+                             tier_tags.size() * sizeof(uint64_t), checksum);
+  checksum = internal::Fnv1a(segment_ids.data(),
+                             segment_ids.size() * sizeof(uint64_t),
+                             checksum);
+  checksum = internal::Fnv1a(&manifest.next_segment_id, sizeof(uint64_t),
                              checksum);
 
   bool ok = std::fwrite(&header, sizeof(header), 1, f) == 1;
@@ -155,6 +193,14 @@ core::SnapshotStatus WriteManifest(const std::string& path,
                            checkpoint_lsns.size(),
                            f) == checkpoint_lsns.size();
   }
+  if (ok && !tier_tags.empty()) {
+    ok = std::fwrite(tier_tags.data(), sizeof(uint64_t), tier_tags.size(),
+                     f) == tier_tags.size();
+    ok = ok && std::fwrite(segment_ids.data(), sizeof(uint64_t),
+                           segment_ids.size(), f) == segment_ids.size();
+  }
+  ok = ok && std::fwrite(&manifest.next_segment_id, sizeof(uint64_t), 1,
+                         f) == 1;
   ok = ok && std::fwrite(&checksum, sizeof(checksum), 1, f) == 1;
   ok = std::fclose(f) == 0 && ok;
   return ok ? core::SnapshotStatus::kOk : core::SnapshotStatus::kIoError;
@@ -185,9 +231,11 @@ core::SnapshotStatus ReadManifest(const std::string& path,
   if (header.magic != internal::kManifestMagic) {
     return core::SnapshotStatus::kBadMagic;
   }
-  if (header.version != internal::kManifestVersion) {
+  if (header.version < internal::kOldestReadableManifestVersion ||
+      header.version > internal::kManifestVersion) {
     return core::SnapshotStatus::kBadVersion;
   }
+  const bool has_tiers = header.version >= 4;
   if (header.key_size != sizeof(K)) {
     return core::SnapshotStatus::kKeySizeMismatch;
   }
@@ -195,18 +243,24 @@ core::SnapshotStatus ReadManifest(const std::string& path,
   // Validate the declared length against the file before allocating. The
   // division-based bound comes first so the exact byte count below cannot
   // overflow on a corrupt shard count.
-  if (file_size < sizeof(header) + sizeof(uint64_t)) {
+  // v4 appends the next-segment-id watermark before the checksum.
+  const uint64_t tail_bytes =
+      sizeof(uint64_t) + (has_tiers ? sizeof(uint64_t) : 0);
+  if (file_size < sizeof(header) + tail_bytes) {
     return core::SnapshotStatus::kTruncated;
   }
-  const uint64_t body_budget = file_size - sizeof(header) - sizeof(uint64_t);
+  const uint64_t body_budget = file_size - sizeof(header) - tail_bytes;
   // Per shard the body holds one boundary key (except the first shard)
-  // plus three uint64s (key count, wal id, checkpoint LSN).
+  // plus per-shard uint64s: key count, wal id, checkpoint LSN, and in v4
+  // the tier tag and segment id.
+  const uint64_t words_per_shard = has_tiers ? 5 : 3;
   if (header.num_shards - 1 >
-      body_budget / (sizeof(K) + 3 * sizeof(uint64_t))) {
+      body_budget / (sizeof(K) + words_per_shard * sizeof(uint64_t))) {
     return core::SnapshotStatus::kTruncated;
   }
-  const uint64_t body_bytes = (header.num_shards - 1) * sizeof(K) +
-                              header.num_shards * 3 * sizeof(uint64_t);
+  const uint64_t body_bytes =
+      (header.num_shards - 1) * sizeof(K) +
+      header.num_shards * words_per_shard * sizeof(uint64_t);
   if (body_budget < body_bytes) {
     return core::SnapshotStatus::kTruncated;
   }
@@ -233,6 +287,27 @@ core::SnapshotStatus ReadManifest(const std::string& path,
                  f) != out->checkpoint_lsns.size()) {
     return core::SnapshotStatus::kTruncated;
   }
+  uint64_t next_segment_id = 0;
+  if (has_tiers) {
+    out->tier_tags.resize(header.num_shards);
+    out->segment_ids.resize(header.num_shards);
+    if (std::fread(out->tier_tags.data(), sizeof(uint64_t),
+                   out->tier_tags.size(), f) != out->tier_tags.size()) {
+      return core::SnapshotStatus::kTruncated;
+    }
+    if (std::fread(out->segment_ids.data(), sizeof(uint64_t),
+                   out->segment_ids.size(),
+                   f) != out->segment_ids.size()) {
+      return core::SnapshotStatus::kTruncated;
+    }
+    if (std::fread(&next_segment_id, sizeof(next_segment_id), 1, f) != 1) {
+      return core::SnapshotStatus::kTruncated;
+    }
+  } else {
+    // v3: every shard is implicitly resident.
+    out->tier_tags.assign(header.num_shards, internal::kTierResident);
+    out->segment_ids.assign(header.num_shards, 0);
+  }
   uint64_t stored_checksum = 0;
   if (std::fread(&stored_checksum, sizeof(stored_checksum), 1, f) != 1) {
     return core::SnapshotStatus::kTruncated;
@@ -250,6 +325,16 @@ core::SnapshotStatus ReadManifest(const std::string& path,
   checksum = internal::Fnv1a(out->checkpoint_lsns.data(),
                              out->checkpoint_lsns.size() * sizeof(uint64_t),
                              checksum);
+  if (has_tiers) {
+    checksum = internal::Fnv1a(out->tier_tags.data(),
+                               out->tier_tags.size() * sizeof(uint64_t),
+                               checksum);
+    checksum = internal::Fnv1a(out->segment_ids.data(),
+                               out->segment_ids.size() * sizeof(uint64_t),
+                               checksum);
+    checksum =
+        internal::Fnv1a(&next_segment_id, sizeof(uint64_t), checksum);
+  }
   if (checksum != stored_checksum) {
     return core::SnapshotStatus::kChecksumMismatch;
   }
@@ -264,9 +349,16 @@ core::SnapshotStatus ReadManifest(const std::string& path,
       return core::SnapshotStatus::kUnsortedKeys;
     }
   }
+  for (size_t i = 0; i < out->tier_tags.size(); ++i) {
+    if (out->tier_tags[i] != internal::kTierResident &&
+        out->tier_tags[i] != internal::kTierCold) {
+      return core::SnapshotStatus::kManifestMismatch;
+    }
+  }
   out->generation = header.generation;
   out->next_wal_id = header.next_wal_id;
   out->topology_epoch = header.topology_epoch;
+  out->next_segment_id = next_segment_id;
   out->router_model =
       model::LinearModel(header.router_slope, header.router_intercept);
   return core::SnapshotStatus::kOk;

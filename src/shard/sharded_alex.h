@@ -117,6 +117,7 @@
 #include <atomic>
 #include <cassert>
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -130,6 +131,7 @@
 #include <shared_mutex>
 #include <string>
 #include <thread>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -141,6 +143,8 @@
 #include "obs/metrics.h"
 #include "shard/manifest.h"
 #include "shard/router.h"
+#include "tier/block_cache.h"
+#include "tier/segment.h"
 #include "util/epoch.h"
 #include "util/parallel.h"
 #include "wal/log_reader.h"
@@ -180,6 +184,31 @@ struct ShardedOptions {
   /// concurrency — size it to the cores you want scans to use). <= 1 runs
   /// scans sequentially on the calling thread.
   size_t scan_threads = 4;
+  // ---- Cold tier (src/tier/) ----
+  /// Block-cache capacity in bytes for cold-segment reads (see
+  /// tier/block_cache.h). Size it to the hot portion of the cold tier.
+  size_t tier_cache_bytes = 16u << 20;
+  /// Target cold-segment block size in bytes; the per-block key count is
+  /// derived as max(64, tier_block_bytes / sizeof(record)).
+  size_t tier_block_bytes = 4096;
+  /// Directory/prefix where demotion writes its segment files. Empty
+  /// defers to the WAL prefix; demotion fails when neither is set.
+  std::string tier_prefix;
+  /// TieringTick never demotes a shard holding fewer keys than this
+  /// (tiny shards are not worth a segment file).
+  size_t tier_min_demote_keys = 1024;
+  /// TieringTick demotes a resident shard whose share of the window's
+  /// traffic fell under `tier_demote_fraction` of the fair (1/n) share.
+  double tier_demote_fraction = 0.1;
+  /// TieringTick promotes a cold shard whose share of the window's
+  /// traffic reached `tier_promote_share` times the fair share ...
+  double tier_promote_share = 1.0;
+  /// ... or whose delta overlay accumulated this many resident entries
+  /// (a write-heavy cold shard pays double bookkeeping; bring it back).
+  size_t tier_promote_delta_keys = 256;
+  /// TieringTick is a no-op until the traffic window since the previous
+  /// tick holds at least this many routed operations.
+  uint64_t tier_min_window_ops = 1024;
   /// Configuration applied to every shard's ConcurrentAlex.
   core::Config shard_config;
 };
@@ -191,7 +220,7 @@ template <typename K, typename P>
 class ShardedAlex {
  public:
   explicit ShardedAlex(const ShardedOptions& options = ShardedOptions())
-      : options_(options) {
+      : options_(options), block_cache_(options.tier_cache_bytes) {
     auto* table = new Table();
     table->shards.push_back(
         std::make_shared<Shard>(options_.shard_config, &epoch_));
@@ -200,7 +229,10 @@ class ShardedAlex {
 
   /// Retired tables drain through the epoch manager's destructor. Callers
   /// must guarantee quiescence, as for any destructor.
-  ~ShardedAlex() { delete table_.load(std::memory_order_relaxed); }
+  ~ShardedAlex() {
+    StopTiering();
+    delete table_.load(std::memory_order_relaxed);
+  }
 
   ShardedAlex(const ShardedAlex&) = delete;
   ShardedAlex& operator=(const ShardedAlex&) = delete;
@@ -293,10 +325,16 @@ class ShardedAlex {
       if (shard->retired.load(std::memory_order_seq_cst)) {
         continue;  // raced a rebalance/bulk load: re-route
       }
+      shard->traffic.fetch_add(1, std::memory_order_relaxed);
       // Log-before-apply: the record replays as insert-if-absent, so a
       // duplicate that fails below is a no-op on replay too.
       if (!LogWrite(shard, wal::WalRecordType::kInsert, key, &payload)) {
         return false;
+      }
+      if (shard->cold()) {
+        // Cold shards absorb writes into the delta overlay; the skew
+        // check is moot (tiering owns their lifecycle).
+        return shard->TierInsert(key, payload);
       }
       const bool inserted = shard->index.Insert(key, payload);
       gate.unlock();
@@ -329,9 +367,11 @@ class ShardedAlex {
                                  "shard.write_gate_contended",
                                  "shard.write_gate_wait_ns");
       if (shard->retired.load(std::memory_order_seq_cst)) continue;
+      shard->traffic.fetch_add(1, std::memory_order_relaxed);
       if (!LogWrite(shard, wal::WalRecordType::kErase, key, nullptr)) {
         return false;
       }
+      if (shard->cold()) return shard->TierErase(key);
       const bool erased = shard->index.Erase(key);
       gate.unlock();
       if (!erased) return false;
@@ -355,9 +395,11 @@ class ShardedAlex {
                                  "shard.write_gate_contended",
                                  "shard.write_gate_wait_ns");
       if (shard->retired.load(std::memory_order_seq_cst)) continue;
+      shard->traffic.fetch_add(1, std::memory_order_relaxed);
       if (!LogWrite(shard, wal::WalRecordType::kUpdate, key, &payload)) {
         return false;
       }
+      if (shard->cold()) return shard->TierUpdate(key, payload);
       return shard->index.Update(key, payload);
     }
   }
@@ -392,9 +434,19 @@ class ShardedAlex {
     while (i < n) {
       const size_t idx = table->router.Route(sorted_keys[i]);
       const size_t j = RunEnd(table, idx, sorted_keys, i);
-      hits += table->shards[idx]->index.MultiGet(
-          sorted_keys.data() + i, j - i, run_payloads.data() + i,
-          run_found.get() + i);
+      Shard* shard = table->shards[idx].get();
+      shard->traffic.fetch_add(j - i, std::memory_order_relaxed);
+      if (shard->cold()) {
+        for (size_t k = i; k < j; ++k) {
+          run_found[k] = shard->TierGet(sorted_keys[k], &run_payloads[k],
+                                        &block_cache_);
+          hits += run_found[k] ? 1 : 0;
+        }
+      } else {
+        hits += shard->index.MultiGet(sorted_keys.data() + i, j - i,
+                                      run_payloads.data() + i,
+                                      run_found.get() + i);
+      }
       i = j;
     }
     for (size_t k = 0; k < n; ++k) {
@@ -434,11 +486,23 @@ class ShardedAlex {
         continue;  // raced a topology transaction: re-route from key i
       }
       const size_t len = j - i;
+      shard->traffic.fetch_add(len, std::memory_order_relaxed);
       if (!LogWriteBatch(shard, wal::WalRecordType::kInsert,
                          sorted_keys.data() + i, sorted_payloads.data() + i,
                          len)) {
         i = j;  // fail the run closed; later runs surface the same error
         continue;
+      }
+      if (shard->cold()) {
+        size_t run_count = 0;
+        for (size_t k = i; k < j; ++k) {
+          run_ok[k] = shard->TierInsert(sorted_keys[k], sorted_payloads[k]);
+          run_count += run_ok[k] ? 1 : 0;
+        }
+        gate.unlock();
+        count += run_count;
+        i = j;
+        continue;  // no skew check: tiering owns cold shards
       }
       const size_t run_inserted = shard->index.MultiInsert(
           sorted_keys.data() + i, sorted_payloads.data() + i, len,
@@ -485,8 +549,20 @@ class ShardedAlex {
                                  "shard.write_gate_wait_ns");
       if (shard->retired.load(std::memory_order_seq_cst)) continue;
       const size_t len = j - i;
+      shard->traffic.fetch_add(len, std::memory_order_relaxed);
       if (!LogWriteBatch(shard, wal::WalRecordType::kErase,
                          sorted_keys.data() + i, nullptr, len)) {
+        i = j;
+        continue;
+      }
+      if (shard->cold()) {
+        size_t run_count = 0;
+        for (size_t k = i; k < j; ++k) {
+          run_ok[k] = shard->TierErase(sorted_keys[k]);
+          run_count += run_ok[k] ? 1 : 0;
+        }
+        gate.unlock();
+        count += run_count;
         i = j;
         continue;
       }
@@ -516,7 +592,9 @@ class ShardedAlex {
     Table* table = table_.load(std::memory_order_seq_cst);
     const size_t idx = table->router.Route(key);
     op_timer.set_shard(static_cast<uint32_t>(idx));
-    return table->shards[idx]->index.Get(key, out);
+    Shard* shard = table->shards[idx].get();
+    shard->traffic.fetch_add(1, std::memory_order_relaxed);
+    return shard->TierGet(key, out, &block_cache_);
   }
 
   /// True when `key` is present (same lock-free path as Get).
@@ -526,7 +604,9 @@ class ShardedAlex {
     Table* table = table_.load(std::memory_order_seq_cst);
     const size_t idx = table->router.Route(key);
     op_timer.set_shard(static_cast<uint32_t>(idx));
-    return table->shards[idx]->index.Contains(key);
+    Shard* shard = table->shards[idx].get();
+    shard->traffic.fetch_add(1, std::memory_order_relaxed);
+    return shard->TierContains(key, &block_cache_);
   }
 
   /// Cross-shard range scan: stitches per-shard scans in key order (the
@@ -544,8 +624,19 @@ class ShardedAlex {
     K resume = start;
     std::vector<std::pair<K, P>> chunk;
     while (out->size() < max_results && idx < table->shards.size()) {
-      table->shards[idx]->index.RangeScan(
-          resume, max_results - out->size(), &chunk);
+      Shard* shard = table->shards[idx].get();
+      shard->traffic.fetch_add(1, std::memory_order_relaxed);
+      if (shard->cold()) {
+        chunk.clear();
+        const size_t want = max_results - out->size();
+        shard->TierScanUntil(resume, std::numeric_limits<K>::max(),
+                             [&](const K& key, const P& payload) {
+                               chunk.emplace_back(key, payload);
+                               return chunk.size() < want;
+                             });
+      } else {
+        shard->index.RangeScan(resume, max_results - out->size(), &chunk);
+      }
       out->insert(out->end(), chunk.begin(), chunk.end());
       ++idx;
       if (idx < table->shards.size()) {
@@ -579,7 +670,7 @@ class ShardedAlex {
     if (workers <= 1) {
       size_t total = 0;
       for (size_t s = first; s <= last; ++s) {
-        total += table->shards[s]->index.Scan(lo, hi, visit);
+        total += ShardScan(table->shards[s].get(), lo, hi, visit);
       }
       return total;
     }
@@ -602,8 +693,9 @@ class ShardedAlex {
         ChunkQueue& q = queues[i];
         std::vector<std::pair<K, P>> chunk;
         chunk.reserve(kScanChunkRecords);
-        table->shards[first + i]->index.Scan(
-            lo, hi, [&](const K& key, const P& payload) {
+        ShardScan(
+            table->shards[first + i].get(), lo, hi,
+            [&](const K& key, const P& payload) {
               chunk.emplace_back(key, payload);
               if (chunk.size() >= kScanChunkRecords) {
                 {
@@ -660,10 +752,13 @@ class ShardedAlex {
     const size_t first = table->router.Route(lo);
     const size_t last = table->router.Route(hi);
     const size_t n = last - first + 1;
-    if (n == 1) return table->shards[first]->index.Aggregate(lo, hi, spec);
+    if (n == 1) {
+      return AggregateShard(table->shards[first].get(), lo, hi, spec);
+    }
     std::vector<core::AggResult<K, P>> partials(n);
     util::ParallelFor(n, std::min(options_.scan_threads, n), [&](size_t i) {
-      partials[i] = table->shards[first + i]->index.Aggregate(lo, hi, spec);
+      partials[i] =
+          AggregateShard(table->shards[first + i].get(), lo, hi, spec);
     });
     for (const auto& partial : partials) result.Merge(partial);
     return result;
@@ -724,6 +819,198 @@ class ShardedAlex {
                               hi - lo);
   }
 
+  // ---- Tiered storage ----
+  //
+  // A shard is either *resident* (a ConcurrentAlex, the default) or
+  // *cold*: its contents sealed into one checksummed, mmap-backed,
+  // read-only segment (tier/segment.h) plus a small resident delta
+  // overlay for post-demotion writes. Cold reads route through a
+  // sharded-LRU block cache (tier/block_cache.h). Demotion, promotion
+  // and compaction replace the one victim shard in a copied table —
+  // same publish/retire protocol as a topology transaction, but the
+  // shard's WAL log *moves* to the replacement instead of being sealed:
+  // the logical shard (and its LSN stream) continues across the tier
+  // transition, so recovery needs no tier-specific lineage handling.
+
+  /// Demotes shard `idx` to a cold segment written at the tier prefix
+  /// (options.tier_prefix, defaulting to the WAL prefix). kOk when the
+  /// shard is already cold; kIoError when the shard is empty, no prefix
+  /// is configured, or the segment cannot be written durably.
+  core::SnapshotStatus DemoteShard(size_t idx) {
+    std::lock_guard<std::mutex> rebalance(rebalance_mutex_);
+    return DemoteShardLocked(idx);
+  }
+
+  /// Promotes cold shard `idx` back to a resident ConcurrentAlex built
+  /// from the merged segment+overlay stream. kOk when already resident.
+  core::SnapshotStatus PromoteShard(size_t idx) {
+    std::lock_guard<std::mutex> rebalance(rebalance_mutex_);
+    return PromoteShardLocked(idx);
+  }
+
+  /// Compacts cold shard `idx`: folds its delta overlay into a fresh
+  /// segment (dropping overwritten and erased keys), emptying the
+  /// overlay. A clean overlay is a no-op. A shard whose live count
+  /// dropped to zero is promoted to an empty resident shard instead
+  /// (segments cannot be empty).
+  core::SnapshotStatus CompactShard(size_t idx) {
+    std::lock_guard<std::mutex> rebalance(rebalance_mutex_);
+    return CompactShardLocked(idx);
+  }
+
+  /// Compacts every cold shard with a dirty overlay; returns how many
+  /// compactions ran. The WAL-side effect matters as much as the
+  /// segment: the next checkpoint references the compacted segments
+  /// as-is, so the checkpoint-to-checkpoint replay chain shrinks by
+  /// every record the fold retired.
+  size_t Compact() {
+    std::lock_guard<std::mutex> rebalance(rebalance_mutex_);
+    util::EpochManager::Guard guard(epoch_);
+    size_t ran = 0;
+    const size_t shards =
+        table_.load(std::memory_order_seq_cst)->shards.size();
+    for (size_t i = 0; i < shards; ++i) {
+      Table* table = table_.load(std::memory_order_seq_cst);
+      if (i >= table->shards.size()) break;
+      Shard* shard = table->shards[i].get();
+      if (!shard->cold() || shard->DeltaClean()) continue;
+      if (CompactShardLocked(i) == core::SnapshotStatus::kOk) ++ran;
+    }
+    return ran;
+  }
+
+  /// One pass of the traffic-driven tiering policy. Reads each shard's
+  /// routed-operation count since the previous tick; when the window
+  /// holds at least options.tier_min_window_ops, demotes resident
+  /// shards whose share fell under tier_demote_fraction of fair (and
+  /// that hold tier_min_demote_keys keys), and promotes cold shards
+  /// whose share reached tier_promote_share of fair or whose overlay
+  /// grew past tier_promote_delta_keys entries. Returns the number of
+  /// tier transitions; skips (returns 0) when a rival topology
+  /// transaction holds the rebalance lock.
+  size_t TieringTick() {
+    std::unique_lock<std::mutex> rebalance(rebalance_mutex_,
+                                           std::try_to_lock);
+    if (!rebalance.owns_lock()) return 0;
+    util::EpochManager::Guard guard(epoch_);
+    Table* table = table_.load(std::memory_order_seq_cst);
+    const size_t n = table->shards.size();
+    std::vector<uint64_t> window(n);
+    uint64_t total = 0;
+    for (size_t i = 0; i < n; ++i) {
+      Shard* shard = table->shards[i].get();
+      const uint64_t now = shard->traffic.load(std::memory_order_relaxed);
+      window[i] = now - shard->traffic_mark;
+      total += window[i];
+    }
+    if (total < options_.tier_min_window_ops) return 0;
+    for (size_t i = 0; i < n; ++i) {
+      Shard* shard = table->shards[i].get();
+      shard->traffic_mark = shard->traffic.load(std::memory_order_relaxed);
+    }
+    const double fair =
+        static_cast<double>(total) / static_cast<double>(n);
+    size_t transitions = 0;
+    // Tier transitions replace shards in place (count and order are
+    // stable), so the indices gathered above stay valid across our own
+    // publishes; the rebalance lock excludes everyone else's.
+    for (size_t i = 0; i < n; ++i) {
+      const Shard* shard =
+          table_.load(std::memory_order_seq_cst)->shards[i].get();
+      if (shard->cold()) {
+        const bool hot_again =
+            static_cast<double>(window[i]) >=
+            fair * options_.tier_promote_share;
+        const bool overlay_heavy =
+            shard->DeltaEntries() >= options_.tier_promote_delta_keys;
+        if ((hot_again || overlay_heavy) &&
+            PromoteShardLocked(i) == core::SnapshotStatus::kOk) {
+          ++transitions;
+        }
+      } else {
+        const bool idle = static_cast<double>(window[i]) <=
+                          fair * options_.tier_demote_fraction;
+        if (idle && shard->TierSize() >= options_.tier_min_demote_keys &&
+            DemoteShardLocked(i) == core::SnapshotStatus::kOk) {
+          ++transitions;
+        }
+      }
+    }
+    return transitions;
+  }
+
+  /// Starts a background thread running TieringTick every
+  /// `interval_ms`. Idempotent; StopTiering (or the destructor) joins
+  /// it.
+  void StartTiering(uint64_t interval_ms) {
+    std::lock_guard<std::mutex> lock(tiering_mutex_);
+    if (tiering_thread_.joinable()) return;
+    tiering_stop_ = false;
+    tiering_thread_ = std::thread([this, interval_ms] {
+      std::unique_lock<std::mutex> lock(tiering_mutex_);
+      while (!tiering_stop_) {
+        tiering_cv_.wait_for(lock, std::chrono::milliseconds(interval_ms));
+        if (tiering_stop_) break;
+        lock.unlock();
+        TieringTick();
+        lock.lock();
+      }
+    });
+  }
+
+  void StopTiering() {
+    std::thread worker;
+    {
+      std::lock_guard<std::mutex> lock(tiering_mutex_);
+      if (!tiering_thread_.joinable()) return;
+      tiering_stop_ = true;
+      worker = std::move(tiering_thread_);
+    }
+    tiering_cv_.notify_all();
+    worker.join();
+  }
+
+  /// Tier of shard `idx` (diagnostics/tests).
+  bool IsShardCold(size_t idx) const {
+    util::EpochManager::Guard guard(epoch_);
+    Table* table = table_.load(std::memory_order_seq_cst);
+    return idx < table->shards.size() && table->shards[idx]->cold();
+  }
+
+  size_t cold_shard_count() const {
+    util::EpochManager::Guard guard(epoch_);
+    Table* table = table_.load(std::memory_order_seq_cst);
+    size_t count = 0;
+    for (const auto& shard : table->shards) {
+      count += shard->cold() ? 1 : 0;
+    }
+    return count;
+  }
+
+  /// Bytes held in cold-tier segment files (the live table's).
+  uint64_t ColdBytes() const {
+    util::EpochManager::Guard guard(epoch_);
+    Table* table = table_.load(std::memory_order_seq_cst);
+    uint64_t bytes = 0;
+    for (const auto& shard : table->shards) {
+      if (shard->cold()) bytes += shard->segment->file_bytes();
+    }
+    return bytes;
+  }
+
+  uint64_t demotion_count() const {
+    return demotions_.load(std::memory_order_relaxed);
+  }
+  uint64_t promotion_count() const {
+    return promotions_.load(std::memory_order_relaxed);
+  }
+  uint64_t compaction_count() const {
+    return compactions_.load(std::memory_order_relaxed);
+  }
+
+  /// The cold-tier block cache (stats for benches/tests).
+  const tier::BlockCache& block_cache() const { return block_cache_; }
+
   /// Aggregate per-commit WAL wait histogram (microsecond buckets)
   /// across every shard's log — p50/p99 via Quantile. Includes the
   /// samples of logs already sealed by topology transactions, bulk
@@ -763,7 +1050,14 @@ class ShardedAlex {
     Table* table = table_.load(std::memory_order_seq_cst);
     size_t total = table->router.SizeBytes();
     for (const auto& shard : table->shards) {
-      total += shard->index.IndexSizeBytes();
+      if (shard->cold()) {
+        // A cold shard's resident metadata: the segment's fence model +
+        // per-block checksums. The mapped data blocks live on disk (and
+        // transiently in the block cache, accounted by its own stats).
+        total += shard->segment->MetaSizeBytes();
+      } else {
+        total += shard->index.IndexSizeBytes();
+      }
     }
     return total;
   }
@@ -773,7 +1067,11 @@ class ShardedAlex {
     Table* table = table_.load(std::memory_order_seq_cst);
     size_t total = 0;
     for (const auto& shard : table->shards) {
-      total += shard->index.DataSizeBytes();
+      if (shard->cold()) {
+        total += shard->DeltaEntries() * (sizeof(K) + sizeof(P));
+      } else {
+        total += shard->index.DataSizeBytes();
+      }
     }
     return total;
   }
@@ -869,10 +1167,48 @@ class ShardedAlex {
       return core::SnapshotStatus::kIoError;  // nothing at this prefix
     }
 
-    // Load and validate every snapshot shard file.
+    // Load and validate every snapshot shard file; cold shards have a
+    // segment file instead, opened (mmap) and fully verified here.
     std::vector<std::vector<K>> shard_keys(manifest.num_shards());
     std::vector<std::vector<P>> shard_payloads(manifest.num_shards());
+    std::vector<std::shared_ptr<tier::ColdSegment<K, P>>> cold_segments(
+        manifest.num_shards());
     for (size_t i = 0; i < manifest.num_shards(); ++i) {
+      if (manifest.IsCold(i)) {
+        const std::string seg_path =
+            tier::SegmentPath(prefix, manifest.segment_ids[i]);
+        auto segment = std::make_shared<tier::ColdSegment<K, P>>();
+        const core::SnapshotStatus status =
+            segment->Open(seg_path, manifest.segment_ids[i]);
+        if (status == core::SnapshotStatus::kIoError) {
+          std::FILE* probe = std::fopen(seg_path.c_str(), "rb");
+          if (probe != nullptr) {
+            std::fclose(probe);
+            return core::SnapshotStatus::kIoError;
+          }
+          return errno == ENOENT ? core::SnapshotStatus::kMissingShard
+                                 : core::SnapshotStatus::kIoError;
+        }
+        if (status != core::SnapshotStatus::kOk) return status;
+        // Open validates structure + metadata checksums; recovery also
+        // pays one full data pass so a flipped block byte surfaces now,
+        // not on some future read.
+        if (segment->VerifyAllBlocks() != core::SnapshotStatus::kOk) {
+          return core::SnapshotStatus::kSegmentCorrupt;
+        }
+        if (segment->num_keys() != manifest.shard_keys[i]) {
+          return core::SnapshotStatus::kManifestMismatch;
+        }
+        if (i > 0 && segment->min_key() < manifest.boundaries[i - 1]) {
+          return core::SnapshotStatus::kManifestMismatch;
+        }
+        if (i + 1 < manifest.num_shards() &&
+            !(segment->max_key() < manifest.boundaries[i])) {
+          return core::SnapshotStatus::kManifestMismatch;
+        }
+        cold_segments[i] = std::move(segment);
+        continue;
+      }
       std::vector<K>& keys = shard_keys[i];
       std::vector<P>& payloads = shard_payloads[i];
       const std::string shard_path =
@@ -923,9 +1259,15 @@ class ShardedAlex {
       for (size_t i = 0; i < manifest.num_shards(); ++i) {
         auto shard =
             std::make_shared<Shard>(options_.shard_config, &epoch_);
-        shard->index.BulkLoad(shard_keys[i].data(),
-                              shard_payloads[i].data(),
-                              shard_keys[i].size());
+        if (manifest.IsCold(i)) {
+          shard->cold_live.store(cold_segments[i]->num_keys(),
+                                 std::memory_order_relaxed);
+          shard->segment = std::move(cold_segments[i]);
+        } else {
+          shard->index.BulkLoad(shard_keys[i].data(),
+                                shard_payloads[i].data(),
+                                shard_keys[i].size());
+        }
         next->shards.push_back(std::move(shard));
       }
     } else if (!have_manifest) {
@@ -982,8 +1324,8 @@ class ShardedAlex {
       wal::RecoveryReport* rep =
           report != nullptr ? report : &local_report;
       const core::SnapshotStatus status = RecoverBoundaryPreserving(
-          prefix, manifest, shard_keys, shard_payloads, was_logging, rep,
-          &next);
+          prefix, manifest, shard_keys, shard_payloads, &cold_segments,
+          was_logging, rep, &next);
       if (status != core::SnapshotStatus::kOk) return status;
       floor_wal_id = std::max(floor_wal_id, rep->max_wal_id + 1);
       journal_replayed = rep->records_replayed;
@@ -994,6 +1336,28 @@ class ShardedAlex {
                             std::memory_order_relaxed);
     }
     if (floor_wal_id > next_wal_id_) next_wal_id_ = floor_wal_id;
+    // Fresh segment ids must clear the manifest's counter AND every
+    // segment file on disk (a crashed demotion can leave a stray whose
+    // id the crashed-away counter never persisted).
+    {
+      uint64_t floor_segment_id =
+          have_manifest ? manifest.next_segment_id : 0;
+      std::string dir, base;
+      wal::SplitPrefixPath(prefix, &dir, &base);
+      std::vector<std::string> names;
+      if (wal::ListDirectory(dir, &names)) {
+        for (const std::string& name : names) {
+          uint64_t id = 0;
+          bool is_tmp = false;
+          if (tier::ParseSegmentFileName(name, base, &id, &is_tmp)) {
+            floor_segment_id = std::max(floor_segment_id, id + 1);
+          }
+        }
+      }
+      if (floor_segment_id > next_segment_id_) {
+        next_segment_id_ = floor_segment_id;
+      }
+    }
     // The recovered table starts unlogged (see the method comment); any
     // logs of the replaced table belong to an abandoned lineage, get
     // sealed below, and are swept by the next checkpoint. The quiesce
@@ -1109,17 +1473,23 @@ class ShardedAlex {
     size_t total = 0;
     for (size_t i = 0; i < table->shards.size(); ++i) {
       const auto& shard = table->shards[i];
-      if (!shard->index.CheckInvariants()) return false;
+      if (!shard->cold() && !shard->index.CheckInvariants()) return false;
       // Visitor-based drain: routing is checked record by record as the
-      // scan streams — nothing is materialized.
+      // scan streams — nothing is materialized. Cold shards stream the
+      // merged overlay+segment view, which also exercises key order.
       bool routed_ok = true;
-      const size_t scanned = shard->index.Scan(
-          std::numeric_limits<K>::lowest(), std::numeric_limits<K>::max(),
-          [&](const K& key, const P&) {
+      K prev{};
+      bool have_prev = false;
+      const size_t scanned = ShardScan(
+          shard.get(), std::numeric_limits<K>::lowest(),
+          std::numeric_limits<K>::max(), [&](const K& key, const P&) {
             if (table->router.Route(key) != i) routed_ok = false;
+            if (have_prev && !(prev < key)) routed_ok = false;
+            prev = key;
+            have_prev = true;
           });
       if (!routed_ok) return false;
-      if (scanned != shard->index.size()) return false;
+      if (scanned != shard->TierSize()) return false;
       total += scanned;
     }
     return total == size();
@@ -1140,6 +1510,7 @@ class ShardedAlex {
     for (size_t i = 0; i < table->shards.size(); ++i) {
       obs::ShardStructure s;
       s.shard = static_cast<uint32_t>(i);
+      s.cold = table->shards[i]->cold();
       s.tree = table->shards[i]->index.CollectStructure();
       report.total.Merge(s.tree);
       report.shards.push_back(std::move(s));
@@ -1169,6 +1540,199 @@ class ShardedAlex {
     // Committed-insert counter driving the amortized skew check. Shard-
     // local, so writers to different shards share no cache line.
     std::atomic<uint64_t> commit_count{0};
+
+    // ---- Cold tier ----
+    //
+    // A *cold* shard holds its checkpointed contents in one immutable
+    // mmap-backed segment (tier/segment.h) instead of a ConcurrentAlex
+    // (whose tree stays empty), plus a small resident *delta overlay*
+    // for the writes that landed since demotion. Reads consult the
+    // overlay first (a tombstone hides a segment key), then the segment
+    // through the block cache. `segment` is set once when the cold
+    // replacement shard is built and never reassigned, so the lock-free
+    // read path can test cold() with no synchronization beyond the
+    // table load that published the shard.
+    std::shared_ptr<tier::ColdSegment<K, P>> segment;
+    struct DeltaEntry {
+      P payload{};
+      bool tombstone = false;
+    };
+    mutable std::shared_mutex delta_mutex;
+    std::map<K, DeltaEntry> delta;
+    // Live key count of a cold shard (segment keys minus tombstones plus
+    // overlay inserts); resident shards use index.size() instead.
+    std::atomic<uint64_t> cold_live{0};
+    // Routed operations since the shard was built — the signal the
+    // tiering policy reads. `traffic_mark` is the policy's cursor into
+    // it, touched only under rebalance_mutex_.
+    mutable std::atomic<uint64_t> traffic{0};
+    uint64_t traffic_mark = 0;
+
+    bool cold() const { return segment != nullptr; }
+
+    uint64_t TierSize() const {
+      return cold() ? cold_live.load(std::memory_order_relaxed)
+                    : index.size();
+    }
+
+    /// Segment read below the overlay: through the block cache when one
+    /// is given (pinned copy + in-block model search), straight off the
+    /// mapping otherwise. A block whose cached load fails (checksum)
+    /// falls back to the raw mapping — the segment was fully verified
+    /// when it was opened.
+    bool SegmentGet(const K& key, P* out, tier::BlockCache* cache) const {
+      if (key < segment->min_key() || segment->max_key() < key) {
+        return false;
+      }
+      if (cache == nullptr) return segment->Get(key, out);
+      const size_t b = segment->BlockOfKey(key);
+      tier::BlockCache::Handle h = cache->GetOrLoad(
+          segment->id(), b, [&](std::vector<uint8_t>* bytes) {
+            return segment->LoadBlock(b, bytes) ==
+                   core::SnapshotStatus::kOk;
+          });
+      if (!h.valid()) return segment->Get(key, out);
+      return tier::ColdSegment<K, P>::SearchBlock(
+          h.data(), segment->BlockKeys(b), key, out);
+    }
+
+    bool TierGet(const K& key, P* out, tier::BlockCache* cache) const {
+      if (!cold()) return index.Get(key, out);
+      {
+        std::shared_lock<std::shared_mutex> lock(delta_mutex);
+        const auto it = delta.find(key);
+        if (it != delta.end()) {
+          if (it->second.tombstone) return false;
+          *out = it->second.payload;
+          return true;
+        }
+      }
+      return SegmentGet(key, out, cache);
+    }
+
+    bool TierContains(const K& key, tier::BlockCache* cache) const {
+      P ignored;
+      return TierGet(key, &ignored, cache);
+    }
+
+    // Cold-shard writes mutate only the overlay, under its exclusive
+    // lock; callers hold the shard's write_gate shared and have already
+    // logged the record, exactly like the resident path. Segment
+    // membership checks read the raw mapping (no cache pollution).
+
+    bool TierInsert(const K& key, const P& payload) {
+      std::unique_lock<std::shared_mutex> lock(delta_mutex);
+      const auto it = delta.find(key);
+      if (it != delta.end()) {
+        if (!it->second.tombstone) return false;  // duplicate
+        it->second.payload = payload;
+        it->second.tombstone = false;  // revive an erased segment key
+        cold_live.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      if (segment->Contains(key)) return false;
+      delta.emplace(key, DeltaEntry{payload, false});
+      cold_live.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+
+    bool TierErase(const K& key) {
+      std::unique_lock<std::shared_mutex> lock(delta_mutex);
+      const auto it = delta.find(key);
+      if (it != delta.end()) {
+        if (it->second.tombstone) return false;  // already erased
+        if (segment->Contains(key)) {
+          it->second.tombstone = true;  // keep hiding the segment key
+        } else {
+          delta.erase(it);
+        }
+        cold_live.fetch_sub(1, std::memory_order_relaxed);
+        return true;
+      }
+      if (!segment->Contains(key)) return false;
+      delta.emplace(key, DeltaEntry{P{}, true});
+      cold_live.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+
+    bool TierUpdate(const K& key, const P& payload) {
+      std::unique_lock<std::shared_mutex> lock(delta_mutex);
+      const auto it = delta.find(key);
+      if (it != delta.end()) {
+        if (it->second.tombstone) return false;
+        it->second.payload = payload;
+        return true;
+      }
+      if (!segment->Contains(key)) return false;
+      // Overwrite-if-present of a segment-resident key: shadow it.
+      delta.emplace(key, DeltaEntry{payload, false});
+      return true;
+    }
+
+    /// Merged scan of a cold shard over [lo, hi]: the overlay slice is
+    /// snapshotted under the shared lock (so the segment stream — which
+    /// reads the mapping, not the cache — never runs under it), then
+    /// merge-joined with the segment in ascending key order. `visit`
+    /// returns false to stop early. Returns the records visited.
+    template <typename Visitor>
+    size_t TierScanUntil(const K& lo, const K& hi, Visitor&& visit) const {
+      std::vector<std::pair<K, DeltaEntry>> overlay;
+      {
+        std::shared_lock<std::shared_mutex> lock(delta_mutex);
+        for (auto it = delta.lower_bound(lo);
+             it != delta.end() && !(hi < it->first); ++it) {
+          overlay.emplace_back(it->first, it->second);
+        }
+      }
+      size_t d = 0;
+      size_t count = 0;
+      bool stopped = false;
+      segment->ScanUntil(lo, hi, [&](const K& key, const P& payload) {
+        while (d < overlay.size() && overlay[d].first < key) {
+          const auto& e = overlay[d];
+          ++d;
+          if (e.second.tombstone) continue;
+          ++count;
+          if (!visit(e.first, e.second.payload)) {
+            stopped = true;
+            return false;
+          }
+        }
+        if (d < overlay.size() && !(key < overlay[d].first)) {
+          const DeltaEntry e = overlay[d].second;
+          ++d;
+          if (e.tombstone) return true;  // erased segment key
+          ++count;  // updated segment key: overlay payload wins
+          if (!visit(key, e.payload)) {
+            stopped = true;
+            return false;
+          }
+          return true;
+        }
+        ++count;
+        if (!visit(key, payload)) {
+          stopped = true;
+          return false;
+        }
+        return true;
+      });
+      for (; !stopped && d < overlay.size(); ++d) {
+        if (overlay[d].second.tombstone) continue;
+        ++count;
+        if (!visit(overlay[d].first, overlay[d].second.payload)) break;
+      }
+      return count;
+    }
+
+    bool DeltaClean() const {
+      std::shared_lock<std::shared_mutex> lock(delta_mutex);
+      return delta.empty();
+    }
+
+    size_t DeltaEntries() const {
+      std::shared_lock<std::shared_mutex> lock(delta_mutex);
+      return delta.size();
+    }
   };
 
   /// An immutable routing table: published with one store, read under an
@@ -1181,9 +1745,53 @@ class ShardedAlex {
   static size_t TotalKeys(const Table* table) {
     size_t total = 0;
     for (const auto& shard : table->shards) {
-      total += shard->index.size();
+      total += shard->TierSize();
     }
     return total;
+  }
+
+  /// Streaming scan of one shard, resident or cold, visitor returning
+  /// void (the cross-shard Scan shape).
+  template <typename Visitor>
+  static size_t ShardScan(const Shard* shard, K lo, K hi,
+                          Visitor&& visit) {
+    if (!shard->cold()) return shard->index.Scan(lo, hi, visit);
+    return shard->TierScanUntil(lo, hi, [&](const K& key, const P& p) {
+      visit(key, p);
+      return true;
+    });
+  }
+
+  /// Aggregate pushdown for a cold shard: one merged overlay+segment
+  /// stream folded with the same spec semantics as the resident
+  /// per-leaf kernels (core/concurrent_alex.h AggregateLeafSlots).
+  static core::AggResult<K, P> TierAggregate(const Shard* shard, K lo,
+                                             K hi,
+                                             const core::AggSpec<P>& spec) {
+    core::AggResult<K, P> r;
+    shard->TierScanUntil(lo, hi, [&](const K& key, const P& payload) {
+      if constexpr (std::is_arithmetic_v<P>) {
+        if (spec.has_payload_filter &&
+            (payload < spec.filter_lo || spec.filter_hi < payload)) {
+          return true;
+        }
+      }
+      ++r.count;
+      if (spec.count_only) return true;
+      if (spec.field == core::AggField::kKeys) {
+        r.keys.Add(key);
+      } else if constexpr (std::is_arithmetic_v<P>) {
+        r.payloads.Add(payload);
+      }
+      return true;
+    });
+    return r;
+  }
+
+  core::AggResult<K, P> AggregateShard(const Shard* shard, K lo, K hi,
+                                       const core::AggSpec<P>& spec) const {
+    return shard->cold() ? TierAggregate(shard, lo, hi, spec)
+                         : shard->index.Aggregate(lo, hi, spec);
   }
 
   // ---- WAL plumbing ----
@@ -1355,6 +1963,7 @@ class ShardedAlex {
       const std::string& prefix, const ShardManifest<K>& manifest,
       const std::vector<std::vector<K>>& shard_keys,
       const std::vector<std::vector<P>>& shard_payloads,
+      std::vector<std::shared_ptr<tier::ColdSegment<K, P>>>* cold_segments,
       bool was_logging, wal::RecoveryReport* rep,
       std::unique_ptr<Table>* out) {
     std::map<uint64_t, uint64_t> checkpoints;
@@ -1421,6 +2030,48 @@ class ShardedAlex {
       wal::ShardReplayStats& stats = (*rep).shards[i];
       stats.shard = i;
       stats.wal_id = manifest.wal_ids.size() > i ? manifest.wal_ids[i] : 0;
+      if (manifest.IsCold(i)) {
+        // A cold shard recovers as exactly the form it runs in: the
+        // verified segment plus a delta overlay rebuilt from the log
+        // tail (the records past its checkpoint LSN). TierInsert/
+        // TierErase/TierUpdate are ApplyWalRecord's semantics over the
+        // overlay, so the merged view equals the resident replay.
+        auto shard =
+            std::make_shared<Shard>(options_.shard_config, &epoch_);
+        shard->cold_live.store((*cold_segments)[i]->num_keys(),
+                               std::memory_order_relaxed);
+        shard->segment = std::move((*cold_segments)[i]);
+        for (size_t l = 0; l < lineages.size(); ++l) {
+          if (std::find(feeds[l].begin(), feeds[l].end(), i) ==
+              feeds[l].end()) {
+            continue;
+          }
+          if (lineages[l].tail_truncated) stats.tail_truncated = true;
+          for (const wal::WalRecord<K, P>& rec : lineages[l].records) {
+            if (!KeyInShard(rec.key, i, manifest.boundaries)) continue;
+            if (rec.lsn <= lineages[l].checkpoint_lsn) {
+              ++stats.records_skipped;
+              continue;
+            }
+            switch (rec.type) {
+              case wal::WalRecordType::kInsert:
+                shard->TierInsert(rec.key, rec.payload);
+                break;
+              case wal::WalRecordType::kUpdate:
+                shard->TierUpdate(rec.key, rec.payload);
+                break;
+              case wal::WalRecordType::kErase:
+                shard->TierErase(rec.key);
+                break;
+              default:
+                break;
+            }
+            ++stats.records_replayed;
+          }
+        }
+        next_raw->shards[i] = std::move(shard);
+        return;
+      }
       std::map<K, P> state;
       for (size_t j = 0; j < shard_keys[i].size(); ++j) {
         // Snapshot keys arrive sorted, so end() is always the right
@@ -1492,20 +2143,73 @@ class ShardedAlex {
         topology_epoch_.load(std::memory_order_relaxed);
     manifest.shard_keys.reserve(table->shards.size());
     for (size_t i = 0; i < table->shards.size(); ++i) {
-      const std::string shard_path =
-          ShardPath(prefix, manifest.generation, i);
-      const core::SnapshotStatus status =
-          table->shards[i]->index.SaveToFile(shard_path);
-      if (status != core::SnapshotStatus::kOk) return status;
-      // Durable before the manifest can reference it (and before the WAL
-      // segments it supersedes are deleted below).
-      if (!wal::SyncPath(shard_path)) {
-        return core::SnapshotStatus::kIoError;
+      Shard* shard = table->shards[i].get();
+      uint64_t tier_tag = internal::kTierResident;
+      uint64_t segment_id = 0;
+      if (!shard->cold()) {
+        const std::string shard_path =
+            ShardPath(prefix, manifest.generation, i);
+        const core::SnapshotStatus status =
+            shard->index.SaveToFile(shard_path);
+        if (status != core::SnapshotStatus::kOk) return status;
+        // Durable before the manifest can reference it (and before the
+        // WAL segments it supersedes are deleted below).
+        if (!wal::SyncPath(shard_path)) {
+          return core::SnapshotStatus::kIoError;
+        }
+      } else if (shard->DeltaClean() &&
+                 shard->segment->path() ==
+                     tier::SegmentPath(prefix, shard->segment->id())) {
+        // Clean overlay, segment already durable at this prefix (the
+        // demotion/compaction that built it committed it): reference it
+        // as-is — the checkpoint writes zero bytes for this shard.
+        tier_tag = internal::kTierCold;
+        segment_id = shard->segment->id();
+      } else {
+        // Dirty overlay (or an export to a foreign prefix): fold the
+        // merged stream into a fresh segment at `prefix`. The live
+        // shard keeps its current segment+overlay; only the manifest
+        // references the folded copy.
+        std::vector<K> keys;
+        std::vector<P> payloads;
+        keys.reserve(shard->TierSize());
+        payloads.reserve(shard->TierSize());
+        shard->TierScanUntil(std::numeric_limits<K>::lowest(),
+                             std::numeric_limits<K>::max(),
+                             [&](const K& key, const P& payload) {
+                               keys.push_back(key);
+                               payloads.push_back(payload);
+                               return true;
+                             });
+        if (keys.empty()) {
+          // Fully erased: segments cannot be empty, so this shard
+          // checkpoints as an empty resident snapshot.
+          const std::string shard_path =
+              ShardPath(prefix, manifest.generation, i);
+          const core::SnapshotStatus status =
+              core::WriteSnapshotFile<K, P>(shard_path, nullptr, nullptr,
+                                            0);
+          if (status != core::SnapshotStatus::kOk) return status;
+          if (!wal::SyncPath(shard_path)) {
+            return core::SnapshotStatus::kIoError;
+          }
+        } else {
+          std::shared_ptr<tier::ColdSegment<K, P>> folded;
+          const uint64_t seg_id = next_segment_id_++;
+          const core::SnapshotStatus status =
+              WriteAndOpenSegment(prefix, seg_id, keys.data(),
+                                  payloads.data(), keys.size(), &folded);
+          if (status != core::SnapshotStatus::kOk) return status;
+          tier_tag = internal::kTierCold;
+          segment_id = seg_id;
+        }
       }
-      manifest.shard_keys.push_back(table->shards[i]->index.size());
+      manifest.shard_keys.push_back(shard->TierSize());
+      manifest.tier_tags.push_back(tier_tag);
+      manifest.segment_ids.push_back(segment_id);
       // With the gates held, log and index are in lockstep: this
       // snapshot holds exactly the effects of records up to last_lsn().
-      const auto& log = table->shards[i]->log;
+      const auto& log = shard->log;
       if (wal_checkpoint && log != nullptr) {
         manifest.wal_ids.push_back(log->wal_id());
         manifest.checkpoint_lsns.push_back(log->last_lsn());
@@ -1514,6 +2218,7 @@ class ShardedAlex {
         manifest.checkpoint_lsns.push_back(0);
       }
     }
+    manifest.next_segment_id = next_segment_id_;
     // Commit: write the manifest beside its final name, then rename over
     // it (atomic replace on POSIX).
     const std::string tmp = ManifestPath(prefix) + ".tmp";
@@ -1557,6 +2262,7 @@ class ShardedAlex {
     }
     SweepStaleSnapshots(prefix, manifest.generation,
                         table->shards.size());
+    SweepStaleSegments(prefix, manifest.segment_ids, table);
     if (wal_checkpoint) {
       for (const auto& shard : table->shards) {
         if (shard->log != nullptr) {
@@ -1644,6 +2350,247 @@ class ShardedAlex {
     }
   }
 
+  // ---- Tier lifecycle (all called with rebalance_mutex_ held) ----
+
+  /// Where demotion writes segment files.
+  std::string TierPrefix() const {
+    return options_.tier_prefix.empty() ? wal_prefix_
+                                        : options_.tier_prefix;
+  }
+
+  /// Keys per cold-segment block, from the configured byte target.
+  size_t KeysPerBlock() const {
+    return std::max<size_t>(
+        64, options_.tier_block_bytes / (sizeof(K) + sizeof(P)));
+  }
+
+  void UpdateColdBytesGauge(const Table* table) const {
+    [[maybe_unused]] uint64_t bytes = 0;
+    for (const auto& shard : table->shards) {
+      if (shard->cold()) bytes += shard->segment->file_bytes();
+    }
+    ALEX_OBS_GAUGE_SET("tier.cold_bytes", static_cast<double>(bytes));
+  }
+
+  /// Writes `n` records as segment `id` at `prefix`: staged under a
+  /// .tmp name, fsynced, renamed into place, directory-fsynced — the
+  /// same commit discipline as the manifest. On success opens the
+  /// segment and returns it through `*out`.
+  core::SnapshotStatus WriteAndOpenSegment(
+      const std::string& prefix, uint64_t id, const K* keys,
+      const P* payloads, size_t n,
+      std::shared_ptr<tier::ColdSegment<K, P>>* out) const {
+    const std::string path = tier::SegmentPath(prefix, id);
+    const std::string tmp = path + ".tmp";
+    core::SnapshotStatus status =
+        tier::WriteSegmentFile<K, P>(tmp, keys, payloads, n,
+                                     KeysPerBlock());
+    if (status != core::SnapshotStatus::kOk) return status;
+    if (!wal::SyncPath(tmp)) {
+      std::remove(tmp.c_str());
+      return core::SnapshotStatus::kIoError;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      return core::SnapshotStatus::kIoError;
+    }
+    {
+      std::string dir, base;
+      wal::SplitPrefixPath(prefix, &dir, &base);
+      if (!wal::SyncPath(dir)) return core::SnapshotStatus::kIoError;
+    }
+    auto segment = std::make_shared<tier::ColdSegment<K, P>>();
+    status = segment->Open(path, id);
+    if (status != core::SnapshotStatus::kOk) {
+      std::remove(path.c_str());
+      return status;
+    }
+    *out = std::move(segment);
+    return core::SnapshotStatus::kOk;
+  }
+
+  /// Publishes a copy of the current table with shard `idx` replaced,
+  /// then retires the victim. The victim's log MOVES to the replacement
+  /// (not sealed): the logical shard continues, so its LSN stream must
+  /// too. Runs the same drain→publish→retire steps as a topology
+  /// transaction, for one shard.
+  void ReplaceShard(Table* table, size_t idx,
+                    std::shared_ptr<Shard> replacement,
+                    std::unique_lock<std::shared_mutex>* gate) {
+    Shard* victim = table->shards[idx].get();
+    replacement->log = victim->log;
+    replacement->traffic_mark = 0;
+    auto* next = new Table();
+    next->router = table->router;
+    next->shards = table->shards;
+    next->shards[idx] = std::move(replacement);
+    table_.store(next, std::memory_order_seq_cst);
+    victim->retired.store(true, std::memory_order_seq_cst);
+    victim->log.reset();
+    gate->unlock();
+    epoch_.Retire(table);
+    epoch_.TryReclaim();
+    UpdateColdBytesGauge(next);
+  }
+
+  core::SnapshotStatus DemoteShardLocked(size_t idx) {
+    util::EpochManager::Guard guard(epoch_);
+    Table* table = table_.load(std::memory_order_seq_cst);
+    if (idx >= table->shards.size()) {
+      return core::SnapshotStatus::kIoError;
+    }
+    Shard* victim = table->shards[idx].get();
+    if (victim->cold()) return core::SnapshotStatus::kOk;
+    const std::string prefix = TierPrefix();
+    if (prefix.empty()) return core::SnapshotStatus::kIoError;
+    std::unique_lock<std::shared_mutex> gate(victim->write_gate);
+    const size_t n = victim->index.size();
+    if (n == 0) return core::SnapshotStatus::kIoError;  // nothing to seal
+    std::vector<K> keys;
+    std::vector<P> payloads;
+    keys.reserve(n);
+    payloads.reserve(n);
+    victim->index.Scan(std::numeric_limits<K>::lowest(),
+                       std::numeric_limits<K>::max(),
+                       [&](const K& key, const P& payload) {
+                         keys.push_back(key);
+                         payloads.push_back(payload);
+                       });
+    const uint64_t seg_id = next_segment_id_++;
+    std::shared_ptr<tier::ColdSegment<K, P>> segment;
+    const core::SnapshotStatus status = WriteAndOpenSegment(
+        prefix, seg_id, keys.data(), payloads.data(), n, &segment);
+    if (status != core::SnapshotStatus::kOk) return status;
+    auto cold = std::make_shared<Shard>(options_.shard_config, &epoch_);
+    cold->segment = std::move(segment);
+    cold->cold_live.store(n, std::memory_order_relaxed);
+    ReplaceShard(table, idx, std::move(cold), &gate);
+    demotions_.fetch_add(1, std::memory_order_relaxed);
+    ALEX_OBS_COUNTER_INC("tier.demotions");
+    ALEX_OBS_EVENT(obs::EventType::kTierDemotion,
+                   static_cast<uint32_t>(idx), 0, 0,
+                   static_cast<int64_t>(n),
+                   static_cast<int64_t>(seg_id));
+    return core::SnapshotStatus::kOk;
+  }
+
+  core::SnapshotStatus PromoteShardLocked(size_t idx) {
+    util::EpochManager::Guard guard(epoch_);
+    Table* table = table_.load(std::memory_order_seq_cst);
+    if (idx >= table->shards.size()) {
+      return core::SnapshotStatus::kIoError;
+    }
+    Shard* victim = table->shards[idx].get();
+    if (!victim->cold()) return core::SnapshotStatus::kOk;
+    std::unique_lock<std::shared_mutex> gate(victim->write_gate);
+    std::vector<K> keys;
+    std::vector<P> payloads;
+    keys.reserve(victim->TierSize());
+    payloads.reserve(victim->TierSize());
+    victim->TierScanUntil(std::numeric_limits<K>::lowest(),
+                          std::numeric_limits<K>::max(),
+                          [&](const K& key, const P& payload) {
+                            keys.push_back(key);
+                            payloads.push_back(payload);
+                            return true;
+                          });
+    const uint64_t old_segment = victim->segment->id();
+    const uint64_t n = keys.size();
+    auto resident =
+        std::make_shared<Shard>(options_.shard_config, &epoch_);
+    resident->index.BulkLoad(keys.data(), payloads.data(), keys.size());
+    ReplaceShard(table, idx, std::move(resident), &gate);
+    // The segment file is NOT unlinked here: the committed manifest may
+    // still reference it (a crash before the next checkpoint must be
+    // able to reopen it). The next checkpoint's sweep collects it.
+    block_cache_.EraseSegment(old_segment);
+    promotions_.fetch_add(1, std::memory_order_relaxed);
+    ALEX_OBS_COUNTER_INC("tier.promotions");
+    ALEX_OBS_EVENT(obs::EventType::kTierPromotion,
+                   static_cast<uint32_t>(idx), 0, 0,
+                   static_cast<int64_t>(n),
+                   static_cast<int64_t>(old_segment));
+    return core::SnapshotStatus::kOk;
+  }
+
+  core::SnapshotStatus CompactShardLocked(size_t idx) {
+    util::EpochManager::Guard guard(epoch_);
+    Table* table = table_.load(std::memory_order_seq_cst);
+    if (idx >= table->shards.size()) {
+      return core::SnapshotStatus::kIoError;
+    }
+    Shard* victim = table->shards[idx].get();
+    if (!victim->cold()) return core::SnapshotStatus::kOk;
+    if (victim->DeltaClean()) return core::SnapshotStatus::kOk;
+    if (victim->TierSize() == 0) {
+      // Everything erased: a segment cannot be empty, so the compacted
+      // form of this shard is an empty resident one.
+      return PromoteShardLocked(idx);
+    }
+    const std::string prefix = TierPrefix();
+    if (prefix.empty()) return core::SnapshotStatus::kIoError;
+    std::unique_lock<std::shared_mutex> gate(victim->write_gate);
+    std::vector<K> keys;
+    std::vector<P> payloads;
+    keys.reserve(victim->TierSize());
+    payloads.reserve(victim->TierSize());
+    victim->TierScanUntil(std::numeric_limits<K>::lowest(),
+                          std::numeric_limits<K>::max(),
+                          [&](const K& key, const P& payload) {
+                            keys.push_back(key);
+                            payloads.push_back(payload);
+                            return true;
+                          });
+    const uint64_t old_segment = victim->segment->id();
+    const uint64_t seg_id = next_segment_id_++;
+    std::shared_ptr<tier::ColdSegment<K, P>> segment;
+    const core::SnapshotStatus status =
+        WriteAndOpenSegment(prefix, seg_id, keys.data(), payloads.data(),
+                            keys.size(), &segment);
+    if (status != core::SnapshotStatus::kOk) return status;
+    auto cold = std::make_shared<Shard>(options_.shard_config, &epoch_);
+    cold->segment = std::move(segment);
+    cold->cold_live.store(keys.size(), std::memory_order_relaxed);
+    ReplaceShard(table, idx, std::move(cold), &gate);
+    block_cache_.EraseSegment(old_segment);
+    compactions_.fetch_add(1, std::memory_order_relaxed);
+    ALEX_OBS_COUNTER_INC("tier.compactions");
+    ALEX_OBS_EVENT(obs::EventType::kTierCompaction,
+                   static_cast<uint32_t>(idx), 0, 0,
+                   static_cast<int64_t>(keys.size()),
+                   static_cast<int64_t>(seg_id));
+    return core::SnapshotStatus::kOk;
+  }
+
+  /// Removes cold-segment files at `prefix` that neither the committed
+  /// manifest (`keep`) nor the live table references, plus every .tmp
+  /// stray a crashed writer left behind. Post-commit, best-effort, like
+  /// the snapshot/WAL sweeps.
+  void SweepStaleSegments(const std::string& prefix,
+                          std::vector<uint64_t> keep,
+                          const Table* table) const {
+    for (const auto& shard : table->shards) {
+      if (shard->cold() &&
+          shard->segment->path() ==
+              tier::SegmentPath(prefix, shard->segment->id())) {
+        keep.push_back(shard->segment->id());
+      }
+    }
+    std::string dir, base;
+    wal::SplitPrefixPath(prefix, &dir, &base);
+    std::vector<std::string> names;
+    if (!wal::ListDirectory(dir, &names)) return;
+    for (const std::string& name : names) {
+      uint64_t id = 0;
+      bool is_tmp = false;
+      if (!tier::ParseSegmentFileName(name, base, &id, &is_tmp)) continue;
+      if (is_tmp ||
+          std::find(keep.begin(), keep.end(), id) == keep.end()) {
+        std::remove((dir + "/" + name).c_str());
+      }
+    }
+  }
+
   bool ShouldSplit(size_t shard_keys, size_t total,
                    size_t num_shards) const {
     if (shard_keys < options_.min_rebalance_keys) return false;
@@ -1693,7 +2640,7 @@ class ShardedAlex {
     size_t total = 0;
     size_t largest = 0;
     for (const auto& s : table->shards) {
-      const size_t keys = s->index.size();
+      const size_t keys = s->TierSize();
       total += keys;
       largest = std::max(largest, keys);
     }
@@ -1743,15 +2690,25 @@ class ShardedAlex {
     } else if (idx + 1 == current->shards.size()) {
       lo = idx - 1;
     } else {
-      lo = current->shards[idx - 1]->index.size() <=
-                   current->shards[idx + 1]->index.size()
+      lo = current->shards[idx - 1]->TierSize() <=
+                   current->shards[idx + 1]->TierSize()
                ? idx - 1
                : idx;
     }
-    if (!ShouldMerge(current->shards[lo]->index.size(),
-                     current->shards[lo + 1]->index.size())) {
+    if (!ShouldMerge(current->shards[lo]->TierSize(),
+                     current->shards[lo + 1]->TierSize())) {
       return;
     }
+    // Topology transactions stream their victims' ConcurrentAlex trees;
+    // promote a cold victim first (a merge victim is tiny by
+    // definition, so this is cheap and rare).
+    for (size_t i = lo; i < lo + 2; ++i) {
+      if (current->shards[i]->cold() &&
+          PromoteShardLocked(i) != core::SnapshotStatus::kOk) {
+        return;
+      }
+    }
+    current = table_.load(std::memory_order_seq_cst);
     ExecuteTopologyTxn(TopologyOp::kMerge, current, lo, lo + 2, 1);
   }
 
@@ -1779,6 +2736,12 @@ class ShardedAlex {
                           size_t hi, size_t ways) {
     assert(lo < hi && hi <= table->shards.size());
     assert(ways >= 1);
+    // Victims must be resident: the build step streams their trees, and
+    // a cold shard's log/segment hand-off is the tier transitions' job.
+    // Callers promote first (MaybeMerge) or simply skip cold shards.
+    for (size_t i = lo; i < hi; ++i) {
+      if (table->shards[i]->cold()) return false;
+    }
     // Drain: victims' write gates exclusive, ascending — in-flight
     // writers finish, new ones wait here or re-route after publish.
     std::vector<std::unique_lock<std::shared_mutex>> gates;
@@ -1935,6 +2898,9 @@ class ShardedAlex {
   }
 
   ShardedOptions options_;
+  // Cold-tier block cache; mutable because the lock-free read path
+  // (const) pins blocks through it.
+  mutable tier::BlockCache block_cache_;
   mutable util::EpochManager epoch_;
   // Serializes table replacement (rebalance, bulk load, save/load). Never
   // touched by point reads or writes.
@@ -1956,6 +2922,18 @@ class ShardedAlex {
   // loads and recoveries (their ShardLogs are dropped with their
   // tables); CommitWaitHistogram folds live logs on top.
   util::Log2Histogram retired_commit_wait_;
+  // Next cold-segment id, guarded by rebalance_mutex_ (mutable: a
+  // checkpoint — SaveToLocked, const — may need a fresh id to fold a
+  // dirty overlay). Checkpoints persist it, LoadFrom restores it.
+  mutable uint64_t next_segment_id_ = 1;
+  std::atomic<uint64_t> demotions_{0};
+  std::atomic<uint64_t> promotions_{0};
+  std::atomic<uint64_t> compactions_{0};
+  // Background tiering thread (StartTiering/StopTiering).
+  std::mutex tiering_mutex_;
+  std::condition_variable tiering_cv_;
+  std::thread tiering_thread_;
+  bool tiering_stop_ = false;
 };
 
 }  // namespace alex::shard

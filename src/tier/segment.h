@@ -1,0 +1,483 @@
+// Cold-tier segment: a sealed, checksummed, read-only on-disk image of one
+// demoted shard (ROADMAP "larger-than-RAM tiering"). The shape follows the
+// paper's own argument one level down: instead of a comparison tree over
+// blocks, a *learned fence model* (models/linear_model.h) predicts which
+// block holds a key, verified against the resident fence-key array exactly
+// like the shard router verifies its shard prediction.
+//
+// File layout (little-endian, fixed-width fields, no padding):
+//
+//   SegmentHeader                      88 bytes, self-checksummed
+//   block_checksums  u64[num_blocks]   FNV-1a of each block's raw bytes
+//   fence_keys       K[num_blocks]     first key of each block (sorted)
+//   blocks           block i = K[m_i] keys then P[m_i] payloads, where
+//                    m_i = keys_per_block except a short final block;
+//                    every block before the last is full, so block i
+//                    starts at data_offset + i*keys_per_block*(|K|+|P|).
+//
+// The header and the two metadata arrays are read once at Open and kept
+// resident (they are the "index" of the segment: ~16 bytes per block).
+// Block data is mmap'd PROT_READ with MADV_RANDOM — the kernel pages cold
+// blocks in on demand and the block cache (tier/block_cache.h) keeps the
+// hot ones pinned in user space, so a segment's DRAM cost is its metadata
+// plus whatever the cache holds.
+//
+// One writer serves three producers: checkpointing a cold shard, demoting
+// a resident shard, and compacting a cold shard's delta overlay — all
+// stream sorted (key, payload) runs through WriteSegmentFile, so the three
+// paths cannot diverge in format.
+//
+// Integrity: every block carries its own FNV-1a checksum (verified on
+// every cache miss load and by VerifyAllBlocks at recovery), the metadata
+// arrays are covered by meta_checksum, and the header by header_checksum.
+// Any mismatch surfaces as core::SnapshotStatus::kSegmentCorrupt —
+// distinct from kTruncated/kBadMagic so a flipped byte is never mistaken
+// for a torn or foreign file.
+#pragma once
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/serialization.h"
+#include "models/linear_model.h"
+
+namespace alex::tier {
+
+namespace internal {
+
+// "ALEXCSEG" in ASCII.
+inline constexpr uint64_t kSegmentMagic = 0x414C455843534547ULL;
+inline constexpr uint64_t kSegmentVersion = 1;
+
+/// Unaligned typed load: block payloads start at keys_per_block * |K|,
+/// which is not a multiple of alignof(P) for every K/P pairing, and the
+/// metadata arrays land wherever num_blocks puts them. memcpy keeps every
+/// access well-defined (and compiles to a plain load on x86/ARM).
+template <typename T>
+inline T LoadAt(const uint8_t* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+}  // namespace internal
+
+/// On-disk segment header. All fields 8 bytes so the struct has no
+/// padding; `header_checksum` covers every byte before itself.
+struct SegmentHeader {
+  uint64_t magic = internal::kSegmentMagic;
+  uint64_t version = internal::kSegmentVersion;
+  uint64_t key_size = 0;
+  uint64_t payload_size = 0;
+  uint64_t keys_per_block = 0;
+  uint64_t num_keys = 0;
+  uint64_t num_blocks = 0;
+  double fence_slope = 0.0;
+  double fence_intercept = 0.0;
+  uint64_t meta_checksum = 0;
+  uint64_t header_checksum = 0;
+};
+static_assert(sizeof(SegmentHeader) == 88, "segment header must be packed");
+
+/// Path of segment `id` at `prefix` (beside the manifest / WAL files).
+inline std::string SegmentPath(const std::string& prefix, uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), ".seg-%llu",
+                static_cast<unsigned long long>(id));
+  return prefix + buf;
+}
+
+/// Parses `<base>.seg-<id>` (and the writer's `.tmp` staging suffix, so
+/// the checkpoint sweep also collects segments a crash left half-written).
+/// Returns false for any other name.
+inline bool ParseSegmentFileName(const std::string& name,
+                                 const std::string& base, uint64_t* id,
+                                 bool* is_tmp) {
+  const std::string marker = base + ".seg-";
+  if (name.size() <= marker.size() ||
+      name.compare(0, marker.size(), marker) != 0) {
+    return false;
+  }
+  unsigned long long parsed = 0;
+  int consumed = 0;
+  const char* tail = name.c_str() + marker.size();
+  if (std::sscanf(tail, "%llu%n", &parsed, &consumed) != 1) return false;
+  if (tail[consumed] == '\0') {
+    *is_tmp = false;
+  } else if (std::strcmp(tail + consumed, ".tmp") == 0) {
+    *is_tmp = true;
+  } else {
+    return false;
+  }
+  *id = parsed;
+  return true;
+}
+
+/// The one cold-segment writer (checkpoint, demotion and compaction all
+/// call it). `keys` must be strictly increasing. Writes straight to
+/// `path`; callers stage under a `.tmp` name and rename for atomicity.
+template <typename K, typename P>
+core::SnapshotStatus WriteSegmentFile(const std::string& path,
+                                      const K* keys, const P* payloads,
+                                      size_t n, size_t keys_per_block) {
+  if (n == 0 || keys_per_block == 0) return core::SnapshotStatus::kIoError;
+  const size_t kpb = keys_per_block;
+  const size_t num_blocks = (n + kpb - 1) / kpb;
+
+  std::vector<K> fence(num_blocks);
+  std::vector<uint64_t> checksums(num_blocks);
+  model::LinearModelBuilder fence_fit;
+  std::vector<uint8_t> block;
+  for (size_t b = 0; b < num_blocks; ++b) {
+    const size_t lo = b * kpb;
+    const size_t m = std::min(kpb, n - lo);
+    fence[b] = keys[lo];
+    fence_fit.Add(static_cast<double>(keys[lo]), static_cast<double>(b));
+    block.resize(m * (sizeof(K) + sizeof(P)));
+    std::memcpy(block.data(), keys + lo, m * sizeof(K));
+    std::memcpy(block.data() + m * sizeof(K), payloads + lo,
+                m * sizeof(P));
+    checksums[b] = core::internal::Fnv1a(block.data(), block.size(),
+                                         core::internal::kFnvOffsetBasis);
+  }
+  const model::LinearModel fence_model = fence_fit.Build();
+
+  SegmentHeader header;
+  header.key_size = sizeof(K);
+  header.payload_size = sizeof(P);
+  header.keys_per_block = kpb;
+  header.num_keys = n;
+  header.num_blocks = num_blocks;
+  header.fence_slope = fence_model.slope();
+  header.fence_intercept = fence_model.intercept();
+  uint64_t meta = core::internal::Fnv1a(checksums.data(),
+                                        num_blocks * sizeof(uint64_t),
+                                        core::internal::kFnvOffsetBasis);
+  meta = core::internal::Fnv1a(fence.data(), num_blocks * sizeof(K), meta);
+  header.meta_checksum = meta;
+  header.header_checksum = core::internal::Fnv1a(
+      &header, sizeof(header) - sizeof(header.header_checksum),
+      core::internal::kFnvOffsetBasis);
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return core::SnapshotStatus::kIoError;
+  bool ok = std::fwrite(&header, sizeof(header), 1, f) == 1;
+  ok = ok && std::fwrite(checksums.data(), sizeof(uint64_t), num_blocks,
+                         f) == num_blocks;
+  ok = ok && std::fwrite(fence.data(), sizeof(K), num_blocks, f) ==
+                 num_blocks;
+  for (size_t b = 0; ok && b < num_blocks; ++b) {
+    const size_t lo = b * kpb;
+    const size_t m = std::min(kpb, n - lo);
+    ok = std::fwrite(keys + lo, sizeof(K), m, f) == m &&
+         std::fwrite(payloads + lo, sizeof(P), m, f) == m;
+  }
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(path.c_str());
+    return core::SnapshotStatus::kIoError;
+  }
+  return core::SnapshotStatus::kOk;
+}
+
+/// An open, validated, mmap'd cold segment. Immutable after Open; all
+/// read methods are const and safe from any thread (the mapping is
+/// PROT_READ and the resident metadata never changes). Reads that go
+/// through a block cache verify the block checksum once per load; the
+/// `cache == nullptr` paths read the mapping directly (recovery and
+/// invariant checks, where VerifyAllBlocks has already run).
+template <typename K, typename P>
+class ColdSegment {
+ public:
+  ColdSegment() = default;
+  ~ColdSegment() { Close(); }
+  ColdSegment(const ColdSegment&) = delete;
+  ColdSegment& operator=(const ColdSegment&) = delete;
+
+  /// Opens and fully validates `path`: magic, version, K/P widths,
+  /// structural sizes against the file length, header + metadata
+  /// checksums, fence sortedness. Does NOT touch block data (that is the
+  /// whole point of the tier); call VerifyAllBlocks for a full audit.
+  core::SnapshotStatus Open(const std::string& path, uint64_t id) {
+    Close();
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return core::SnapshotStatus::kIoError;
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      return core::SnapshotStatus::kIoError;
+    }
+    const uint64_t file_size = static_cast<uint64_t>(st.st_size);
+    if (file_size < sizeof(SegmentHeader)) {
+      ::close(fd);
+      return core::SnapshotStatus::kTruncated;
+    }
+    void* map = ::mmap(nullptr, file_size, PROT_READ, MAP_SHARED, fd, 0);
+    ::close(fd);  // the mapping keeps its own reference
+    if (map == MAP_FAILED) return core::SnapshotStatus::kIoError;
+    base_ = static_cast<const uint8_t*>(map);
+    map_size_ = file_size;
+
+    SegmentHeader header;
+    std::memcpy(&header, base_, sizeof(header));
+    const core::SnapshotStatus status = Validate(header, file_size);
+    if (status != core::SnapshotStatus::kOk) {
+      Close();
+      return status;
+    }
+    header_ = header;
+    fence_model_ =
+        model::LinearModel(header.fence_slope, header.fence_intercept);
+    id_ = id;
+    path_ = path;
+    // Random point reads dominate the cold tier; tell the kernel not to
+    // read ahead. Best-effort: a hint, not a correctness requirement.
+    ::madvise(const_cast<uint8_t*>(base_), map_size_, MADV_RANDOM);
+    const K last_key = internal::LoadAt<K>(
+        base_ + BlockOffset(header_.num_blocks - 1) +
+        (LastBlockKeys() - 1) * sizeof(K));
+    min_key_ = fence_[0];
+    max_key_ = last_key;
+    return core::SnapshotStatus::kOk;
+  }
+
+  uint64_t id() const { return id_; }
+  const std::string& path() const { return path_; }
+  uint64_t num_keys() const { return header_.num_keys; }
+  uint64_t num_blocks() const { return header_.num_blocks; }
+  size_t keys_per_block() const { return header_.keys_per_block; }
+  uint64_t file_bytes() const { return map_size_; }
+  const K& min_key() const { return min_key_; }
+  const K& max_key() const { return max_key_; }
+  /// Resident metadata footprint (fence + checksum arrays + header).
+  size_t MetaSizeBytes() const {
+    return sizeof(SegmentHeader) + fence_.size() * sizeof(K) +
+           checksums_.size() * sizeof(uint64_t);
+  }
+
+  /// Block that could hold `key`: one fence-model predict verified
+  /// against the resident fence array, binary-search fallback on a miss
+  /// (the shard-router idiom). `key` must be >= min_key().
+  size_t BlockOfKey(const K& key) const {
+    const size_t n = fence_.size();
+    size_t b = fence_model_.Predict(static_cast<double>(key), n);
+    if (!(fence_[b] <= key) || (b + 1 < n && !(key < fence_[b + 1]))) {
+      b = static_cast<size_t>(
+              std::upper_bound(fence_.begin(), fence_.end(), key) -
+              fence_.begin()) -
+          1;
+    }
+    return b;
+  }
+
+  size_t BlockKeys(size_t b) const {
+    return b + 1 == header_.num_blocks ? LastBlockKeys()
+                                       : header_.keys_per_block;
+  }
+  size_t BlockBytes(size_t b) const {
+    return BlockKeys(b) * (sizeof(K) + sizeof(P));
+  }
+
+  /// Copies block `b` into `*out` and verifies its checksum. This is the
+  /// block cache's loader; kSegmentCorrupt on a mismatch.
+  core::SnapshotStatus LoadBlock(size_t b,
+                                 std::vector<uint8_t>* out) const {
+    const size_t bytes = BlockBytes(b);
+    out->resize(bytes);
+    std::memcpy(out->data(), base_ + BlockOffset(b), bytes);
+    const uint64_t checksum = core::internal::Fnv1a(
+        out->data(), bytes, core::internal::kFnvOffsetBasis);
+    return checksum == checksums_[b] ? core::SnapshotStatus::kOk
+                                     : core::SnapshotStatus::kSegmentCorrupt;
+  }
+
+  /// Full-audit pass: every block re-checksummed (recovery calls this
+  /// before trusting a segment the manifest references).
+  core::SnapshotStatus VerifyAllBlocks() const {
+    std::vector<uint8_t> block;
+    for (size_t b = 0; b < header_.num_blocks; ++b) {
+      const core::SnapshotStatus status = LoadBlock(b, &block);
+      if (status != core::SnapshotStatus::kOk) return status;
+    }
+    return core::SnapshotStatus::kOk;
+  }
+
+  /// Point lookup against the raw mapping (no cache, no checksum —
+  /// recovery/invariant paths where VerifyAllBlocks already ran).
+  bool Get(const K& key, P* out) const {
+    if (key < min_key_ || max_key_ < key) return false;
+    const size_t b = BlockOfKey(key);
+    return SearchBlock(base_ + BlockOffset(b), BlockKeys(b), key, out);
+  }
+
+  bool Contains(const K& key) const {
+    P ignored;
+    return Get(key, &ignored);
+  }
+
+  /// Streams [lo, hi] from the raw mapping in ascending key order;
+  /// `visit(key, payload)` returns false to stop early. Returns the
+  /// number of records visited. The cached equivalent lives at the shard
+  /// layer, which interleaves the delta overlay.
+  template <typename Visitor>
+  size_t ScanUntil(const K& lo, const K& hi, Visitor&& visit) const {
+    if (hi < lo || hi < min_key_ || max_key_ < lo) return 0;
+    size_t count = 0;
+    const size_t first = lo < min_key_ ? 0 : BlockOfKey(lo);
+    for (size_t b = first; b < header_.num_blocks; ++b) {
+      if (hi < fence_[b]) break;
+      const uint8_t* block = base_ + BlockOffset(b);
+      const size_t m = BlockKeys(b);
+      for (size_t i = 0; i < m; ++i) {
+        const K key = internal::LoadAt<K>(block + i * sizeof(K));
+        if (key < lo) continue;
+        if (hi < key) return count;
+        const P payload = internal::LoadAt<P>(
+            block + m * sizeof(K) + i * sizeof(P));
+        if (!visit(key, payload)) return count + 1;
+        ++count;
+      }
+    }
+    return count;
+  }
+
+  /// Binary search of one block image (cache buffer or raw mapping).
+  /// Exposed so the shard layer can search a cache-pinned block copy.
+  static bool SearchBlock(const uint8_t* block, size_t m, const K& key,
+                          P* out) {
+    size_t lo = 0, hi = m;
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      const K probe = internal::LoadAt<K>(block + mid * sizeof(K));
+      if (probe < key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo == m) return false;
+    if (internal::LoadAt<K>(block + lo * sizeof(K)) != key) return false;
+    *out = internal::LoadAt<P>(block + m * sizeof(K) + lo * sizeof(P));
+    return true;
+  }
+
+ private:
+  size_t LastBlockKeys() const {
+    const size_t rem = header_.num_keys % header_.keys_per_block;
+    return rem == 0 ? header_.keys_per_block : rem;
+  }
+
+  size_t DataOffset() const {
+    return sizeof(SegmentHeader) +
+           header_.num_blocks * (sizeof(uint64_t) + sizeof(K));
+  }
+
+  size_t BlockOffset(size_t b) const {
+    return DataOffset() +
+           b * header_.keys_per_block * (sizeof(K) + sizeof(P));
+  }
+
+  core::SnapshotStatus Validate(const SegmentHeader& header,
+                                uint64_t file_size) {
+    if (header.magic != internal::kSegmentMagic) {
+      return core::SnapshotStatus::kBadMagic;
+    }
+    const uint64_t header_checksum = core::internal::Fnv1a(
+        &header, sizeof(header) - sizeof(header.header_checksum),
+        core::internal::kFnvOffsetBasis);
+    if (header_checksum != header.header_checksum) {
+      return core::SnapshotStatus::kSegmentCorrupt;
+    }
+    if (header.version != internal::kSegmentVersion) {
+      return core::SnapshotStatus::kBadVersion;
+    }
+    if (header.key_size != sizeof(K)) {
+      return core::SnapshotStatus::kKeySizeMismatch;
+    }
+    if (header.payload_size != sizeof(P)) {
+      return core::SnapshotStatus::kPayloadSizeMismatch;
+    }
+    if (header.num_keys == 0 || header.keys_per_block == 0) {
+      return core::SnapshotStatus::kTruncated;
+    }
+    // Division-first overflow guards (the serialization.h idiom): bound
+    // the counts by what the file could possibly hold before any
+    // multiplication.
+    const uint64_t record = sizeof(K) + sizeof(P);
+    if (header.num_keys > file_size / record ||
+        header.num_blocks > file_size / (sizeof(uint64_t) + sizeof(K))) {
+      return core::SnapshotStatus::kTruncated;
+    }
+    const uint64_t expect_blocks =
+        (header.num_keys + header.keys_per_block - 1) /
+        header.keys_per_block;
+    if (header.num_blocks != expect_blocks) {
+      return core::SnapshotStatus::kTruncated;
+    }
+    const uint64_t expect_size =
+        sizeof(SegmentHeader) +
+        header.num_blocks * (sizeof(uint64_t) + sizeof(K)) +
+        header.num_keys * record;
+    if (file_size != expect_size) {
+      return core::SnapshotStatus::kTruncated;
+    }
+    // Metadata arrays: checksum, then copy resident (fence via memcpy —
+    // its file offset is only 8-aligned, not alignof(K)-aligned for
+    // every K).
+    const uint8_t* checksum_bytes = base_ + sizeof(SegmentHeader);
+    const uint8_t* fence_bytes =
+        checksum_bytes + header.num_blocks * sizeof(uint64_t);
+    uint64_t meta = core::internal::Fnv1a(
+        checksum_bytes, header.num_blocks * sizeof(uint64_t),
+        core::internal::kFnvOffsetBasis);
+    meta = core::internal::Fnv1a(fence_bytes,
+                                 header.num_blocks * sizeof(K), meta);
+    if (meta != header.meta_checksum) {
+      return core::SnapshotStatus::kSegmentCorrupt;
+    }
+    checksums_.resize(header.num_blocks);
+    std::memcpy(checksums_.data(), checksum_bytes,
+                header.num_blocks * sizeof(uint64_t));
+    fence_.resize(header.num_blocks);
+    std::memcpy(fence_.data(), fence_bytes,
+                header.num_blocks * sizeof(K));
+    for (size_t b = 1; b < fence_.size(); ++b) {
+      if (!(fence_[b - 1] < fence_[b])) {
+        return core::SnapshotStatus::kUnsortedKeys;
+      }
+    }
+    return core::SnapshotStatus::kOk;
+  }
+
+  void Close() {
+    if (base_ != nullptr) {
+      ::munmap(const_cast<uint8_t*>(base_), map_size_);
+      base_ = nullptr;
+      map_size_ = 0;
+    }
+    fence_.clear();
+    checksums_.clear();
+  }
+
+  const uint8_t* base_ = nullptr;
+  size_t map_size_ = 0;
+  SegmentHeader header_;
+  model::LinearModel fence_model_;
+  std::vector<K> fence_;
+  std::vector<uint64_t> checksums_;
+  K min_key_{};
+  K max_key_{};
+  uint64_t id_ = 0;
+  std::string path_;
+};
+
+}  // namespace alex::tier

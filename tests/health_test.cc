@@ -325,6 +325,45 @@ TEST_F(HealthTest, SlowOpBurstEdges) {
   ExpectCanonicalEdges(HealthDetector::kSlowOpBurst);
 }
 
+TEST_F(HealthTest, TierCacheMissEdgesAgainstEwmaBaseline) {
+  Inject();  // baseline sample
+  auto window = [&](uint64_t hits, uint64_t misses) {
+    cursor_.tier_cache_hits += hits;
+    cursor_.tier_cache_misses += misses;
+    Inject();
+  };
+  // First qualifying window (2% misses) seeds the EWMA baseline and is
+  // Ok by definition; a steady window stays Ok.
+  window(980, 20);
+  EXPECT_EQ(LevelOf(HealthDetector::kTierCacheMiss), HealthLevel::kOk);
+  window(980, 20);
+  EXPECT_EQ(LevelOf(HealthDetector::kTierCacheMiss), HealthLevel::kOk);
+  // 10% misses >= 4x the ~2% baseline: warn, but below the 16x critical
+  // bar.
+  window(900, 100);
+  EXPECT_EQ(LevelOf(HealthDetector::kTierCacheMiss), HealthLevel::kWarn);
+  // 50% misses >= 16x baseline (0.32): critical. The unhealthy windows
+  // must not have taught the baseline, or this edge would never fire.
+  window(500, 500);
+  EXPECT_EQ(LevelOf(HealthDetector::kTierCacheMiss), HealthLevel::kCritical);
+  window(995, 5);  // recovery window
+  EXPECT_EQ(LevelOf(HealthDetector::kTierCacheMiss), HealthLevel::kOk);
+  ExpectCanonicalEdges(HealthDetector::kTierCacheMiss);
+  const obs::HealthVerdict v =
+      monitor_->Report()
+          .verdicts[static_cast<size_t>(HealthDetector::kTierCacheMiss)];
+  EXPECT_STREQ(v.metric, "tier.cache_misses");
+  EXPECT_STREQ(obs::DetectorName(HealthDetector::kTierCacheMiss),
+               "tier_cache_miss");
+
+  // Below the minimum lookup count the rule never judges: a tiny
+  // all-miss window (cold start) is not a verdict.
+  cursor_.tier_cache_misses += 10;
+  Inject();
+  EXPECT_EQ(LevelOf(HealthDetector::kTierCacheMiss), HealthLevel::kOk);
+  EXPECT_EQ(EdgesFor(HealthDetector::kTierCacheMiss).size(), 3u);
+}
+
 TEST_F(HealthTest, ReportJsonCarriesLevelsAndVerdicts) {
   Inject();
   cursor_.size_skew_x100 = 2000;
